@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Figure 7 / Figure 9 — SPEC CPU2006 slowdown.
+ *
+ * Paper result: MineSweeper 5.4 % geomean slowdown (worst case xalancbmk
+ * 1.73x); MarkUs 15.5 % (worst 2.97x); FFMalloc 3.5 %. MineSweeper beats
+ * MarkUs everywhere, FFMalloc is slightly faster than MineSweeper, and
+ * only allocation-heavy benchmarks (xalancbmk, gcc, perlbench, omnetpp,
+ * sphinx3) show slowdowns above 5 %.
+ */
+#include "bench/bench_common.h"
+
+int
+main()
+{
+    using namespace msw::bench;
+    std::printf("== Fig 7/9: SPEC CPU2006 slowdown "
+                "(wall time vs JadeHeap baseline) ==\n");
+    std::printf("paper: minesweeper 1.054x geomean (xalancbmk 1.73x), "
+                "markus 1.155x, ffmalloc 1.035x\n");
+
+    const auto profiles =
+        msw::workload::spec2006_profiles(effective_scale(0.5));
+    const auto systems = paper_systems();
+    const auto rows = run_suite(profiles, systems);
+    const auto geo = print_ratio_table("Slowdown (wall time)", rows,
+                                       systems, "baseline", metric_wall);
+
+    std::printf("\nreproduced geomeans: markus %.3fx  ffmalloc %.3fx  "
+                "minesweeper %.3fx\n",
+                geo.at("markus"), geo.at("ffmalloc"),
+                geo.at("minesweeper"));
+    return 0;
+}

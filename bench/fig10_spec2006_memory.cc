@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Figure 10 / Figure 11 — SPEC CPU2006 memory overhead.
+ *
+ * Paper result: MineSweeper 11.1 % geomean average-RSS overhead and
+ * 17.7 % peak (worst case gcc: 62.7 % avg / 93.4 % peak); MarkUs 12.3 %;
+ * FFMalloc 3.44x average with extreme outliers (fragmentation).
+ */
+#include "bench/bench_common.h"
+
+int
+main()
+{
+    using namespace msw::bench;
+    std::printf("== Fig 10/11: SPEC CPU2006 memory overhead "
+                "(sampled RSS vs baseline) ==\n");
+    std::printf("paper: minesweeper 1.111x avg / 1.177x peak (gcc worst "
+                "1.63x/1.93x); markus 1.123x; ffmalloc 3.44x avg\n");
+
+    const auto profiles =
+        msw::workload::spec2006_profiles(effective_scale(0.5));
+    const auto systems = paper_systems();
+    const auto rows = run_suite(profiles, systems);
+
+    const auto geo_avg =
+        print_ratio_table("Average memory overhead (Fig 10)", rows,
+                          systems, "baseline", metric_avg_rss);
+    const auto geo_peak =
+        print_ratio_table("Peak memory overhead (Fig 11)", rows, systems,
+                          "baseline", metric_peak_rss);
+
+    std::printf("\nreproduced geomeans: avg markus %.3fx ffmalloc %.3fx "
+                "minesweeper %.3fx | peak minesweeper %.3fx\n",
+                geo_avg.at("markus"), geo_avg.at("ffmalloc"),
+                geo_avg.at("minesweeper"), geo_peak.at("minesweeper"));
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 18 — SPECspeed2017 time and memory (starred benchmarks run
+ * multi-threaded, as the paper's OpenMP builds).
+ *
+ * Paper result: MineSweeper 10.8 % geomean slowdown / 7.9 % memory;
+ * FFMalloc 5.3 % / 22.2 %; MarkUs 16.3 % / 12.6 %. Worst MineSweeper
+ * slowdown: 2x on xalancbmk (quarantine-induced cache misses); slowest
+ * parallel benchmark wrf at 66 %. FFMalloc's perlbench grows to 4x
+ * memory by the end of its run.
+ */
+#include "bench/bench_common.h"
+
+int
+main()
+{
+    using namespace msw::bench;
+    std::printf("== Fig 18: SPECspeed2017 (starred = 4 threads) ==\n");
+    std::printf("paper: minesweeper 1.108x time / 1.079x mem; ffmalloc "
+                "1.053x / 1.222x; markus 1.163x / 1.126x\n");
+
+    const auto profiles =
+        msw::workload::spec2017_profiles(effective_scale(0.5));
+    const auto systems = paper_systems();
+    const auto rows = run_suite(profiles, systems, /*timeout_s=*/300);
+
+    const auto geo_time = print_ratio_table("Slowdown (Fig 18a)", rows,
+                                            systems, "baseline",
+                                            metric_wall);
+    const auto geo_mem =
+        print_ratio_table("Average memory overhead (Fig 18b)", rows,
+                          systems, "baseline", metric_avg_rss);
+
+    std::printf("\nreproduced: minesweeper %.3fx time / %.3fx mem; "
+                "ffmalloc %.3fx / %.3fx; markus %.3fx / %.3fx\n",
+                geo_time.at("minesweeper"), geo_mem.at("minesweeper"),
+                geo_time.at("ffmalloc"), geo_mem.at("ffmalloc"),
+                geo_time.at("markus"), geo_mem.at("markus"));
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 19 — mimalloc-bench stress tests (§5.7).
+ *
+ * Paper result (geomeans vs jemalloc baseline): MineSweeper 2.7x time /
+ * 4.0x memory (worst 31x / 27x); MarkUs 6.7x time (worst 121x) / 1.7x
+ * memory; FFMalloc 2.16x time / 7.2x memory (97x worst — though kernels
+ * that free in allocation order, like sh6/sh8bench and xmalloc-test, are
+ * kind to it). These kernels do nothing but allocate and free, violating
+ * the assumption that sweeps can keep up in the background; MineSweeper's
+ * allocation pausing keeps its worst case bounded.
+ */
+#include "bench/bench_common.h"
+
+#include "workload/mimalloc_kernels.h"
+
+int
+main()
+{
+    using namespace msw::bench;
+    std::printf("== Fig 19: mimalloc-bench stress kernels ==\n");
+    std::printf("paper geomeans: minesweeper 2.7x time / 4.0x mem; "
+                "markus 6.7x time / 1.7x mem; ffmalloc 2.16x time / "
+                "7.2x mem\n");
+
+    const double scale = effective_scale(0.3);
+    const auto kernels = msw::workload::mimalloc_kernels();
+    const auto systems = paper_systems();
+
+    std::vector<Row> rows;
+    for (const auto& kernel : kernels) {
+        Row row;
+        row.bench = kernel.name;
+        for (const auto& sys : systems) {
+            std::fprintf(stderr, "  [%s / %s]...", kernel.name.c_str(),
+                         sys.label.c_str());
+            std::fflush(stderr);
+            msw::workload::MeasureOptions mo;
+            mo.timeout_s = 240;
+            const RunRecord rec = msw::workload::measure(
+                sys.kind,
+                [&](msw::workload::System& s) {
+                    return kernel.run(s, scale);
+                },
+                sys.msw_options, mo);
+            std::fprintf(stderr, " %s %.2fs\n", rec.ok ? "ok" : "FAILED",
+                         rec.wall_s);
+            row.runs[sys.label] = rec;
+        }
+        rows.push_back(std::move(row));
+    }
+
+    const auto geo_time = print_ratio_table("Slowdown (Fig 19a)", rows,
+                                            systems, "baseline",
+                                            metric_wall);
+    const auto geo_mem =
+        print_ratio_table("Average memory overhead (Fig 19b)", rows,
+                          systems, "baseline", metric_avg_rss);
+
+    std::printf("\nreproduced: minesweeper %.3fx time / %.3fx mem; "
+                "markus %.3fx / %.3fx; ffmalloc %.3fx / %.3fx\n",
+                geo_time.at("minesweeper"), geo_mem.at("minesweeper"),
+                geo_time.at("markus"), geo_mem.at("markus"),
+                geo_time.at("ffmalloc"), geo_mem.at("ffmalloc"));
+    return 0;
+}

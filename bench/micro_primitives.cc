@@ -1,0 +1,227 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the core primitives — the ablation
+ * units behind the figure-level results: allocation fast paths under each
+ * system, shadow-map marking/clearing, the linear-sweep scan rate
+ * (pointer-dense vs pointer-free memory), quarantine insertion, and the
+ * MarkUs-style lookup that the linear sweep's range test replaces.
+ */
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "alloc/jade_allocator.h"
+#include "baselines/ffmalloc.h"
+#include "baselines/markus.h"
+#include "core/minesweeper.h"
+#include "sweep/shadow_map.h"
+#include "sweep/sweeper.h"
+#include "util/rng.h"
+#include "vm/vm.h"
+
+namespace {
+
+using namespace msw;
+
+// ----------------------------------------------------- allocator paths
+
+template <typename MakeFn>
+void
+alloc_free_cycle(benchmark::State& state, MakeFn&& make)
+{
+    auto allocator = make();
+    const std::size_t size = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        void* p = allocator->alloc(size);
+        benchmark::DoNotOptimize(p);
+        allocator->free(p);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_AllocFree_Jade(benchmark::State& state)
+{
+    alloc_free_cycle(state, [] {
+        alloc::JadeAllocator::Options o;
+        o.heap_bytes = std::size_t{1} << 30;
+        return std::make_unique<alloc::JadeAllocator>(o);
+    });
+}
+BENCHMARK(BM_AllocFree_Jade)->Arg(16)->Arg(128)->Arg(1024)->Arg(16384);
+
+void
+BM_AllocFree_MineSweeper(benchmark::State& state)
+{
+    alloc_free_cycle(state, [] {
+        core::Options o;
+        o.jade.heap_bytes = std::size_t{1} << 30;
+        return std::make_unique<core::MineSweeper>(o);
+    });
+}
+BENCHMARK(BM_AllocFree_MineSweeper)->Arg(16)->Arg(128)->Arg(1024)->Arg(16384);
+
+void
+BM_AllocFree_FFMalloc(benchmark::State& state)
+{
+    alloc_free_cycle(state, [] {
+        baseline::FFMalloc::Options o;
+        o.va_bytes = std::size_t{16} << 30;
+        return std::make_unique<baseline::FFMalloc>(o);
+    });
+}
+BENCHMARK(BM_AllocFree_FFMalloc)->Arg(16)->Arg(128)->Arg(1024);
+
+void
+BM_AllocFree_MarkUs(benchmark::State& state)
+{
+    alloc_free_cycle(state, [] {
+        baseline::MarkUs::Options o;
+        o.jade.heap_bytes = std::size_t{1} << 30;
+        return std::make_unique<baseline::MarkUs>(o);
+    });
+}
+BENCHMARK(BM_AllocFree_MarkUs)->Arg(16)->Arg(128)->Arg(1024);
+
+// ----------------------------------------------------------- shadow map
+
+void
+BM_ShadowMark(benchmark::State& state)
+{
+    const std::uintptr_t base = std::uintptr_t{1} << 40;
+    sweep::ShadowMap map(base, 1 << 30);
+    Rng rng(1);
+    std::vector<std::uintptr_t> addrs(4096);
+    for (auto& a : addrs)
+        a = base + rng.next_below(1 << 30);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        map.mark(addrs[i++ & 4095]);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShadowMark);
+
+void
+BM_ShadowTestRange(benchmark::State& state)
+{
+    const std::uintptr_t base = std::uintptr_t{1} << 40;
+    sweep::ShadowMap map(base, 1 << 30);
+    const std::size_t len = static_cast<std::size_t>(state.range(0));
+    Rng rng(2);
+    std::size_t i = 0;
+    std::vector<std::uintptr_t> addrs(4096);
+    for (auto& a : addrs)
+        a = base + align_down(rng.next_below((1 << 30) - len), 16);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(map.test_range(addrs[i++ & 4095], len));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShadowTestRange)->Arg(64)->Arg(1024)->Arg(65536);
+
+// ----------------------------------------------------------- sweep rate
+
+/** The headline primitive: linear scan GB/s over pointer-free data. */
+void
+BM_LinearSweep(benchmark::State& state)
+{
+    const std::size_t bytes = 64 << 20;
+    vm::Reservation heap = vm::Reservation::reserve(bytes);
+    heap.commit(heap.base(), bytes);
+    const double density = static_cast<double>(state.range(0)) / 100.0;
+    // Fill with `density` fraction of heap pointers, rest integers.
+    Rng rng(3);
+    auto* words = reinterpret_cast<std::uint64_t*>(heap.base());
+    for (std::size_t i = 0; i < bytes / 8; ++i) {
+        words[i] = rng.next_bool(density)
+                       ? heap.base() + rng.next_below(bytes)
+                       : rng.next_u64() | (std::uint64_t{1} << 63);
+    }
+    sweep::ShadowMap shadow(heap.base(), bytes);
+    sweep::Marker marker(&shadow, heap.base(), heap.base() + bytes);
+    for (auto _ : state) {
+        const auto stats =
+            marker.mark_one(sweep::Range{heap.base(), bytes});
+        benchmark::DoNotOptimize(stats.pointers_found);
+        shadow.clear_marks();
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_LinearSweep)->Arg(0)->Arg(5)->Arg(50)->Unit(
+    benchmark::kMillisecond);
+
+/**
+ * The cost MineSweeper avoids: MarkUs-style per-word allocation lookup
+ * over the same memory.
+ */
+void
+BM_ConservativeLookupScan(benchmark::State& state)
+{
+    alloc::JadeAllocator::Options o;
+    o.heap_bytes = std::size_t{1} << 30;
+    alloc::JadeAllocator jade(o);
+    // A live heap to point into.
+    std::vector<void*> objs;
+    for (int i = 0; i < 20000; ++i)
+        objs.push_back(jade.alloc(64));
+    // A buffer of pointers into it.
+    const std::size_t n = (4 << 20) / 8;
+    std::vector<std::uint64_t> buffer(n);
+    Rng rng(4);
+    for (auto& w : buffer)
+        w = to_addr(objs[rng.next_below(objs.size())]);
+
+    for (auto _ : state) {
+        std::uint64_t found = 0;
+        for (const std::uint64_t w : buffer) {
+            alloc::JadeAllocator::AllocationInfo info;
+            if (jade.lookup_relaxed(w, &info))
+                ++found;
+        }
+        benchmark::DoNotOptimize(found);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n * 8));
+    for (void* p : objs)
+        jade.free(p);
+}
+BENCHMARK(BM_ConservativeLookupScan)->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------------------ sweep e2e
+
+void
+BM_FullSweep(benchmark::State& state)
+{
+    core::Options o;
+    o.jade.heap_bytes = std::size_t{1} << 30;
+    o.min_sweep_bytes = std::size_t{1} << 40;  // only explicit sweeps
+    core::MineSweeper ms(o);
+    // A resident live heap of ~64 MiB plus a quarantine to test.
+    std::vector<void*> live;
+    for (int i = 0; i < 60000; ++i) {
+        void* p = ms.alloc(1024);
+        std::memset(p, 1, 64);
+        live.push_back(p);
+    }
+    for (auto _ : state) {
+        state.PauseTiming();
+        for (int i = 0; i < 5000; ++i)
+            ms.free(live[live.size() - 1 - i]);
+        state.ResumeTiming();
+        ms.force_sweep();
+        state.PauseTiming();
+        for (int i = 0; i < 5000; ++i)
+            live[live.size() - 1 - i] = ms.alloc(1024);
+        state.ResumeTiming();
+    }
+    for (void* p : live)
+        ms.free(p);
+}
+BENCHMARK(BM_FullSweep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

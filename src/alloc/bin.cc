@@ -1,0 +1,91 @@
+#include "alloc/bin.h"
+
+#include <bit>
+
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace msw::alloc {
+
+ExtentMeta*
+Bin::grab_slab_locked()
+{
+    if (!nonfull_.empty())
+        return nonfull_.head();
+    if (cached_empty_ != nullptr) {
+        ExtentMeta* slab = cached_empty_;
+        cached_empty_ = nullptr;
+        nonfull_.push_front(slab);
+        return slab;
+    }
+    ExtentMeta* slab =
+        extents_->alloc_extent(slab_pages(cls_), ExtentKind::kSlab);
+    slab->cls = static_cast<std::uint16_t>(cls_);
+    slab->arena = arena_;
+    nonfull_.push_front(slab);
+    return slab;
+}
+
+unsigned
+Bin::alloc_batch(void** out, unsigned n)
+{
+    const std::size_t obj_size = class_size(cls_);
+    const unsigned nslots = slab_slots(cls_);
+    unsigned produced = 0;
+
+    std::lock_guard<SpinLock> g(lock_);
+    while (produced < n) {
+        ExtentMeta* slab = grab_slab_locked();
+        // Scan the slot bitmap for free slots.
+        const unsigned words = (nslots + 63) / 64;
+        for (unsigned w = 0; w < words && produced < n; ++w) {
+            std::uint64_t free_bits = ~slab->slot_bits[w];
+            if (w == words - 1 && (nslots % 64) != 0) {
+                free_bits &= (std::uint64_t{1} << (nslots % 64)) - 1;
+            }
+            while (free_bits != 0 && produced < n) {
+                const unsigned bit =
+                    static_cast<unsigned>(std::countr_zero(free_bits));
+                free_bits &= free_bits - 1;
+                const unsigned slot = w * 64 + bit;
+                slab->set_slot(slot);
+                ++slab->used_slots;
+                out[produced++] =
+                    to_ptr(slab->base + std::size_t{slot} * obj_size);
+            }
+        }
+        if (slab->used_slots == nslots)
+            nonfull_.remove(slab);
+    }
+    return produced;
+}
+
+void
+Bin::free_one(void* ptr, ExtentMeta* meta)
+{
+    MSW_DCHECK(meta->kind == ExtentKind::kSlab && meta->cls == cls_);
+    const std::size_t obj_size = class_size(cls_);
+    const auto offset = to_addr(ptr) - meta->base;
+    MSW_DCHECK(offset % obj_size == 0);
+    const unsigned slot = static_cast<unsigned>(offset / obj_size);
+    const unsigned nslots = slab_slots(cls_);
+
+    std::lock_guard<SpinLock> g(lock_);
+    MSW_CHECK(meta->slot_allocated(slot));
+    const bool was_full = meta->used_slots == nslots;
+    meta->clear_slot(slot);
+    --meta->used_slots;
+    if (was_full)
+        nonfull_.push_front(meta);
+    if (meta->used_slots == 0) {
+        // Keep one empty slab cached; release further ones.
+        nonfull_.remove(meta);
+        if (cached_empty_ == nullptr) {
+            cached_empty_ = meta;
+        } else {
+            extents_->free_extent(meta);
+        }
+    }
+}
+
+}  // namespace msw::alloc

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Slab bins: one bin per (arena, size class).
+ *
+ * A bin owns the slabs of its class. Slabs with at least one free slot sit
+ * on the bin's nonfull list; full slabs are tracked only through the page
+ * map and rejoin the list when a slot is freed. A slab whose last slot is
+ * freed is returned to the extent allocator, except that each bin keeps one
+ * empty slab cached to damp extent churn.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "util/spin_lock.h"
+
+#include "alloc/extent.h"
+#include "alloc/extent_allocator.h"
+#include "alloc/size_classes.h"
+
+namespace msw::alloc {
+
+class Bin
+{
+  public:
+    Bin() = default;
+    Bin(const Bin&) = delete;
+    Bin& operator=(const Bin&) = delete;
+
+    /** One-time setup (bins live in arrays, hence not via constructor). */
+    void
+    init(ExtentAllocator* extents, unsigned cls, std::uint8_t arena_index)
+    {
+        extents_ = extents;
+        cls_ = cls;
+        arena_ = arena_index;
+    }
+
+    /**
+     * Pop up to @p n objects of this class into @p out. Returns the number
+     * actually produced (always n unless the heap is exhausted).
+     */
+    unsigned alloc_batch(void** out, unsigned n);
+
+    /**
+     * Return one object whose containing slab is @p meta (from a page-map
+     * lookup by the caller).
+     */
+    void free_one(void* ptr, ExtentMeta* meta);
+
+    unsigned cls() const { return cls_; }
+
+  private:
+    ExtentMeta* grab_slab_locked();
+
+    ExtentAllocator* extents_ = nullptr;
+    SpinLock lock_;
+    ExtentList nonfull_;
+    ExtentMeta* cached_empty_ = nullptr;
+    unsigned cls_ = 0;
+    std::uint8_t arena_ = 0;
+};
+
+}  // namespace msw::alloc

@@ -1,0 +1,360 @@
+#include "alloc/extent_allocator.h"
+
+#include <ctime>
+#include <mutex>
+
+#include "util/bits.h"
+#include "util/check.h"
+#include "util/log.h"
+
+namespace msw::alloc {
+
+std::uint64_t
+monotonic_ms()
+{
+    struct timespec ts;
+    ::clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000u +
+           static_cast<std::uint64_t>(ts.tv_nsec) / 1000000u;
+}
+
+ExtentAllocator::ExtentAllocator(std::size_t heap_bytes,
+                                 std::uint64_t decay_ms)
+    : heap_(vm::Reservation::reserve(heap_bytes)),
+      // Worst case is one metadata record per heap page (~heap/32 bytes);
+      // reserve heap/16 of VA — committed only as used.
+      meta_pool_(heap_bytes / 16),
+      default_hooks_(&heap_),
+      hooks_(&default_hooks_),
+      decay_ms_(decay_ms)
+{
+    const std::size_t heap_pages = heap_.size() >> vm::kPageShift;
+    page_map_space_ =
+        vm::Reservation::reserve(heap_pages * sizeof(ExtentMeta*));
+    page_map_space_.commit(page_map_space_.base(), page_map_space_.size());
+    page_map_ = reinterpret_cast<ExtentMeta**>(page_map_space_.base());
+    bump_ = heap_.base();
+}
+
+ExtentAllocator::~ExtentAllocator() = default;
+
+ExtentHooks*
+ExtentAllocator::set_hooks(ExtentHooks* hooks)
+{
+    std::lock_guard<SpinLock> g(lock_);
+    ExtentHooks* old = hooks_;
+    hooks_ = hooks != nullptr ? hooks : &default_hooks_;
+    return old;
+}
+
+unsigned
+ExtentAllocator::bucket_for(std::size_t pages)
+{
+    MSW_DCHECK(pages >= 1);
+    if (pages <= kExactBuckets)
+        return static_cast<unsigned>(pages - 1);
+    const unsigned lg = log2_floor(pages);  // >= 6
+    const unsigned idx = kExactBuckets + (lg - 6);
+    return idx < kNumBuckets ? idx : kNumBuckets - 1;
+}
+
+std::size_t
+ExtentAllocator::page_index(std::uintptr_t addr) const
+{
+    MSW_DCHECK(heap_.contains(addr));
+    return (addr - heap_.base()) >> vm::kPageShift;
+}
+
+void
+ExtentAllocator::map_extent(ExtentMeta* e)
+{
+    const std::size_t first = page_index(e->base);
+    for (std::size_t i = 0; i < e->pages; ++i)
+        __atomic_store_n(&page_map_[first + i], e, __ATOMIC_RELAXED);
+}
+
+void
+ExtentAllocator::unmap_extent_range(ExtentMeta* e)
+{
+    const std::size_t first = page_index(e->base);
+    for (std::size_t i = 0; i < e->pages; ++i)
+        __atomic_store_n(&page_map_[first + i],
+                         static_cast<ExtentMeta*>(nullptr),
+                         __ATOMIC_RELAXED);
+}
+
+void
+ExtentAllocator::mark_free_boundaries(ExtentMeta* e)
+{
+    const std::size_t first = page_index(e->base);
+    __atomic_store_n(&page_map_[first], e, __ATOMIC_RELAXED);
+    __atomic_store_n(&page_map_[first + e->pages - 1], e, __ATOMIC_RELAXED);
+}
+
+void
+ExtentAllocator::insert_free(ExtentMeta* e)
+{
+    e->kind = ExtentKind::kFree;
+    e->freed_at_ms = monotonic_ms();
+    free_buckets_[bucket_for(e->pages)].push_front(e);
+    mark_free_boundaries(e);
+}
+
+void
+ExtentAllocator::remove_free(ExtentMeta* e)
+{
+    free_buckets_[bucket_for(e->pages)].remove(e);
+}
+
+void
+ExtentAllocator::ensure_committed(ExtentMeta* e)
+{
+    if (!e->committed) {
+        hooks_->commit(e->base, e->bytes());
+        e->committed = true;
+        committed_bytes_ += e->bytes();
+    }
+}
+
+void
+ExtentAllocator::purge_extent(ExtentMeta* e)
+{
+    MSW_DCHECK(e->kind == ExtentKind::kFree);
+    if (e->committed) {
+        hooks_->purge(e->base, e->bytes());
+        e->committed = false;
+        MSW_DCHECK(committed_bytes_ >= e->bytes());
+        committed_bytes_ -= e->bytes();
+        ++purge_count_;
+    }
+}
+
+ExtentMeta*
+ExtentAllocator::take_free_extent(std::size_t pages, std::size_t align_pages)
+{
+    const std::size_t align_bytes = align_pages << vm::kPageShift;
+    const std::size_t want_bytes = pages << vm::kPageShift;
+    for (unsigned b = bucket_for(pages); b < kNumBuckets; ++b) {
+        for (ExtentMeta* e = free_buckets_[b].head(); e != nullptr;
+             e = e->next) {
+            const std::uintptr_t aligned =
+                align_up(e->base, align_bytes);
+            if (aligned + want_bytes > e->end())
+                continue;
+            // Found a fit: remove, then split off leading/trailing slack.
+            free_buckets_[b].remove(e);
+            unmap_extent_range(e);
+            if (aligned > e->base) {
+                ExtentMeta* head = meta_pool_.alloc();
+                head->base = e->base;
+                head->pages = (aligned - e->base) >> vm::kPageShift;
+                // committed_bytes_ is unchanged by splits: both pieces
+                // inherit the committed state.
+                head->committed = e->committed;
+                insert_free(head);
+                e->base = aligned;
+                e->pages -= head->pages;
+            }
+            if (e->pages > pages) {
+                ExtentMeta* tail = meta_pool_.alloc();
+                tail->base = e->base + want_bytes;
+                tail->pages = e->pages - pages;
+                tail->committed = e->committed;
+                insert_free(tail);
+                e->pages = pages;
+            }
+            return e;
+        }
+    }
+    return nullptr;
+}
+
+ExtentMeta*
+ExtentAllocator::alloc_extent(std::size_t pages, ExtentKind kind,
+                              std::size_t align_pages)
+{
+    MSW_CHECK(pages >= 1);
+    MSW_CHECK(kind != ExtentKind::kFree);
+    MSW_DCHECK(is_pow2(align_pages));
+
+    std::lock_guard<SpinLock> g(lock_);
+    ExtentMeta* e = take_free_extent(pages, align_pages);
+    if (e == nullptr) {
+        // Extend the bump frontier.
+        const std::size_t align_bytes = align_pages << vm::kPageShift;
+        const std::uintptr_t aligned = align_up(bump_, align_bytes);
+        const std::size_t want_bytes = pages << vm::kPageShift;
+        if (aligned + want_bytes > heap_.end()) {
+            fatal("heap reservation exhausted (%zu MiB): cannot allocate "
+                  "%zu pages",
+                  heap_.size() >> 20, pages);
+        }
+        if (aligned > bump_) {
+            // Turn the alignment gap into a free extent so it is reusable.
+            ExtentMeta* gap = meta_pool_.alloc();
+            gap->base = bump_;
+            gap->pages = (aligned - bump_) >> vm::kPageShift;
+            gap->committed = false;
+            insert_free(gap);
+        }
+        e = meta_pool_.alloc();
+        e->base = aligned;
+        e->pages = pages;
+        e->committed = false;
+        bump_ = aligned + want_bytes;
+        frontier_pages_ = (bump_ - heap_.base()) >> vm::kPageShift;
+    }
+    e->kind = kind;
+    e->prev = nullptr;
+    e->next = nullptr;
+    e->used_slots = 0;
+    e->large_size = 0;
+    ensure_committed(e);
+    map_extent(e);
+    active_bytes_ += e->bytes();
+    return e;
+}
+
+void
+ExtentAllocator::free_extent(ExtentMeta* e)
+{
+    std::lock_guard<SpinLock> g(lock_);
+    MSW_DCHECK(e->kind != ExtentKind::kFree);
+    MSW_DCHECK(active_bytes_ >= e->bytes());
+    active_bytes_ -= e->bytes();
+    unmap_extent_range(e);
+    e->kind = ExtentKind::kFree;
+
+    // Coalesce with free neighbours of the same committed state. Mixed
+    // states are left unmerged: committing a purged neighbour would make
+    // sweeps fault its pages back in, and purging a hot committed extent
+    // would defeat decay. The post-purge pass merges them later.
+    const std::size_t first = page_index(e->base);
+    if (first > 0) {
+        ExtentMeta* left = page_map_[first - 1];
+        if (left != nullptr && left->kind == ExtentKind::kFree &&
+            left->committed == e->committed) {
+            remove_free(left);
+            unmap_extent_range(left);  // clears its two boundary entries
+            e->base = left->base;
+            e->pages += left->pages;
+            meta_pool_.free(left);
+        }
+    }
+    const std::size_t last_next = page_index(e->base) + e->pages;
+    if (last_next < frontier_pages_) {
+        ExtentMeta* right = page_map_[last_next];
+        if (right != nullptr && right->kind == ExtentKind::kFree &&
+            right->committed == e->committed) {
+            remove_free(right);
+            unmap_extent_range(right);
+            e->pages += right->pages;
+            meta_pool_.free(right);
+        }
+    }
+    insert_free(e);
+
+    if (decay_ms_ != 0) {
+        const std::uint64_t now = monotonic_ms();
+        if (now - last_decay_check_ms_ >= 250) {
+            last_decay_check_ms_ = now;
+            decay_pass_locked(now);
+        }
+    }
+}
+
+ExtentMeta*
+ExtentAllocator::lookup(std::uintptr_t addr) const
+{
+    if (!heap_.contains(addr))
+        return nullptr;
+    std::lock_guard<SpinLock> g(lock_);
+    ExtentMeta* e = page_map_[page_index(addr)];
+    if (e == nullptr || e->kind == ExtentKind::kFree)
+        return nullptr;
+    MSW_DCHECK(addr >= e->base && addr < e->end());
+    return e;
+}
+
+void
+ExtentAllocator::decay_tick()
+{
+    std::lock_guard<SpinLock> g(lock_);
+    decay_pass_locked(monotonic_ms());
+}
+
+void
+ExtentAllocator::purge_all()
+{
+    std::lock_guard<SpinLock> g(lock_);
+    decay_pass_locked(UINT64_MAX);
+}
+
+void
+ExtentAllocator::decay_pass_locked(std::uint64_t now)
+{
+    // Purge committed free extents past the decay deadline, merging
+    // newly-purged extents with purged neighbours as we go.
+    for (unsigned b = 0; b < kNumBuckets; ++b) {
+        ExtentMeta* e = free_buckets_[b].head();
+        while (e != nullptr) {
+            ExtentMeta* next = e->next;
+            if (e->committed &&
+                (now == UINT64_MAX || now - e->freed_at_ms >= decay_ms_)) {
+                purge_extent(e);
+                // Merge with purged free neighbours.
+                const std::size_t first = page_index(e->base);
+                if (first > 0) {
+                    ExtentMeta* left = page_map_[first - 1];
+                    if (left != nullptr && left != e &&
+                        left->kind == ExtentKind::kFree && !left->committed) {
+                        if (next == left)
+                            next = left->next;
+                        remove_free(left);
+                        remove_free(e);
+                        unmap_extent_range(left);
+                        unmap_extent_range(e);
+                        e->base = left->base;
+                        e->pages += left->pages;
+                        meta_pool_.free(left);
+                        insert_free(e);
+                    }
+                }
+                const std::size_t after = page_index(e->base) + e->pages;
+                if (after < frontier_pages_) {
+                    ExtentMeta* right = page_map_[after];
+                    if (right != nullptr && right != e &&
+                        right->kind == ExtentKind::kFree &&
+                        !right->committed) {
+                        if (next == right)
+                            next = right->next;
+                        remove_free(right);
+                        remove_free(e);
+                        unmap_extent_range(right);
+                        unmap_extent_range(e);
+                        e->pages += right->pages;
+                        meta_pool_.free(right);
+                        insert_free(e);
+                    }
+                }
+            }
+            e = next;
+        }
+    }
+}
+
+ExtentStats
+ExtentAllocator::stats() const
+{
+    std::lock_guard<SpinLock> g(lock_);
+    ExtentStats s;
+    s.committed_bytes = committed_bytes_;
+    s.active_bytes = active_bytes_;
+    s.mapped_frontier = bump_ - heap_.base();
+    s.metadata_bytes =
+        meta_pool_.committed_bytes() + page_map_space_.size();
+    s.purges = purge_count_;
+    return s;
+}
+
+}  // namespace msw::alloc

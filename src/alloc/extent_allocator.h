@@ -1,0 +1,201 @@
+/**
+ * @file
+ * The extent allocator: manages the heap reservation at page granularity.
+ *
+ * Responsibilities:
+ *  - hand out page-aligned extents (for slabs and large allocations),
+ *    reusing free extents (first-fit within size-bucketed free lists,
+ *    splitting oversized ones) before extending the bump frontier;
+ *  - coalesce freed extents with free neighbours;
+ *  - maintain the page map (page index -> ExtentMeta*) used for interior
+ *    pointer lookup;
+ *  - decay-purge free extents through the ExtentHooks (jemalloc's ~10 s
+ *    decay, which MineSweeper retargets to "full purge after every sweep",
+ *    paper §4.5).
+ *
+ * All free-list state is intrusive (inside ExtentMeta), so this layer
+ * performs no internal malloc — a requirement for the LD_PRELOAD shim.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "util/spin_lock.h"
+#include "vm/vm.h"
+
+#include "alloc/extent.h"
+#include "alloc/hooks.h"
+
+namespace msw::alloc {
+
+/** Aggregate extent-allocator statistics (bytes). */
+struct ExtentStats {
+    std::size_t committed_bytes = 0;  ///< Pages with physical backing.
+    std::size_t active_bytes = 0;     ///< Pages inside live extents.
+    std::size_t mapped_frontier = 0;  ///< High-water of the bump pointer.
+    std::size_t metadata_bytes = 0;   ///< Out-of-line metadata committed.
+    std::uint64_t purges = 0;         ///< purge() hook invocations.
+};
+
+class ExtentAllocator
+{
+  public:
+    /**
+     * @param heap_bytes      Virtual address space to reserve for the heap.
+     * @param decay_ms        Age after which free extents are purged
+     *                        (0 disables decay purging).
+     */
+    explicit ExtentAllocator(std::size_t heap_bytes,
+                             std::uint64_t decay_ms = 10000);
+    ~ExtentAllocator();
+
+    ExtentAllocator(const ExtentAllocator&) = delete;
+    ExtentAllocator& operator=(const ExtentAllocator&) = delete;
+
+    /**
+     * Install custom hooks (must outlive the allocator). Call before any
+     * allocation. Returns the previously installed hooks.
+     */
+    ExtentHooks* set_hooks(ExtentHooks* hooks);
+
+    /**
+     * Allocate an extent of exactly @p pages pages, committed and
+     * registered in the page map. @p kind must be kSlab or kLarge; the
+     * caller fills in kind-specific fields. If @p align_pages > 1 the
+     * extent base is aligned to that many pages.
+     */
+    ExtentMeta* alloc_extent(std::size_t pages, ExtentKind kind,
+                             std::size_t align_pages = 1);
+
+    /** Return an extent; coalesces with free neighbours. */
+    void free_extent(ExtentMeta* e);
+
+    /**
+     * Look up the extent containing @p addr. Returns nullptr for addresses
+     * outside any active extent (free ranges, never-allocated space, or
+     * outside the reservation).
+     */
+    ExtentMeta* lookup(std::uintptr_t addr) const;
+
+    /**
+     * Lock-free lookup for addresses the caller *knows* are inside a live
+     * allocation (the page-map entry for an extent holding a live object
+     * cannot change concurrently). Used on the free() fast path.
+     */
+    ExtentMeta*
+    lookup_live(std::uintptr_t addr) const
+    {
+        MSW_DCHECK(heap_.contains(addr));
+        ExtentMeta* e = __atomic_load_n(&page_map_[page_index(addr)],
+                                        __ATOMIC_RELAXED);
+        MSW_DCHECK(e != nullptr && e->kind != ExtentKind::kFree);
+        return e;
+    }
+
+    /**
+     * Raw racy page-map read (no validation at all). Callers must treat
+     * every field of the result as untrusted; see
+     * JadeAllocator::lookup_relaxed.
+     */
+    ExtentMeta*
+    peek_page_map(std::uintptr_t addr) const
+    {
+        MSW_DCHECK(heap_.contains(addr));
+        return __atomic_load_n(&page_map_[page_index(addr)],
+                               __ATOMIC_RELAXED);
+    }
+
+    /** True if @p addr lies within the heap reservation. */
+    bool
+    contains(std::uintptr_t addr) const
+    {
+        return heap_.contains(addr);
+    }
+
+    const vm::Reservation& reservation() const { return heap_; }
+
+    /** Out-of-line metadata regions (for scan exclusion lists). */
+    const vm::Reservation& meta_reservation() const
+    {
+        return meta_pool_.reservation();
+    }
+    const vm::Reservation& page_map_reservation() const
+    {
+        return page_map_space_;
+    }
+
+    /** Purge free extents older than the decay deadline. */
+    void decay_tick();
+
+    /** Purge every committed free extent immediately (post-sweep purge). */
+    void purge_all();
+
+    ExtentStats stats() const;
+
+    /**
+     * Invoke @p fn(base, bytes) for every active (slab or large) extent.
+     * Takes the extent lock; @p fn must not reenter the allocator.
+     */
+    template <typename Fn>
+    void
+    for_each_active_extent(Fn&& fn) const
+    {
+        std::lock_guard<SpinLock> g(lock_);
+        for (std::size_t page = 0; page < frontier_pages_;) {
+            ExtentMeta* e = page_map_[page];
+            if (e != nullptr && e->kind != ExtentKind::kFree) {
+                fn(e->base, e->bytes());
+                page += e->pages;
+            } else {
+                page += e != nullptr ? e->pages : 1;
+            }
+        }
+    }
+
+  private:
+    // Free-list buckets: exact-size buckets for 1..kExactBuckets pages,
+    // then one bucket per power of two.
+    static constexpr unsigned kExactBuckets = 64;
+    static constexpr unsigned kNumBuckets = kExactBuckets + 24;
+
+    static unsigned bucket_for(std::size_t pages);
+
+    // All private helpers expect lock_ held.
+    ExtentMeta* take_free_extent(std::size_t pages, std::size_t align_pages);
+    void insert_free(ExtentMeta* e);
+    void remove_free(ExtentMeta* e);
+    void map_extent(ExtentMeta* e);
+    void unmap_extent_range(ExtentMeta* e);
+    void mark_free_boundaries(ExtentMeta* e);
+    void ensure_committed(ExtentMeta* e);
+    void purge_extent(ExtentMeta* e);
+    void decay_pass_locked(std::uint64_t now);
+
+    std::size_t page_index(std::uintptr_t addr) const;
+
+    vm::Reservation heap_;
+    MetaPool meta_pool_;
+    ExtentHooks default_hooks_;
+    ExtentHooks* hooks_;
+
+    mutable SpinLock lock_;
+    ExtentList free_buckets_[kNumBuckets];
+    ExtentMeta** page_map_ = nullptr;  // One entry per heap page.
+    vm::Reservation page_map_space_;
+    std::uintptr_t bump_ = 0;
+    std::size_t frontier_pages_ = 0;
+
+    std::uint64_t decay_ms_;
+    std::uint64_t last_decay_check_ms_ = 0;
+
+    std::size_t committed_bytes_ = 0;
+    std::size_t active_bytes_ = 0;
+    std::uint64_t purge_count_ = 0;
+};
+
+/** Monotonic milliseconds used for decay timestamps. */
+std::uint64_t monotonic_ms();
+
+}  // namespace msw::alloc

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Extent hooks: the allocator's interface to physical-memory management.
+ *
+ * This reproduces jemalloc's extent_hooks API surface as used by the paper
+ * (§4.5): the allocator calls commit() before handing out pages and purge()
+ * when it wants to release the physical memory behind free extents.
+ *
+ * The default hooks implement jemalloc's stock behaviour: purge is
+ * MADV_DONTNEED with the pages left accessible (they refault as zero
+ * pages). MineSweeper installs its own hooks that instead *decommit*
+ * (discard + PROT_NONE) and track the committed-page bitmap, so sweeps can
+ * skip purged pages instead of faulting them back in.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "vm/vm.h"
+
+namespace msw::alloc {
+
+/** Physical-memory operations invoked by the extent allocator. */
+class ExtentHooks
+{
+  public:
+    explicit ExtentHooks(const vm::Reservation* heap) : heap_(heap) {}
+    virtual ~ExtentHooks() = default;
+
+    /**
+     * Make [addr, addr+len) readable and writable. Called before an extent
+     * is handed out if it is not already committed. Pages previously purged
+     * reappear zero-filled.
+     */
+    virtual void
+    commit(std::uintptr_t addr, std::size_t len)
+    {
+        heap_->protect_rw(addr, len);
+    }
+
+    /**
+     * Release the physical memory behind [addr, addr+len). The stock
+     * behaviour keeps the range accessible (demand-zero on next touch),
+     * like jemalloc's madvise purging.
+     */
+    virtual void
+    purge(std::uintptr_t addr, std::size_t len)
+    {
+        heap_->purge_keep_accessible(addr, len);
+    }
+
+  protected:
+    const vm::Reservation* heap_;
+};
+
+}  // namespace msw::alloc

@@ -1,0 +1,455 @@
+#include "alloc/jade_allocator.h"
+
+#include <sys/mman.h>
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <new>
+
+#include "util/bits.h"
+#include "util/check.h"
+#include "util/log.h"
+#include "util/spin_lock.h"
+
+namespace msw::alloc {
+
+namespace {
+
+/** mmap-backed anonymous allocation (no malloc dependency). */
+void*
+os_alloc(std::size_t bytes)
+{
+    void* p = ::mmap(nullptr, align_up(bytes, vm::kPageSize),
+                     PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1,
+                     0);
+    MSW_CHECK(p != MAP_FAILED);
+    return p;
+}
+
+void
+os_free(void* p, std::size_t bytes)
+{
+    ::munmap(p, align_up(bytes, vm::kPageSize));
+}
+
+/** Per-class thread-cache capacity: smaller caches for bigger objects. */
+unsigned
+shard_cap(unsigned cls)
+{
+    const std::size_t size = class_size(cls);
+    if (size <= 256)
+        return 32;
+    if (size <= 1024)
+        return 16;
+    if (size <= 4096)
+        return 8;
+    return 4;
+}
+
+/** Serialises tcache-registry operations across all JadeAllocators. */
+SpinLock g_tcache_registry_lock;
+
+}  // namespace
+
+struct JadeAllocator::Arena {
+    Bin* bins = nullptr;  // [num_classes_]
+};
+
+struct JadeAllocator::TCache {
+    static constexpr unsigned kMaxCap = 32;
+
+    struct Shard {
+        std::uint16_t count = 0;
+        void* objs[kMaxCap];
+    };
+
+    std::atomic<JadeAllocator*> owner{nullptr};
+    TCache* reg_prev = nullptr;
+    TCache* reg_next = nullptr;
+    std::uint8_t arena = 0;
+    std::size_t alloc_size = 0;  // os_alloc size, for os_free
+    Shard shards[1];             // [num_classes_], flexible
+
+    static std::size_t
+    bytes_for(unsigned num_classes)
+    {
+        return sizeof(TCache) + (num_classes - 1) * sizeof(Shard);
+    }
+};
+
+JadeAllocator::TCache* JadeAllocator::g_tcache_head = nullptr;
+
+JadeAllocator::JadeAllocator(const Options& opts)
+    : extents_(opts.heap_bytes, opts.decay_ms),
+      opts_(opts),
+      num_classes_(num_size_classes())
+{
+    MSW_CHECK(opts_.arenas >= 1 && opts_.arenas <= 64);
+    const std::size_t arena_bytes = sizeof(Arena) * opts_.arenas +
+                                    sizeof(Bin) * opts_.arenas * num_classes_;
+    char* mem = static_cast<char*>(os_alloc(arena_bytes));
+    arenas_ = reinterpret_cast<Arena*>(mem);
+    Bin* bins = reinterpret_cast<Bin*>(mem + sizeof(Arena) * opts_.arenas);
+    for (unsigned a = 0; a < opts_.arenas; ++a) {
+        new (&arenas_[a]) Arena();
+        arenas_[a].bins = bins + a * num_classes_;
+        for (unsigned c = 0; c < num_classes_; ++c) {
+            new (&arenas_[a].bins[c]) Bin();
+            arenas_[a].bins[c].init(&extents_, c,
+                                    static_cast<std::uint8_t>(a));
+        }
+    }
+    MSW_CHECK(pthread_key_create(&tcache_key_, &tcache_destructor) == 0);
+}
+
+JadeAllocator::~JadeAllocator()
+{
+    // Flush and destroy this thread's cache, then orphan any caches that
+    // belong to other still-running threads: their exit callbacks will free
+    // the storage without touching this (dead) allocator.
+    flush();
+    {
+        std::lock_guard<SpinLock> g(g_tcache_registry_lock);
+        TCache* tc = g_tcache_head;
+        while (tc != nullptr) {
+            TCache* next = tc->reg_next;
+            if (tc->owner.load(std::memory_order_relaxed) == this) {
+                tc->owner.store(nullptr, std::memory_order_release);
+                if (tc->reg_prev != nullptr)
+                    tc->reg_prev->reg_next = tc->reg_next;
+                else
+                    g_tcache_head = tc->reg_next;
+                if (tc->reg_next != nullptr)
+                    tc->reg_next->reg_prev = tc->reg_prev;
+                tc->reg_prev = nullptr;
+                tc->reg_next = nullptr;
+            }
+            tc = next;
+        }
+    }
+    pthread_key_delete(tcache_key_);
+    const std::size_t arena_bytes = sizeof(Arena) * opts_.arenas +
+                                    sizeof(Bin) * opts_.arenas * num_classes_;
+    os_free(arenas_, arena_bytes);
+}
+
+Bin&
+JadeAllocator::bin_for(std::uint8_t arena, unsigned cls) const
+{
+    MSW_DCHECK(arena < opts_.arenas && cls < num_classes_);
+    return arenas_[arena].bins[cls];
+}
+
+unsigned
+JadeAllocator::arena_for_thread()
+{
+    return next_arena_.fetch_add(1, std::memory_order_relaxed) %
+           opts_.arenas;
+}
+
+JadeAllocator::TCache*
+JadeAllocator::make_tcache()
+{
+    const std::size_t bytes = TCache::bytes_for(num_classes_);
+    auto* tc = static_cast<TCache*>(os_alloc(bytes));
+    // os_alloc returns zeroed memory; set the non-zero fields.
+    tc->owner.store(this, std::memory_order_relaxed);
+    tc->arena = static_cast<std::uint8_t>(arena_for_thread());
+    tc->alloc_size = bytes;
+    {
+        std::lock_guard<SpinLock> g(g_tcache_registry_lock);
+        tc->reg_next = g_tcache_head;
+        if (g_tcache_head != nullptr)
+            g_tcache_head->reg_prev = tc;
+        g_tcache_head = tc;
+    }
+    pthread_setspecific(tcache_key_, tc);
+    return tc;
+}
+
+JadeAllocator::TCache*
+JadeAllocator::get_tcache()
+{
+    if (!opts_.enable_tcache)
+        return nullptr;
+    auto* tc = static_cast<TCache*>(pthread_getspecific(tcache_key_));
+    if (tc == nullptr)
+        tc = make_tcache();
+    return tc;
+}
+
+void
+JadeAllocator::tcache_destructor(void* arg)
+{
+    auto* tc = static_cast<TCache*>(arg);
+    if (tc->owner.load(std::memory_order_acquire) != nullptr) {
+        // Flush while holding the registry lock: the owning allocator's
+        // destructor also takes this lock before orphaning caches, so the
+        // allocator cannot be destroyed mid-flush.
+        std::lock_guard<SpinLock> g(g_tcache_registry_lock);
+        JadeAllocator* owner = tc->owner.load(std::memory_order_relaxed);
+        if (owner != nullptr) {
+            if (tc->reg_prev != nullptr)
+                tc->reg_prev->reg_next = tc->reg_next;
+            else
+                g_tcache_head = tc->reg_next;
+            if (tc->reg_next != nullptr)
+                tc->reg_next->reg_prev = tc->reg_prev;
+            for (unsigned c = 0; c < owner->num_classes_; ++c)
+                owner->flush_shard(tc, c, 0);
+        }
+    }
+    os_free(tc, tc->alloc_size);
+}
+
+void
+JadeAllocator::flush_shard(TCache* tc, unsigned cls, unsigned keep)
+{
+    TCache::Shard& shard = tc->shards[cls];
+    // Evict the oldest entries (bottom of the stack), keeping the most
+    // recently freed ones hot.
+    unsigned evict = shard.count > keep ? shard.count - keep : 0;
+    for (unsigned i = 0; i < evict; ++i) {
+        void* ptr = shard.objs[i];
+        ExtentMeta* meta = extents_.lookup_live(to_addr(ptr));
+        bin_for(meta->arena, cls).free_one(ptr, meta);
+    }
+    if (evict > 0 && shard.count > evict) {
+        std::memmove(&shard.objs[0], &shard.objs[evict],
+                     (shard.count - evict) * sizeof(void*));
+    }
+    shard.count = static_cast<std::uint16_t>(shard.count - evict);
+}
+
+void*
+JadeAllocator::alloc(std::size_t size)
+{
+    alloc_calls_.fetch_add(1, std::memory_order_relaxed);
+    if (size == 0)
+        size = 1;
+    if (size > kMaxSmallSize)
+        return alloc_large(size, 1);
+
+    const unsigned cls = size_to_class(size);
+    live_bytes_.fetch_add(class_size(cls), std::memory_order_relaxed);
+
+    TCache* tc = get_tcache();
+    if (tc != nullptr) {
+        TCache::Shard& shard = tc->shards[cls];
+        if (shard.count == 0) {
+            const unsigned fill = (shard_cap(cls) + 1) / 2;
+            shard.count = static_cast<std::uint16_t>(
+                bin_for(tc->arena, cls).alloc_batch(shard.objs, fill));
+        }
+        MSW_CHECK(shard.count > 0);
+        return shard.objs[--shard.count];
+    }
+    void* out = nullptr;
+    const unsigned got = bin_for(0, cls).alloc_batch(&out, 1);
+    MSW_CHECK(got == 1);
+    return out;
+}
+
+void*
+JadeAllocator::alloc_large(std::size_t size, std::size_t align_pages)
+{
+    const std::size_t pages = vm::pages_for(size);
+    ExtentMeta* e =
+        extents_.alloc_extent(pages, ExtentKind::kLarge, align_pages);
+    e->large_size = size;
+    live_bytes_.fetch_add(e->bytes(), std::memory_order_relaxed);
+    return to_ptr(e->base);
+}
+
+void
+JadeAllocator::free(void* ptr)
+{
+    if (ptr == nullptr)
+        return;
+    free_calls_.fetch_add(1, std::memory_order_relaxed);
+    ExtentMeta* meta = extents_.lookup_live(to_addr(ptr));
+    if (meta->kind == ExtentKind::kLarge) {
+        free_large(meta);
+        return;
+    }
+    MSW_DCHECK(meta->kind == ExtentKind::kSlab);
+    const unsigned cls = meta->cls;
+    live_bytes_.fetch_sub(class_size(cls), std::memory_order_relaxed);
+    TCache* tc = get_tcache();
+    if (tc != nullptr) {
+        TCache::Shard& shard = tc->shards[cls];
+        const unsigned cap = shard_cap(cls);
+        if (shard.count == cap)
+            flush_shard(tc, cls, cap / 2);
+        shard.objs[shard.count++] = ptr;
+        return;
+    }
+    bin_for(meta->arena, cls).free_one(ptr, meta);
+}
+
+void
+JadeAllocator::free_direct(void* ptr)
+{
+    if (ptr == nullptr)
+        return;
+    free_calls_.fetch_add(1, std::memory_order_relaxed);
+    ExtentMeta* meta = extents_.lookup_live(to_addr(ptr));
+    if (meta->kind == ExtentKind::kLarge) {
+        free_large(meta);
+        return;
+    }
+    live_bytes_.fetch_sub(class_size(meta->cls), std::memory_order_relaxed);
+    bin_for(meta->arena, meta->cls).free_one(ptr, meta);
+}
+
+void
+JadeAllocator::free_large(ExtentMeta* meta)
+{
+    live_bytes_.fetch_sub(meta->bytes(), std::memory_order_relaxed);
+    extents_.free_extent(meta);
+}
+
+std::size_t
+JadeAllocator::usable_size(const void* ptr) const
+{
+    ExtentMeta* meta = extents_.lookup_live(to_addr(ptr));
+    if (meta->kind == ExtentKind::kLarge)
+        return meta->bytes();
+    return class_size(meta->cls);
+}
+
+void*
+JadeAllocator::alloc_aligned(std::size_t alignment, std::size_t size)
+{
+    alloc_calls_.fetch_add(1, std::memory_order_relaxed);
+    if (size == 0)
+        size = 1;
+    if (alignment <= kGranule) {
+        alloc_calls_.fetch_sub(1, std::memory_order_relaxed);
+        return alloc(size);
+    }
+    MSW_CHECK(is_pow2(alignment));
+    if (size <= kMaxSmallSize && alignment <= vm::kPageSize) {
+        // Find a class that is both >= size and a multiple of the
+        // alignment: objects are placed at multiples of the class size in
+        // page-aligned slabs, so such a class guarantees alignment.
+        for (unsigned c = size_to_class(size); c < num_classes_; ++c) {
+            if (class_size(c) % alignment == 0) {
+                alloc_calls_.fetch_sub(1, std::memory_order_relaxed);
+                return alloc(class_size(c));
+            }
+        }
+    }
+    const std::size_t align_pages =
+        alignment <= vm::kPageSize ? 1 : alignment >> vm::kPageShift;
+    return alloc_large(size, align_pages);
+}
+
+void*
+JadeAllocator::realloc(void* ptr, std::size_t new_size)
+{
+    if (ptr == nullptr)
+        return alloc(new_size);
+    if (new_size == 0)
+        new_size = 1;
+    const std::size_t old_usable = usable_size(ptr);
+    if (new_size <= old_usable && new_size * 2 > old_usable)
+        return ptr;
+    void* fresh = alloc(new_size);
+    std::memcpy(fresh, ptr, old_usable < new_size ? old_usable : new_size);
+    free(ptr);
+    return fresh;
+}
+
+bool
+JadeAllocator::lookup_allocation(std::uintptr_t addr,
+                                 AllocationInfo* out) const
+{
+    ExtentMeta* e = extents_.lookup(addr);
+    if (e == nullptr)
+        return false;
+    if (e->kind == ExtentKind::kLarge) {
+        out->base = e->base;
+        out->usable = e->bytes();
+        out->live = true;
+        return true;
+    }
+    MSW_DCHECK(e->kind == ExtentKind::kSlab);
+    const std::size_t obj = class_size(e->cls);
+    const unsigned slot = static_cast<unsigned>((addr - e->base) / obj);
+    if (slot >= slab_slots(e->cls))
+        return false;  // Tail waste past the last object.
+    out->base = e->base + slot * obj;
+    out->usable = obj;
+    out->live = e->slot_allocated(slot);
+    return true;
+}
+
+bool
+JadeAllocator::lookup_relaxed(std::uintptr_t addr, AllocationInfo* out) const
+{
+    if (!extents_.contains(addr))
+        return false;
+    ExtentMeta* e = extents_.peek_page_map(addr);
+    if (e == nullptr)
+        return false;
+    // Validate a racy snapshot of the metadata: a concurrent free/reuse
+    // can hand us stale fields, so clamp everything before trusting it.
+    const ExtentKind kind = e->kind;
+    const std::uintptr_t base = e->base;
+    const std::size_t pages = e->pages;
+    if (kind == ExtentKind::kFree)
+        return false;
+    if (!extents_.contains(base) || pages == 0 ||
+        pages > (extents_.reservation().size() >> vm::kPageShift)) {
+        return false;
+    }
+    const std::uintptr_t end = base + (pages << vm::kPageShift);
+    if (addr < base || addr >= end)
+        return false;
+    if (kind == ExtentKind::kLarge) {
+        out->base = base;
+        out->usable = pages << vm::kPageShift;
+        out->live = true;
+        return true;
+    }
+    const std::uint16_t cls = e->cls;
+    if (cls >= num_classes_)
+        return false;
+    const std::size_t obj = class_size(cls);
+    const unsigned slot = static_cast<unsigned>((addr - base) / obj);
+    if (slot >= slab_slots(cls))
+        return false;
+    out->base = base + slot * obj;
+    out->usable = obj;
+    out->live = true;
+    return true;
+}
+
+void
+JadeAllocator::flush()
+{
+    if (!opts_.enable_tcache)
+        return;
+    auto* tc = static_cast<TCache*>(pthread_getspecific(tcache_key_));
+    if (tc == nullptr)
+        return;
+    for (unsigned c = 0; c < num_classes_; ++c)
+        flush_shard(tc, c, 0);
+}
+
+AllocatorStats
+JadeAllocator::stats() const
+{
+    const ExtentStats es = extents_.stats();
+    AllocatorStats s;
+    s.live_bytes = live_bytes_.load(std::memory_order_relaxed);
+    s.committed_bytes = es.committed_bytes;
+    s.metadata_bytes = es.metadata_bytes;
+    s.alloc_calls = alloc_calls_.load(std::memory_order_relaxed);
+    s.free_calls = free_calls_.load(std::memory_order_relaxed);
+    return s;
+}
+
+}  // namespace msw::alloc

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * JadeHeap: the jemalloc-style allocator substrate.
+ *
+ * This stands in for the paper's minimally-modified jemalloc. It provides
+ * the architectural properties MineSweeper depends on:
+ *  - contiguous heap reservation (the paper used sbrk-backed extents) so
+ *    "is this word a heap pointer" is a single range test;
+ *  - out-of-line metadata, immune to heap overwrites;
+ *  - size-class slab allocation with per-thread caches;
+ *  - an extent-hook API (commit/purge) MineSweeper overrides to implement
+ *    decommit/commit page tracking (paper §4.5);
+ *  - decay purging of free extents, plus purge_all() for the post-sweep
+ *    full purge.
+ *
+ * Thread-safety: fully thread-safe. Each thread gets a thread cache
+ * (mmap-backed, no internal malloc) flushed on thread exit.
+ */
+#pragma once
+
+#include <pthread.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "alloc/allocator.h"
+#include "alloc/bin.h"
+#include "alloc/extent_allocator.h"
+#include "alloc/size_classes.h"
+
+namespace msw::alloc {
+
+class JadeAllocator final : public Allocator
+{
+  public:
+    struct Options {
+        /** Virtual address space reserved for the heap. */
+        std::size_t heap_bytes = std::size_t{8} << 30;
+        /** Free-extent decay before purging (0 = never purge by decay). */
+        std::uint64_t decay_ms = 10000;
+        /** Number of arenas (bins are replicated per arena). */
+        unsigned arenas = 1;
+        /** Enable per-thread caches. */
+        bool enable_tcache = true;
+    };
+
+    JadeAllocator() : JadeAllocator(Options{}) {}
+    explicit JadeAllocator(const Options& opts);
+    ~JadeAllocator() override;
+
+    JadeAllocator(const JadeAllocator&) = delete;
+    JadeAllocator& operator=(const JadeAllocator&) = delete;
+
+    void* alloc(std::size_t size) override;
+    void free(void* ptr) override;
+    std::size_t usable_size(const void* ptr) const override;
+    void* alloc_aligned(std::size_t alignment, std::size_t size) override;
+    AllocatorStats stats() const override;
+    const char* name() const override { return "jade"; }
+
+    /** Flush the calling thread's cache back to the bins. */
+    void flush() override;
+
+    /**
+     * Free bypassing the thread cache. The quarantine release path uses
+     * this so recycled objects return to the shared bins rather than being
+     * stranded in the sweeper thread's cache.
+     */
+    void free_direct(void* ptr);
+
+    /** Resize in place when possible, else allocate/copy/free. */
+    void* realloc(void* ptr, std::size_t new_size) override;
+
+    /** True if @p addr lies inside the heap reservation. */
+    bool
+    contains(std::uintptr_t addr) const
+    {
+        return extents_.contains(addr);
+    }
+
+    const vm::Reservation&
+    reservation() const
+    {
+        return extents_.reservation();
+    }
+
+    /** Byte size + base of the allocation containing @p addr, if any. */
+    struct AllocationInfo {
+        std::uintptr_t base = 0;
+        std::size_t usable = 0;
+        /** True if the slot/extent is currently allocated. */
+        bool live = false;
+    };
+
+    /**
+     * Conservative interior-pointer lookup: resolves @p addr to the
+     * allocation (live or not) containing it. Returns false for addresses
+     * in free space or outside the heap. Thread-safe (takes the extent
+     * lock); used by the MarkUs marking pass.
+     */
+    bool lookup_allocation(std::uintptr_t addr, AllocationInfo* out) const;
+
+    /**
+     * Lock-free variant of lookup_allocation for concurrent conservative
+     * marking. Tolerates races with extent churn by validating the
+     * metadata it reads; may return a stale (but range-plausible)
+     * allocation, which over-approximates marking — safe, never unsafe.
+     */
+    bool lookup_relaxed(std::uintptr_t addr, AllocationInfo* out) const;
+
+    /** Access to the extent layer (hook installation, purging). */
+    ExtentAllocator& extents() { return extents_; }
+    const ExtentAllocator& extents() const { return extents_; }
+
+    /** Purge all free extents now (MineSweeper's post-sweep purge). */
+    void
+    purge_all()
+    {
+        extents_.purge_all();
+    }
+
+    std::size_t
+    live_bytes() const
+    {
+        return live_bytes_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct TCache;
+    struct Arena;
+
+    TCache* get_tcache();
+    TCache* make_tcache();
+    void flush_shard(TCache* tc, unsigned cls, unsigned keep);
+    void free_small(void* ptr, ExtentMeta* meta);
+    void free_large(ExtentMeta* meta);
+    Bin& bin_for(std::uint8_t arena, unsigned cls) const;
+    unsigned arena_for_thread();
+    static void tcache_destructor(void* arg);
+
+    void* alloc_large(std::size_t size, std::size_t align_pages);
+
+    /** Head of the global registry of live thread caches. */
+    static TCache* g_tcache_head;
+
+    ExtentAllocator extents_;
+    Options opts_;
+    unsigned num_classes_;
+    Arena* arenas_ = nullptr;  // [opts_.arenas], internally allocated
+    pthread_key_t tcache_key_{};
+
+    std::atomic<std::size_t> live_bytes_{0};
+    std::atomic<std::uint64_t> alloc_calls_{0};
+    std::atomic<std::uint64_t> free_calls_{0};
+    std::atomic<unsigned> next_arena_{0};
+};
+
+}  // namespace msw::alloc

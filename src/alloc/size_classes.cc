@@ -1,0 +1,138 @@
+#include "alloc/size_classes.h"
+
+#include <array>
+
+#include "util/bits.h"
+#include "util/check.h"
+#include "vm/vm.h"
+
+namespace msw::alloc {
+
+namespace {
+
+/** All class metadata is computed once at startup into flat tables. */
+struct Tables {
+    // Class sizes.
+    std::array<std::size_t, 64> size{};
+    // (size/16 - 1) -> class index, for every granule-multiple size.
+    std::array<std::uint16_t, kMaxSmallSize / kGranule> lookup{};
+    std::array<std::uint8_t, 64> pages{};
+    std::array<std::uint16_t, 64> slots{};
+    unsigned count = 0;
+
+    Tables()
+    {
+        build_sizes();
+        build_lookup();
+        build_slabs();
+    }
+
+    void
+    build_sizes()
+    {
+        // One class per granule up to 128 B.
+        std::size_t s = kGranule;
+        while (s <= 128) {
+            size[count++] = s;
+            s += kGranule;
+        }
+        // Then jemalloc spacing: four classes per doubling.
+        std::size_t group_base = 128;
+        while (group_base < kMaxSmallSize) {
+            const std::size_t step = group_base / 4;
+            for (int i = 1; i <= 4; ++i) {
+                const std::size_t cls_size = group_base + step * i;
+                if (cls_size > kMaxSmallSize)
+                    return;
+                size[count++] = cls_size;
+            }
+            group_base *= 2;
+        }
+    }
+
+    void
+    build_lookup()
+    {
+        unsigned cls = 0;
+        for (unsigned g = 0; g < lookup.size(); ++g) {
+            const std::size_t sz = (g + 1) * kGranule;
+            while (size[cls] < sz)
+                ++cls;
+            lookup[g] = static_cast<std::uint16_t>(cls);
+        }
+    }
+
+    void
+    build_slabs()
+    {
+        for (unsigned c = 0; c < count; ++c) {
+            const std::size_t obj = size[c];
+            unsigned best_pages = 1;
+            std::size_t best_waste = vm::kPageSize;
+            for (unsigned p = 1; p <= 16; ++p) {
+                const std::size_t bytes = p * vm::kPageSize;
+                const std::size_t n = bytes / obj;
+                if (n == 0 || n > kMaxSlabSlots)
+                    continue;
+                const std::size_t waste = (bytes % obj) * 16 / p;
+                // Prefer low normalised waste; stop early on exact fits.
+                if (waste < best_waste) {
+                    best_waste = waste;
+                    best_pages = p;
+                    if (waste == 0)
+                        break;
+                }
+            }
+            pages[c] = static_cast<std::uint8_t>(best_pages);
+            slots[c] = static_cast<std::uint16_t>(best_pages * vm::kPageSize /
+                                                  obj);
+            MSW_CHECK(slots[c] >= 1 && slots[c] <= kMaxSlabSlots);
+        }
+    }
+};
+
+const Tables&
+tables()
+{
+    static const Tables t;
+    return t;
+}
+
+}  // namespace
+
+unsigned
+num_size_classes()
+{
+    return tables().count;
+}
+
+std::size_t
+class_size(unsigned cls)
+{
+    MSW_DCHECK(cls < tables().count);
+    return tables().size[cls];
+}
+
+unsigned
+size_to_class(std::size_t size)
+{
+    MSW_DCHECK(size >= 1 && size <= kMaxSmallSize);
+    const unsigned g = static_cast<unsigned>((size - 1) / kGranule);
+    return tables().lookup[g];
+}
+
+unsigned
+slab_pages(unsigned cls)
+{
+    MSW_DCHECK(cls < tables().count);
+    return tables().pages[cls];
+}
+
+unsigned
+slab_slots(unsigned cls)
+{
+    MSW_DCHECK(cls < tables().count);
+    return tables().slots[cls];
+}
+
+}  // namespace msw::alloc

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * jemalloc-style size classes for JadeHeap.
+ *
+ * Small allocations are rounded up to one of a fixed set of classes spaced
+ * like jemalloc's: one class per 16 B granule up to 128 B, then groups of
+ * four classes per power-of-two size doubling, up to kMaxSmallSize. Larger
+ * requests become page-granular "large" extents.
+ *
+ * The 16 B granule is the paper's 128-bit allocation granule: the shadow
+ * map keeps exactly one mark bit per granule, which is what makes one bit
+ * sufficient to distinguish any two allocations (paper §3.2).
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace msw::alloc {
+
+/** Smallest allocation granule (bytes); also the minimum alignment. */
+inline constexpr std::size_t kGranule = 16;
+
+/** Largest size served from slab bins; beyond this, large extents. */
+inline constexpr std::size_t kMaxSmallSize = 14336;
+
+/** Number of small size classes. */
+unsigned num_size_classes();
+
+/** Object size of class @p cls (16 <= size <= kMaxSmallSize). */
+std::size_t class_size(unsigned cls);
+
+/**
+ * Smallest class whose size is >= @p size. @p size must be in
+ * [1, kMaxSmallSize].
+ */
+unsigned size_to_class(std::size_t size);
+
+/** Pages per slab for class @p cls (chosen to bound per-slab waste). */
+unsigned slab_pages(unsigned cls);
+
+/** Objects per slab for class @p cls (always <= kMaxSlabSlots). */
+unsigned slab_slots(unsigned cls);
+
+/** Upper bound on slots in any slab (sizes the per-slab bitmap). */
+inline constexpr unsigned kMaxSlabSlots = 512;
+
+}  // namespace msw::alloc

@@ -1,0 +1,273 @@
+#include "baselines/ffmalloc.h"
+
+#include <cstring>
+#include <mutex>
+
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace msw::baseline {
+
+using alloc::class_size;
+using alloc::num_size_classes;
+using alloc::size_to_class;
+
+namespace {
+
+constexpr std::uint8_t kOpen = 0;
+constexpr std::uint8_t kSealed = 1;
+constexpr std::uint8_t kDecommitted = 2;
+
+}  // namespace
+
+FFMalloc::FFMalloc(const Options& opts)
+    : space_(vm::Reservation::reserve(opts.va_bytes)),
+      num_classes_(num_size_classes())
+{
+    const std::size_t pages = space_.size() >> vm::kPageShift;
+    info_space_ = vm::Reservation::reserve(pages * sizeof(std::uint32_t));
+    info_space_.commit(info_space_.base(), info_space_.size());
+    page_info_ = reinterpret_cast<std::uint32_t*>(info_space_.base());
+
+    live_space_ = vm::Reservation::reserve(
+        pages * (sizeof(std::uint16_t) + sizeof(std::uint8_t)));
+    live_space_.commit(live_space_.base(), live_space_.size());
+    page_live_ = reinterpret_cast<std::atomic<std::uint16_t>*>(
+        live_space_.base());
+    page_sealed_ = reinterpret_cast<std::atomic<std::uint8_t>*>(
+        live_space_.base() + pages * sizeof(std::uint16_t));
+
+    frontier_ = space_.base();
+    pools_ = new Pool[num_classes_];
+}
+
+FFMalloc::~FFMalloc()
+{
+    delete[] pools_;
+}
+
+std::size_t
+FFMalloc::frontier_bytes() const
+{
+    return frontier_ - space_.base();
+}
+
+std::uintptr_t
+FFMalloc::grab_span(std::size_t bytes, std::size_t align_bytes)
+{
+    std::lock_guard<SpinLock> g(frontier_lock_);
+    const std::uintptr_t addr = align_up(frontier_, align_bytes);
+    if (addr + bytes > space_.end()) {
+        fatal("ffmalloc: virtual address space exhausted (%zu MiB)",
+              space_.size() >> 20);
+    }
+    // Alignment-gap pages are dead forever; they were never committed, so
+    // sealing them costs nothing.
+    for (std::uintptr_t p = frontier_; p < addr; p += vm::kPageSize)
+        page_sealed_[page_index(p)].store(kDecommitted,
+                                          std::memory_order_relaxed);
+    frontier_ = addr + bytes;
+    space_.commit(addr, bytes);
+    committed_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    return addr;
+}
+
+void
+FFMalloc::seal_and_maybe_decommit(std::uintptr_t page_addr)
+{
+    const std::size_t idx = page_index(page_addr);
+    std::uint8_t expected = kOpen;
+    if (!page_sealed_[idx].compare_exchange_strong(
+            expected, kSealed, std::memory_order_acq_rel)) {
+        return;  // already sealed or decommitted
+    }
+    if (page_live_[idx].load(std::memory_order_acquire) == 0) {
+        expected = kSealed;
+        if (page_sealed_[idx].compare_exchange_strong(
+                expected, kDecommitted, std::memory_order_acq_rel)) {
+            space_.decommit(page_addr, vm::kPageSize);
+            committed_bytes_.fetch_sub(vm::kPageSize,
+                                       std::memory_order_relaxed);
+        }
+    }
+}
+
+void
+FFMalloc::on_object_freed(std::uintptr_t base, std::size_t usable)
+{
+    const std::uintptr_t first = align_down(base, vm::kPageSize);
+    const std::uintptr_t last =
+        align_down(base + usable - 1, vm::kPageSize);
+    for (std::uintptr_t p = first; p <= last; p += vm::kPageSize) {
+        const std::size_t idx = page_index(p);
+        const std::uint16_t prev =
+            page_live_[idx].fetch_sub(1, std::memory_order_acq_rel);
+        MSW_CHECK(prev != 0);
+        if (prev == 1) {
+            // Page is empty: decommit if no future allocation can land on
+            // it (sealed).
+            std::uint8_t expected = kSealed;
+            if (page_sealed_[idx].compare_exchange_strong(
+                    expected, kDecommitted, std::memory_order_acq_rel)) {
+                space_.decommit(p, vm::kPageSize);
+                committed_bytes_.fetch_sub(vm::kPageSize,
+                                           std::memory_order_relaxed);
+            }
+        }
+    }
+}
+
+void
+FFMalloc::refill_pool(unsigned cls)
+{
+    Pool& pool = pools_[cls];
+    // Retire the old span: every fully-consumed or skipped page is sealed.
+    if (pool.end != 0) {
+        for (std::uintptr_t p = align_down(pool.bump, vm::kPageSize);
+             p < pool.end; p += vm::kPageSize) {
+            seal_and_maybe_decommit(p);
+        }
+    }
+    const std::uintptr_t span = grab_span(kPoolBytes, vm::kPageSize);
+    for (std::uintptr_t p = span; p < span + kPoolBytes; p += vm::kPageSize)
+        page_info_[page_index(p)] = cls + 1;
+    pool.bump = span;
+    pool.end = span + kPoolBytes;
+}
+
+void*
+FFMalloc::alloc(std::size_t size)
+{
+    alloc_calls_.fetch_add(1, std::memory_order_relaxed);
+    if (size == 0)
+        size = 1;
+
+    if (size > alloc::kMaxSmallSize) {
+        const std::size_t bytes = align_up(size, vm::kPageSize);
+        const std::uintptr_t addr = grab_span(bytes, vm::kPageSize);
+        const std::size_t first = page_index(addr);
+        const std::size_t pages = bytes >> vm::kPageShift;
+        page_info_[first] = kLargeStart | static_cast<std::uint32_t>(pages);
+        for (std::size_t i = 1; i < pages; ++i)
+            page_info_[first + i] = kLargeInterior;
+        page_live_[first].fetch_add(1, std::memory_order_relaxed);
+        live_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+        return to_ptr(addr);
+    }
+
+    const unsigned cls = size_to_class(size);
+    const std::size_t csize = class_size(cls);
+    Pool& pool = pools_[cls];
+    std::uintptr_t addr;
+    {
+        std::lock_guard<SpinLock> g(pool.lock);
+        if (pool.bump + csize > pool.end)
+            refill_pool(cls);
+        addr = pool.bump;
+        pool.bump += csize;
+        // Count the object on every page it overlaps *before* sealing, so
+        // a page is never sealed-empty while an object on it is pending.
+        const std::uintptr_t first = align_down(addr, vm::kPageSize);
+        const std::uintptr_t last =
+            align_down(addr + csize - 1, vm::kPageSize);
+        for (std::uintptr_t p = first; p <= last; p += vm::kPageSize) {
+            page_live_[page_index(p)].fetch_add(1,
+                                                std::memory_order_relaxed);
+        }
+        // Seal pages the bump pointer has fully passed: nothing more will
+        // ever be allocated on them (one-time allocation).
+        const std::uintptr_t sealed_limit =
+            align_down(pool.bump, vm::kPageSize);
+        for (std::uintptr_t p = first; p < sealed_limit; p += vm::kPageSize)
+            seal_and_maybe_decommit(p);
+    }
+    live_bytes_.fetch_add(csize, std::memory_order_relaxed);
+    return to_ptr(addr);
+}
+
+void*
+FFMalloc::alloc_aligned(std::size_t alignment, std::size_t size)
+{
+    if (alignment <= alloc::kGranule)
+        return alloc(size);
+    MSW_CHECK(is_pow2(alignment));
+    alloc_calls_.fetch_add(1, std::memory_order_relaxed);
+    if (size == 0)
+        size = 1;
+    const std::size_t bytes = align_up(size, vm::kPageSize);
+    const std::size_t align_bytes =
+        alignment > vm::kPageSize ? alignment : vm::kPageSize;
+    const std::uintptr_t addr = grab_span(bytes, align_bytes);
+    const std::size_t first = page_index(addr);
+    const std::size_t pages = bytes >> vm::kPageShift;
+    page_info_[first] = kLargeStart | static_cast<std::uint32_t>(pages);
+    for (std::size_t i = 1; i < pages; ++i)
+        page_info_[first + i] = kLargeInterior;
+    page_live_[first].fetch_add(1, std::memory_order_relaxed);
+    live_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    return to_ptr(addr);
+}
+
+void
+FFMalloc::free(void* ptr)
+{
+    if (ptr == nullptr)
+        return;
+    free_calls_.fetch_add(1, std::memory_order_relaxed);
+    const std::uintptr_t addr = to_addr(ptr);
+    MSW_CHECK(space_.contains(addr));
+    const std::uint32_t info = page_info_[page_index(addr)];
+    MSW_CHECK(info != kPageFree);
+
+    if (info & kLargeStart) {
+        // Interior pointers of large objects are not valid free() targets.
+        MSW_CHECK((info & kLargeInterior) != kLargeInterior);
+        MSW_CHECK(is_aligned(addr, vm::kPageSize));
+        const std::size_t pages = info & ~kLargeStart;
+        const std::size_t bytes = pages << vm::kPageShift;
+        live_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+        // The whole span dies at once: decommit it and retire the VA.
+        const std::size_t first = page_index(addr);
+        page_live_[first].fetch_sub(1, std::memory_order_relaxed);
+        for (std::size_t i = 0; i < pages; ++i) {
+            page_info_[first + i] = kPageFree;
+            page_sealed_[first + i].store(kDecommitted,
+                                          std::memory_order_relaxed);
+        }
+        space_.decommit(addr, bytes);
+        committed_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+        return;
+    }
+
+    const unsigned cls = info - 1;
+    MSW_CHECK(cls < num_classes_);
+    const std::size_t csize = class_size(cls);
+    live_bytes_.fetch_sub(csize, std::memory_order_relaxed);
+    on_object_freed(addr, csize);
+}
+
+std::size_t
+FFMalloc::usable_size(const void* ptr) const
+{
+    const std::uintptr_t addr = to_addr(ptr);
+    MSW_CHECK(space_.contains(addr));
+    const std::uint32_t info = page_info_[page_index(addr)];
+    MSW_CHECK(info != kPageFree);
+    if (info & kLargeStart)
+        return (info & ~kLargeStart) << vm::kPageShift;
+    return class_size(info - 1);
+}
+
+alloc::AllocatorStats
+FFMalloc::stats() const
+{
+    alloc::AllocatorStats s;
+    s.live_bytes = live_bytes_.load(std::memory_order_relaxed);
+    s.committed_bytes = committed_bytes_.load(std::memory_order_relaxed);
+    s.metadata_bytes = info_space_.size() + live_space_.size();
+    s.alloc_calls = alloc_calls_.load(std::memory_order_relaxed);
+    s.free_calls = free_calls_.load(std::memory_order_relaxed);
+    return s;
+}
+
+}  // namespace msw::baseline

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * FFMalloc baseline (Wickman et al., USENIX Security 2021) — the one-time
+ * allocation scheme the paper compares against.
+ *
+ * FFMalloc prevents use-after-reallocate by *never reusing virtual
+ * addresses*: allocation bumps monotonically through a huge reservation,
+ * and when every object on a physical page has been freed the page is
+ * decommitted (its VA stays retired forever). Dangling pointers therefore
+ * never alias a new allocation; they hit either unmapped memory (fault) or
+ * stale dead bytes.
+ *
+ * This reproduces FFMalloc's characteristic trade-off: almost-zero CPU
+ * overhead but pathological memory behaviour whenever long-lived objects
+ * pepper mostly-dead pages — physical pages are pinned by a single
+ * survivor and RSS grows monotonically (paper Fig 8, §5.2).
+ *
+ * Structure:
+ *  - small classes (reusing JadeHeap's class table) are bump-allocated
+ *    from per-class 64 KiB pools, never revisited once full;
+ *  - large allocations take page-multiple spans directly;
+ *  - per-page live counters + a per-page info word (class or large
+ *    span geometry) support free() and usable_size();
+ *  - a page is decommitted when its live count drops to zero and the
+ *    bump pointer has moved past it (it is "sealed").
+ */
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "alloc/allocator.h"
+#include "alloc/size_classes.h"
+#include "util/spin_lock.h"
+#include "vm/vm.h"
+
+namespace msw::baseline {
+
+class FFMalloc final : public alloc::Allocator
+{
+  public:
+    struct Options {
+        /** Virtual address space to burn through (never reused). */
+        std::size_t va_bytes = std::size_t{32} << 30;
+    };
+
+    FFMalloc() : FFMalloc(Options{}) {}
+    explicit FFMalloc(const Options& opts);
+    ~FFMalloc() override;
+
+    FFMalloc(const FFMalloc&) = delete;
+    FFMalloc& operator=(const FFMalloc&) = delete;
+
+    void* alloc(std::size_t size) override;
+    void free(void* ptr) override;
+    std::size_t usable_size(const void* ptr) const override;
+    void* alloc_aligned(std::size_t alignment, std::size_t size) override;
+    alloc::AllocatorStats stats() const override;
+    const char* name() const override { return "ffmalloc"; }
+
+    /** True if @p addr lies inside the reservation. */
+    bool
+    contains(std::uintptr_t addr) const
+    {
+        return space_.contains(addr);
+    }
+
+    /** Bytes of VA consumed so far (monotonic). */
+    std::size_t frontier_bytes() const;
+
+  private:
+    /** Per-class bump pool. */
+    struct Pool {
+        SpinLock lock;
+        std::uintptr_t bump = 0;
+        std::uintptr_t end = 0;
+    };
+
+    static constexpr std::size_t kPoolBytes = 64 * 1024;
+
+    // Per-page info word encoding.
+    static constexpr std::uint32_t kPageFree = 0;
+    static constexpr std::uint32_t kLargeStart = 0x8000'0000u;
+    static constexpr std::uint32_t kLargeInterior = 0xc000'0000u;
+    // Small pages store (class index + 1).
+
+    std::size_t
+    page_index(std::uintptr_t addr) const
+    {
+        return (addr - space_.base()) >> vm::kPageShift;
+    }
+
+    std::uintptr_t grab_span(std::size_t bytes, std::size_t align_bytes);
+    void refill_pool(unsigned cls);
+    void seal_and_maybe_decommit(std::uintptr_t page_addr);
+    void on_object_freed(std::uintptr_t base, std::size_t usable);
+
+    vm::Reservation space_;
+    vm::Reservation info_space_;
+    vm::Reservation live_space_;
+
+    /** Per-page info word (see encoding above). */
+    std::uint32_t* page_info_ = nullptr;
+    /** Per-page count of live objects overlapping the page. */
+    std::atomic<std::uint16_t>* page_live_ = nullptr;
+    /** Per-page flag: bump pointer has passed; no new objects will land. */
+    std::atomic<std::uint8_t>* page_sealed_ = nullptr;
+
+    SpinLock frontier_lock_;
+    std::uintptr_t frontier_ = 0;
+
+    Pool* pools_ = nullptr;  // [num_size_classes()]
+    unsigned num_classes_;
+
+    std::atomic<std::size_t> live_bytes_{0};
+    std::atomic<std::size_t> committed_bytes_{0};
+    std::atomic<std::uint64_t> alloc_calls_{0};
+    std::atomic<std::uint64_t> free_calls_{0};
+    std::atomic<std::uint64_t> double_frees_{0};
+};
+
+}  // namespace msw::baseline

@@ -1,0 +1,465 @@
+#include "baselines/markus.h"
+
+#include <cstring>
+
+#include "alloc/extent.h"
+#include "sweep/sweeper.h"
+#include "alloc/size_classes.h"
+#include "util/bits.h"
+#include "util/check.h"
+#include "util/log.h"
+
+namespace msw::baseline {
+
+using alloc::ExtentKind;
+using alloc::ExtentMeta;
+using quarantine::Entry;
+using sweep::Range;
+
+/** Hooks identical in role to MineSweeper's: exact committed-page map. */
+class MarkUs::Hooks final : public alloc::ExtentHooks
+{
+  public:
+    Hooks(MarkUs* owner, const vm::Reservation* heap)
+        : alloc::ExtentHooks(heap), owner_(owner)
+    {}
+
+    void
+    commit(std::uintptr_t addr, std::size_t len) override
+    {
+        heap_->protect_rw(addr, len);
+        owner_->access_map_.set_range(addr, len);
+        if (owner_->tracker_ != nullptr &&
+            owner_->mark_active_.load(std::memory_order_acquire)) {
+            owner_->tracker_->note_committed(addr, len);
+        }
+    }
+
+    void
+    purge(std::uintptr_t addr, std::size_t len) override
+    {
+        heap_->decommit(addr, len);
+        owner_->access_map_.clear_range(addr, len);
+    }
+
+  private:
+    MarkUs* owner_;
+};
+
+MarkUs::MarkUs(const Options& opts)
+    : opts_([&] {
+          Options o = opts;
+          o.jade.decay_ms = 0;  // purging synchronised with marking passes
+          return o;
+      }()),
+      jade_(opts_.jade),
+      mark_bits_(jade_.reservation().base(), jade_.reservation().size()),
+      quarantine_bitmap_(jade_.reservation().base(),
+                         jade_.reservation().size()),
+      access_map_(jade_.reservation().base(), jade_.reservation().size()),
+      quarantine_(64)
+{
+    hooks_ = std::make_unique<Hooks>(this, &jade_.reservation());
+    jade_.extents().set_hooks(hooks_.get());
+    // Fixed capacity: push_back under unmap_lock_ must never reallocate
+    // (see MineSweeper; same self-hosting hazard).
+    pending_unmaps_.reserve(4096);
+    tracker_ = sweep::make_dirty_tracker(&jade_.reservation());
+    if (auto* mp = dynamic_cast<sweep::MprotectTracker*>(tracker_.get())) {
+        mp->set_committed_filter(
+            [](std::uintptr_t addr, void* arg) {
+                return static_cast<sweep::PageAccessMap*>(arg)->test(addr);
+            },
+            &access_map_);
+    }
+    if (opts_.concurrent)
+        marker_thread_ = std::thread([this] { marker_loop(); });
+}
+
+MarkUs::~MarkUs()
+{
+    if (marker_thread_.joinable()) {
+        {
+            std::lock_guard<std::mutex> g(mark_mu_);
+            shutdown_ = true;
+        }
+        mark_cv_.notify_all();
+        marker_thread_.join();
+    }
+    jade_.extents().set_hooks(nullptr);
+}
+
+void*
+MarkUs::alloc(std::size_t size)
+{
+    alloc_calls_.fetch_add(1, std::memory_order_relaxed);
+    return jade_.alloc(size + 1);  // end-pointer slack, as MineSweeper
+}
+
+void*
+MarkUs::alloc_aligned(std::size_t alignment, std::size_t size)
+{
+    alloc_calls_.fetch_add(1, std::memory_order_relaxed);
+    return jade_.alloc_aligned(alignment, size + 1);
+}
+
+std::size_t
+MarkUs::usable_size(const void* ptr) const
+{
+    return jade_.usable_size(ptr) - 1;
+}
+
+void
+MarkUs::free(void* ptr)
+{
+    if (ptr == nullptr)
+        return;
+    free_calls_.fetch_add(1, std::memory_order_relaxed);
+    const std::uintptr_t addr = to_addr(ptr);
+    MSW_CHECK(jade_.contains(addr));
+
+    ExtentMeta* meta = jade_.extents().lookup_live(addr);
+    std::uintptr_t base;
+    std::size_t usable;
+    bool is_large;
+    if (meta->kind == ExtentKind::kLarge) {
+        base = meta->base;
+        usable = meta->bytes();
+        is_large = true;
+    } else {
+        const std::size_t obj = alloc::class_size(meta->cls);
+        base = meta->base + ((addr - meta->base) / obj) * obj;
+        usable = obj;
+        is_large = false;
+    }
+    MSW_CHECK(base == addr);
+
+    if (quarantine_bitmap_.test_and_set(base)) {
+        double_frees_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+
+    Entry entry = Entry::make(base, usable, false);
+    if (opts_.unmapping && is_large) {
+        entry = Entry::make(base, usable, true);
+        std::lock_guard<SpinLock> g(unmap_lock_);
+        if (mark_active_.load(std::memory_order_relaxed)) {
+            if (pending_unmaps_.size() < pending_unmaps_.capacity()) {
+                pending_unmaps_.push_back(entry);
+            } else {
+                entry = Entry::make(base, usable, false);
+            }
+        } else {
+            jade_.reservation().decommit(base, usable);
+            access_map_.clear_range(base, usable);
+        }
+    }
+    // Note: MarkUs does *not* zero freed data — reachability through the
+    // quarantine is resolved by the transitive marking pass instead.
+
+    quarantine_.insert(entry);
+    maybe_trigger_mark();
+}
+
+void
+MarkUs::maybe_trigger_mark()
+{
+    const std::size_t pending = quarantine_.pending_bytes();
+    if (pending < opts_.min_mark_bytes)
+        return;
+    const std::size_t failed = quarantine_.failed_bytes();
+    const std::size_t unmapped = quarantine_.unmapped_bytes();
+    const std::size_t jade_live = jade_.live_bytes();
+    const std::size_t heap =
+        jade_live > failed + unmapped ? jade_live - failed - unmapped : 0;
+    if (static_cast<double>(pending) <
+        opts_.quarantine_threshold * static_cast<double>(heap)) {
+        return;
+    }
+
+    if (!opts_.concurrent) {
+        bool expected = false;
+        if (mark_in_progress_.compare_exchange_strong(expected, true)) {
+            run_mark();
+            marks_done_.fetch_add(1, std::memory_order_relaxed);
+            mark_in_progress_.store(false, std::memory_order_release);
+        }
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> g(mark_mu_);
+        mark_requested_ = true;
+    }
+    mark_cv_.notify_all();
+}
+
+void
+MarkUs::marker_loop()
+{
+    std::unique_lock<std::mutex> l(mark_mu_);
+    while (!shutdown_) {
+        mark_cv_.wait(l, [&] { return mark_requested_ || shutdown_; });
+        if (shutdown_)
+            break;
+        mark_requested_ = false;
+        mark_in_progress_.store(true, std::memory_order_release);
+        l.unlock();
+        run_mark();
+        l.lock();
+        mark_in_progress_.store(false, std::memory_order_release);
+        marks_done_.fetch_add(1, std::memory_order_relaxed);
+        mark_done_cv_.notify_all();
+    }
+}
+
+void
+MarkUs::scan_for_objects(std::uintptr_t base, std::size_t len,
+                         std::vector<Range>* worklist)
+{
+    // Conservative Boehm-style scan: every aligned word is treated as a
+    // potential pointer; any word resolving to an allocation marks that
+    // allocation and schedules its contents for scanning. The per-word
+    // allocation lookup is the cost MineSweeper's range test avoids.
+    //
+    // Ranges that lie inside the heap may have been derived from racy
+    // metadata (lookup_relaxed), so inaccessible pages are skipped; this
+    // is stable during a mark because decommits are deferred while
+    // mark_active_ is set and commits only ever add accessibility.
+    std::uintptr_t lo = align_up(base, sizeof(std::uint64_t));
+    const std::uintptr_t hi = align_down(base + len, sizeof(std::uint64_t));
+    const std::uintptr_t heap_base = jade_.reservation().base();
+    const std::uintptr_t heap_end = jade_.reservation().end();
+    const bool in_heap = base >= heap_base && base < heap_end;
+    std::uintptr_t page_checked_until = 0;
+    for (; lo < hi; lo += sizeof(std::uint64_t)) {
+        if (in_heap && lo >= page_checked_until) {
+            if (!access_map_.test(lo)) {
+                // Skip the rest of this inaccessible page.
+                lo = align_down(lo, vm::kPageSize) + vm::kPageSize -
+                     sizeof(std::uint64_t);
+                continue;
+            }
+            page_checked_until = align_down(lo, vm::kPageSize) +
+                                 vm::kPageSize;
+        }
+        const std::uint64_t v = *reinterpret_cast<const std::uint64_t*>(lo);
+        if (v - heap_base >= heap_end - heap_base)
+            continue;
+        alloc::JadeAllocator::AllocationInfo info;
+        if (!jade_.lookup_relaxed(v, &info))
+            continue;
+        if (mark_bits_.test_and_set(info.base))
+            continue;  // already marked
+        // Unmapped quarantined objects have no contents to traverse.
+        if (access_map_.test(info.base))
+            worklist->push_back(Range{info.base, info.usable});
+    }
+}
+
+void
+MarkUs::drain_worklist(std::vector<Range>* worklist)
+{
+    while (!worklist->empty()) {
+        const Range r = worklist->back();
+        worklist->pop_back();
+        scan_for_objects(r.base, r.len, worklist);
+    }
+}
+
+void
+MarkUs::run_mark()
+{
+    {
+        std::lock_guard<SpinLock> g(unmap_lock_);
+        mark_active_.store(true, std::memory_order_release);
+    }
+    std::vector<Entry> locked_in;
+    quarantine_.lock_in(locked_in);
+    if (locked_in.empty()) {
+        std::lock_guard<SpinLock> g(unmap_lock_);
+        mark_active_.store(false, std::memory_order_release);
+        for (const Entry& e : pending_unmaps_) {
+            if (quarantine_bitmap_.test(e.real_base())) {
+                jade_.reservation().decommit(e.real_base(), e.usable);
+                access_map_.clear_range(e.real_base(), e.usable);
+            }
+        }
+        pending_unmaps_.clear();
+        return;
+    }
+
+    const std::uint64_t cpu0 = sweep::thread_cpu_ns();
+
+    // Phase 1: concurrent transitive mark from the roots.
+    tracker_->begin(access_map_.committed_runs());
+    std::vector<Range> worklist;
+    std::vector<Range> root_scan;
+    for (const Range& r : roots_.roots())
+        sweep::append_resident_subranges(r, &root_scan);
+    for (const Range& r : roots_.stacks())
+        sweep::append_resident_subranges(r, &root_scan);
+    for (const Range& r : root_scan)
+        scan_for_objects(r.base, r.len, &worklist);
+    drain_worklist(&worklist);
+
+    // Phase 2: stop-the-world recheck — rescan dirtied pages, stacks and
+    // registers, continuing the transitive closure to a fixpoint
+    // (Boehm's mostly-parallel collection).
+    roots_.stop_world();
+    std::vector<Range> rescan;
+    tracker_->end_collect(rescan);
+    if (!tracker_->tracks_arbitrary_memory()) {
+        for (const Range& r : roots_.roots_stw())
+            sweep::append_resident_subranges(r, &rescan);
+    }
+    for (const Range& r : roots_.stacks_stw())
+        sweep::append_resident_subranges(r, &rescan);
+    for (const Range& r : roots_.parked_registers())
+        rescan.push_back(r);
+    for (const Range& r : rescan)
+        scan_for_objects(r.base, r.len, &worklist);
+    drain_worklist(&worklist);
+    roots_.resume_world();
+
+    // Deferred unmaps before release: every affected entry is still
+    // quarantined here.
+    {
+        std::lock_guard<SpinLock> g(unmap_lock_);
+        for (const Entry& e : pending_unmaps_) {
+            if (quarantine_bitmap_.test(e.real_base())) {
+                jade_.reservation().decommit(e.real_base(), e.usable);
+                access_map_.clear_range(e.real_base(), e.usable);
+            }
+        }
+        pending_unmaps_.clear();
+    }
+
+    // Phase 3: release unmarked quarantined allocations.
+    std::vector<Entry> failed;
+    for (const Entry& e : locked_in) {
+        if (mark_bits_.test(e.real_base())) {
+            failed.push_back(e);
+            continue;
+        }
+        if (e.unmapped) {
+            jade_.reservation().protect_rw(e.real_base(), e.usable);
+            access_map_.set_range(e.real_base(), e.usable);
+        }
+        quarantine_bitmap_.clear(e.real_base());
+        jade_.free_direct(to_ptr(e.real_base()));
+    }
+    mark_bits_.clear_marks();
+    quarantine_.store_failed(std::move(failed));
+
+    {
+        std::lock_guard<SpinLock> g(unmap_lock_);
+        mark_active_.store(false, std::memory_order_release);
+        for (const Entry& e : pending_unmaps_) {
+            if (quarantine_bitmap_.test(e.real_base())) {
+                jade_.reservation().decommit(e.real_base(), e.usable);
+                access_map_.clear_range(e.real_base(), e.usable);
+            }
+        }
+        pending_unmaps_.clear();
+    }
+
+    // MarkUs aggressively reclaims allocator free structures after a
+    // marking pass (the paper notes this need for large quarantines).
+    jade_.purge_all();
+
+    mark_cpu_ns_.fetch_add(sweep::thread_cpu_ns() - cpu0,
+                           std::memory_order_relaxed);
+}
+
+void
+MarkUs::force_mark()
+{
+    quarantine_.flush_thread_buffer();
+    if (!opts_.concurrent) {
+        bool expected = false;
+        if (mark_in_progress_.compare_exchange_strong(expected, true)) {
+            run_mark();
+            marks_done_.fetch_add(1, std::memory_order_relaxed);
+            mark_in_progress_.store(false, std::memory_order_release);
+        }
+        return;
+    }
+    std::unique_lock<std::mutex> g(mark_mu_);
+    const std::uint64_t target =
+        marks_done_.load(std::memory_order_relaxed) + 1;
+    mark_requested_ = true;
+    mark_cv_.notify_all();
+    mark_done_cv_.wait(g, [&] {
+        return marks_done_.load(std::memory_order_relaxed) >= target;
+    });
+}
+
+void
+MarkUs::flush()
+{
+    quarantine_.flush_thread_buffer();
+    jade_.flush();
+    if (!opts_.concurrent)
+        return;
+    std::unique_lock<std::mutex> g(mark_mu_);
+    mark_done_cv_.wait(g, [&] {
+        return !mark_requested_ &&
+               !mark_in_progress_.load(std::memory_order_relaxed);
+    });
+}
+
+void
+MarkUs::add_root(const void* base, std::size_t len)
+{
+    roots_.add_root(base, len);
+}
+
+void
+MarkUs::remove_root(const void* base)
+{
+    roots_.remove_root(base);
+}
+
+void
+MarkUs::register_mutator_thread()
+{
+    roots_.register_current_thread();
+}
+
+void
+MarkUs::unregister_mutator_thread()
+{
+    quarantine_.flush_thread_buffer();
+    jade_.flush();
+    roots_.unregister_current_thread();
+    // As in MineSweeper: an in-flight marking pass may have snapshotted
+    // this thread's stack before removal; wait it out before the thread
+    // exits and its stack can be recycled.
+    while (mark_in_progress_.load(std::memory_order_acquire)) {
+        struct timespec ts {
+            0, 1000000
+        };
+        ::nanosleep(&ts, nullptr);
+    }
+}
+
+alloc::AllocatorStats
+MarkUs::stats() const
+{
+    const quarantine::QuarantineStats qs = quarantine_.stats();
+    alloc::AllocatorStats s;
+    const std::size_t jade_live = jade_.live_bytes();
+    const std::size_t quarantined =
+        qs.pending_bytes + qs.failed_bytes + qs.unmapped_bytes;
+    s.live_bytes = jade_live > quarantined ? jade_live - quarantined : 0;
+    s.committed_bytes = access_map_.committed_bytes();
+    s.metadata_bytes =
+        jade_.stats().metadata_bytes + mark_bits_.shadow_bytes() * 2;
+    s.quarantine_bytes = quarantined;
+    s.sweeps = marks_done_.load(std::memory_order_relaxed);
+    s.alloc_calls = alloc_calls_.load(std::memory_order_relaxed);
+    s.free_calls = free_calls_.load(std::memory_order_relaxed);
+    return s;
+}
+
+}  // namespace msw::baseline

@@ -1,0 +1,710 @@
+#include "core/minesweeper.h"
+
+#include <cstring>
+
+#include "alloc/extent.h"
+#include "alloc/size_classes.h"
+#include "util/bits.h"
+#include "util/check.h"
+#include "util/log.h"
+
+namespace msw::core {
+
+using alloc::ExtentKind;
+using alloc::ExtentMeta;
+using quarantine::Entry;
+using sweep::MarkStats;
+using sweep::Range;
+
+namespace {
+
+/**
+ * True on threads executing sweep machinery (the sweeper thread and
+ * helpers running release jobs). In the self-hosted deployment their
+ * internal allocations arrive through the interposed malloc; they must
+ * never block in the allocation-pausing backpressure they themselves are
+ * responsible for clearing.
+ */
+thread_local bool tls_sweep_context = false;
+
+std::uint64_t
+monotonic_ns()
+{
+    struct timespec ts;
+    ::clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace
+
+/**
+ * Extent hooks that keep the committed-page map exact: this is how sweeps
+ * know which pages exist, and how purged pages are excluded from scanning
+ * instead of being faulted back in (paper §4.5).
+ */
+class MineSweeper::Hooks final : public alloc::ExtentHooks
+{
+  public:
+    Hooks(MineSweeper* msw, const vm::Reservation* heap)
+        : alloc::ExtentHooks(heap), msw_(msw)
+    {}
+
+    void
+    commit(std::uintptr_t addr, std::size_t len) override
+    {
+        heap_->protect_rw(addr, len);
+        msw_->access_map_.set_range(addr, len);
+        // Pages appearing mid-epoch must be treated as dirty.
+        if (msw_->tracker_ != nullptr &&
+            msw_->sweep_active_.load(std::memory_order_acquire)) {
+            msw_->tracker_->note_committed(addr, len);
+        }
+    }
+
+    void
+    purge(std::uintptr_t addr, std::size_t len) override
+    {
+        // True decommit (discard + PROT_NONE), not jemalloc's
+        // keep-accessible purge: sweeps skip these pages entirely.
+        heap_->decommit(addr, len);
+        msw_->access_map_.clear_range(addr, len);
+    }
+
+  private:
+    MineSweeper* msw_;
+};
+
+MineSweeper::MineSweeper(const Options& opts)
+    : opts_([&] {
+          Options o = opts;
+          // MineSweeper replaces decay purging with the post-sweep full
+          // purge (§4.5); leaving decay on would purge behind the page
+          //-access map's back from unhooked call sites.
+          o.jade.decay_ms = 0;
+          return o;
+      }()),
+      jade_(opts_.jade),
+      shadow_(jade_.reservation().base(), jade_.reservation().size()),
+      quarantine_bitmap_(jade_.reservation().base(),
+                         jade_.reservation().size()),
+      access_map_(jade_.reservation().base(), jade_.reservation().size()),
+      quarantine_(opts_.tl_buffer_entries),
+      marker_(&shadow_, jade_.reservation().base(),
+              jade_.reservation().end())
+{
+    hooks_ = std::make_unique<Hooks>(this, &jade_.reservation());
+    jade_.extents().set_hooks(hooks_.get());
+
+    // Fixed capacity so push_back under unmap_lock_ never reallocates: a
+    // reallocation's free() of the old buffer would re-enter
+    // quarantine_free() and self-deadlock on the lock in the self-hosted
+    // deployment. Overflowing entries simply skip the unmap optimisation.
+    pending_unmaps_.reserve(kMaxPendingUnmaps);
+
+    if (opts_.helper_threads > 0)
+        workers_ = std::make_unique<sweep::SweepWorkers>(
+            opts_.helper_threads);
+
+    if (opts_.mode == Mode::kMostlyConcurrent) {
+        tracker_ = sweep::make_dirty_tracker(&jade_.reservation());
+        if (auto* mp =
+                dynamic_cast<sweep::MprotectTracker*>(tracker_.get())) {
+            mp->set_committed_filter(
+                [](std::uintptr_t addr, void* arg) {
+                    return static_cast<sweep::PageAccessMap*>(arg)->test(
+                        addr);
+                },
+                &access_map_);
+        }
+    }
+
+    if (opts_.mode != Mode::kSynchronous)
+        sweeper_thread_ = std::thread([this] { sweeper_loop(); });
+}
+
+MineSweeper::~MineSweeper()
+{
+    if (sweeper_thread_.joinable()) {
+        {
+            std::lock_guard<std::mutex> g(sweep_mu_);
+            shutdown_ = true;
+        }
+        sweep_cv_.notify_all();
+        sweeper_thread_.join();
+    }
+    workers_.reset();
+    // Restore default hooks before jade_ (a member) is destroyed, so any
+    // destructor-time extent operations do not touch freed state.
+    jade_.extents().set_hooks(nullptr);
+}
+
+// ----------------------------------------------------------------- alloc
+
+void*
+MineSweeper::alloc(std::size_t size)
+{
+    alloc_calls_.fetch_add(1, std::memory_order_relaxed);
+    maybe_pause_allocations();
+    // +1 byte so one-past-the-end pointers stay inside the allocation
+    // (paper §3.2); size classes are 16 B-granular so this usually costs
+    // nothing.
+    return jade_.alloc(size + 1);
+}
+
+void*
+MineSweeper::alloc_aligned(std::size_t alignment, std::size_t size)
+{
+    alloc_calls_.fetch_add(1, std::memory_order_relaxed);
+    maybe_pause_allocations();
+    return jade_.alloc_aligned(alignment, size + 1);
+}
+
+std::size_t
+MineSweeper::usable_size(const void* ptr) const
+{
+    // One byte of the underlying allocation is reserved for the
+    // end-pointer guarantee; never report it as usable.
+    return jade_.usable_size(ptr) - 1;
+}
+
+void*
+MineSweeper::realloc(void* ptr, std::size_t new_size)
+{
+    if (ptr == nullptr)
+        return alloc(new_size);
+    if (new_size == 0)
+        new_size = 1;
+    const std::size_t old_usable = usable_size(ptr);
+    if (new_size <= old_usable && new_size * 2 > old_usable)
+        return ptr;
+    void* fresh = alloc(new_size);
+    std::memcpy(fresh, ptr,
+                old_usable < new_size ? old_usable : new_size);
+    free(ptr);
+    return fresh;
+}
+
+// ------------------------------------------------------------------ free
+
+void
+MineSweeper::free(void* ptr)
+{
+    if (ptr == nullptr)
+        return;
+    free_calls_.fetch_add(1, std::memory_order_relaxed);
+    const std::uintptr_t addr = to_addr(ptr);
+    MSW_CHECK(jade_.contains(addr));
+
+    ExtentMeta* meta = jade_.extents().lookup_live(addr);
+    std::uintptr_t base;
+    std::size_t usable;
+    bool is_large;
+    if (meta->kind == ExtentKind::kLarge) {
+        base = meta->base;
+        usable = meta->bytes();
+        is_large = true;
+    } else {
+        const std::size_t obj = alloc::class_size(meta->cls);
+        base = meta->base + ((addr - meta->base) / obj) * obj;
+        usable = obj;
+        is_large = false;
+    }
+    MSW_CHECK(base == addr);
+
+    // Double-free de-duplication (paper §3): while the allocation is in
+    // quarantine, further frees are idempotent.
+    if (quarantine_bitmap_.test_and_set(base)) {
+        double_frees_.fetch_add(1, std::memory_order_relaxed);
+        if (opts_.report_double_frees)
+            MSW_LOG_WARN("double free of %p absorbed", ptr);
+        return;
+    }
+
+    if (!opts_.quarantine_enabled) {
+        // Partial versions 1-2 (§5.5): apply unmap/zero side effects, then
+        // forward straight to the allocator.
+        if (opts_.unmapping && is_large) {
+            jade_.reservation().decommit(base, usable);
+            jade_.reservation().protect_rw(base, usable);
+        } else if (opts_.zeroing) {
+            std::memset(ptr, 0, usable);
+        }
+        quarantine_bitmap_.clear(base);
+        jade_.free(ptr);
+        return;
+    }
+
+    quarantine_free(ptr, base, usable, is_large);
+    maybe_trigger_sweep();
+}
+
+void
+MineSweeper::quarantine_free(void* ptr, std::uintptr_t base,
+                             std::size_t usable, bool is_large)
+{
+    Entry entry = Entry::make(base, usable, false);
+
+    if (opts_.unmapping && is_large) {
+        // Large allocations span exclusively-owned pages: release the
+        // physical memory immediately (§4.2). If a sweep is scanning,
+        // defer the decommit so concurrent marking never faults.
+        entry = Entry::make(base, usable, true);
+        std::lock_guard<SpinLock> g(unmap_lock_);
+        if (sweep_active_.load(std::memory_order_relaxed)) {
+            if (pending_unmaps_.size() < kMaxPendingUnmaps) {
+                pending_unmaps_.push_back(entry);
+                unmapped_entries_.fetch_add(1, std::memory_order_relaxed);
+            } else {
+                // Queue full: forgo the unmap for this entry (safe; it
+                // just stays mapped while quarantined).
+                entry = Entry::make(base, usable, false);
+                if (opts_.zeroing)
+                    std::memset(ptr, 0, usable);
+            }
+        } else {
+            unmapped_entries_.fetch_add(1, std::memory_order_relaxed);
+            unmap_entry(base, usable);
+        }
+    } else if (opts_.zeroing) {
+        // Zeroing removes dangling pointers *from* quarantined data,
+        // flattening the reference graph and breaking cycles (§4.1).
+        std::memset(ptr, 0, usable);
+    }
+
+    quarantine_.insert(entry);
+}
+
+void
+MineSweeper::unmap_entry(std::uintptr_t base, std::size_t usable)
+{
+    jade_.reservation().decommit(base, usable);
+    access_map_.clear_range(base, usable);
+}
+
+void
+MineSweeper::drain_pending_unmaps_locked()
+{
+    for (const Entry& e : pending_unmaps_) {
+        // Entries released meanwhile must not be unmapped: their memory
+        // may already be reallocated. Release clears the quarantine bit.
+        if (quarantine_bitmap_.test(e.real_base()))
+            unmap_entry(e.real_base(), e.usable);
+    }
+    pending_unmaps_.clear();
+}
+
+// ------------------------------------------------------------- triggering
+
+void
+MineSweeper::maybe_trigger_sweep()
+{
+    const std::size_t pending = quarantine_.pending_bytes();
+    if (pending < opts_.min_sweep_bytes &&
+        quarantine_.unmapped_bytes() < opts_.min_sweep_bytes) {
+        return;
+    }
+    const std::size_t failed = quarantine_.failed_bytes();
+    const std::size_t unmapped = quarantine_.unmapped_bytes();
+    const std::size_t jade_live = jade_.live_bytes();
+    // Heap size for the trigger: total live bytes minus failed frees
+    // (subtracted from both sides, §3.2) minus unmapped quarantine (which
+    // no longer consumes memory, §4.2).
+    const std::size_t heap =
+        jade_live > failed + unmapped ? jade_live - failed - unmapped : 0;
+
+    bool trigger =
+        pending >= opts_.min_sweep_bytes &&
+        static_cast<double>(pending) >=
+            opts_.sweep_threshold * static_cast<double>(heap);
+
+    // Unmapped quarantine pressures kernel/allocator metadata even though
+    // it holds no memory: sweep when it reaches 9x the footprint (§4.2).
+    if (!trigger && unmapped >= opts_.min_sweep_bytes &&
+        static_cast<double>(unmapped) >=
+            opts_.unmapped_factor *
+                static_cast<double>(access_map_.committed_bytes())) {
+        trigger = true;
+    }
+
+    if (!trigger)
+        return;
+
+    if (opts_.mode == Mode::kSynchronous) {
+        bool expected = false;
+        if (sweep_in_progress_.compare_exchange_strong(expected, true)) {
+            run_sweep();
+            sweeps_done_.fetch_add(1, std::memory_order_relaxed);
+            sweep_in_progress_.store(false, std::memory_order_release);
+        }
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> g(sweep_mu_);
+        sweep_requested_ = true;
+        // Backpressure (§5.7): if the quarantine has grown far past the
+        // heap while a sweep is running, pause this allocating thread
+        // until the sweep completes.
+        if (opts_.pause_factor > 0 &&
+            static_cast<double>(pending) >
+                opts_.pause_factor *
+                    static_cast<double>(
+                        heap > pending ? heap - pending : pending)) {
+            pause_flag_.store(true, std::memory_order_relaxed);
+        }
+    }
+    sweep_cv_.notify_all();
+}
+
+void
+MineSweeper::maybe_pause_allocations()
+{
+    if (tls_sweep_context ||
+        !pause_flag_.load(std::memory_order_relaxed)) {
+        return;
+    }
+    const std::uint64_t t0 = monotonic_ns();
+    std::unique_lock<std::mutex> g(sweep_mu_);
+    sweep_done_cv_.wait_for(g, std::chrono::seconds(2), [&] {
+        return !pause_flag_.load(std::memory_order_relaxed);
+    });
+    pause_ns_.fetch_add(monotonic_ns() - t0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------- sweeps
+
+void
+MineSweeper::sweeper_loop()
+{
+    tls_sweep_context = true;
+    std::unique_lock<std::mutex> l(sweep_mu_);
+    while (!shutdown_) {
+        sweep_cv_.wait(l, [&] { return sweep_requested_ || shutdown_; });
+        if (shutdown_)
+            break;
+        sweep_requested_ = false;
+        sweep_in_progress_.store(true, std::memory_order_release);
+        l.unlock();
+        run_sweep();
+        l.lock();
+        sweep_in_progress_.store(false, std::memory_order_release);
+        pause_flag_.store(false, std::memory_order_relaxed);
+        sweeps_done_.fetch_add(1, std::memory_order_relaxed);
+        sweep_done_cv_.notify_all();
+    }
+}
+
+std::vector<Range>
+MineSweeper::internal_regions() const
+{
+    std::vector<Range> out;
+    const auto add = [&out](const vm::Reservation& r) {
+        if (r.size() != 0)
+            out.push_back(Range{r.base(), r.size()});
+    };
+    add(jade_.extents().meta_reservation());
+    add(jade_.extents().page_map_reservation());
+    add(shadow_.storage());
+    add(shadow_.chunk_storage());
+    add(quarantine_bitmap_.storage());
+    add(quarantine_bitmap_.chunk_storage());
+    add(access_map_.storage());
+    return out;
+}
+
+std::vector<Range>
+MineSweeper::scan_ranges() const
+{
+    std::vector<Range> ranges = access_map_.committed_runs();
+    for (const Range& r : roots_.roots())
+        sweep::append_resident_subranges(r, &ranges);
+    // Stacks are filtered to resident pages: untouched stack pages are
+    // all-zero and cannot hold pointers.
+    for (const Range& r : roots_.stacks())
+        sweep::append_resident_subranges(r, &ranges);
+    if (extra_roots_provider_) {
+        const std::vector<Range> internal = internal_regions();
+        for (const Range& r : extra_roots_provider_()) {
+            bool overlaps_internal = false;
+            for (const Range& i : internal) {
+                if (r.base < i.end() && i.base < r.end()) {
+                    overlaps_internal = true;
+                    break;
+                }
+            }
+            if (!overlaps_internal)
+                sweep::append_resident_subranges(r, &ranges);
+        }
+    }
+    return ranges;
+}
+
+void
+MineSweeper::run_sweep()
+{
+    {
+        std::lock_guard<SpinLock> g(unmap_lock_);
+        sweep_active_.store(true, std::memory_order_release);
+    }
+    std::vector<Entry> locked_in;
+    quarantine_.lock_in(locked_in);
+    if (locked_in.empty()) {
+        std::lock_guard<SpinLock> g(unmap_lock_);
+        sweep_active_.store(false, std::memory_order_release);
+        drain_pending_unmaps_locked();
+        return;
+    }
+
+    const std::uint64_t cpu0 = sweep::thread_cpu_ns();
+    const std::uint64_t helpers0 =
+        workers_ != nullptr ? workers_->helper_cpu_ns() : 0;
+
+    if (opts_.sweep_enabled) {
+        // Phase 1: concurrent linear mark of all scannable memory.
+        const bool track = tracker_ != nullptr;
+        if (track) {
+            std::vector<Range> tracked = access_map_.committed_runs();
+            if (tracker_->tracks_arbitrary_memory()) {
+                for (const Range& r : roots_.roots())
+                    tracked.push_back(r);
+            }
+            tracker_->begin(tracked);
+        }
+        const MarkStats ms = marker_.mark_ranges(scan_ranges(),
+                                                 workers_.get());
+        bytes_scanned_.fetch_add(ms.bytes_scanned,
+                                 std::memory_order_relaxed);
+
+        if (track) {
+            // Phase 2 (mostly-concurrent only): brief stop-the-world
+            // recheck of pages modified during phase 1 (§4.3).
+            const std::uint64_t t0 = monotonic_ns();
+            roots_.stop_world();
+            std::vector<Range> rescan;
+            tracker_->end_collect(rescan);
+            if (!tracker_->tracks_arbitrary_memory()) {
+                for (const Range& r : roots_.roots_stw())
+                    sweep::append_resident_subranges(r, &rescan);
+            }
+            for (const Range& r : roots_.stacks_stw())
+                sweep::append_resident_subranges(r, &rescan);
+            for (const Range& r : roots_.parked_registers())
+                rescan.push_back(r);
+            const MarkStats ms2 = marker_.mark_ranges(rescan,
+                                                      workers_.get());
+            roots_.resume_world();
+            bytes_scanned_.fetch_add(ms2.bytes_scanned,
+                                     std::memory_order_relaxed);
+            stw_ns_.fetch_add(monotonic_ns() - t0,
+                              std::memory_order_relaxed);
+        }
+    }
+
+    // Perform deferred page-unmaps now that marking is done: every
+    // affected entry is still quarantined at this point, so this is safe
+    // and the pages have already been scanned.
+    {
+        std::lock_guard<SpinLock> g(unmap_lock_);
+        drain_pending_unmaps_locked();
+    }
+
+    // Phase 3: walk the locked-in quarantine; release unmarked entries.
+    std::vector<Entry> failed;
+    const unsigned nworkers =
+        workers_ != nullptr ? workers_->count() : 1;
+    std::vector<std::vector<Entry>> failed_per_worker(nworkers);
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::uint64_t> released_count{0};
+    std::atomic<std::uint64_t> released_bytes{0};
+    std::atomic<std::uint64_t> failed_count{0};
+
+    auto release_job = [&](unsigned index) {
+        tls_sweep_context = true;
+        constexpr std::size_t kBatch = 64;
+        for (;;) {
+            const std::size_t start =
+                next.fetch_add(kBatch, std::memory_order_relaxed);
+            if (start >= locked_in.size())
+                break;
+            const std::size_t end =
+                std::min(start + kBatch, locked_in.size());
+            for (std::size_t i = start; i < end; ++i) {
+                const Entry& e = locked_in[i];
+                const bool marked =
+                    opts_.sweep_enabled &&
+                    shadow_.test_range(e.real_base(), e.usable);
+                if (marked) {
+                    failed_count.fetch_add(1, std::memory_order_relaxed);
+                    if (opts_.keep_failed) {
+                        failed_per_worker[index].push_back(e);
+                        continue;
+                    }
+                }
+                release_entry(e);
+                released_count.fetch_add(1, std::memory_order_relaxed);
+                released_bytes.fetch_add(e.usable,
+                                         std::memory_order_relaxed);
+            }
+        }
+    };
+    if (workers_ != nullptr)
+        workers_->run(release_job);
+    else
+        release_job(0);
+
+    for (auto& fv : failed_per_worker)
+        failed.insert(failed.end(), fv.begin(), fv.end());
+
+    entries_released_.fetch_add(
+        released_count.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    bytes_released_.fetch_add(released_bytes.load(std::memory_order_relaxed),
+                              std::memory_order_relaxed);
+    failed_frees_.fetch_add(failed_count.load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    shadow_.clear_marks();
+    quarantine_.store_failed(std::move(failed));
+
+    {
+        std::lock_guard<SpinLock> g(unmap_lock_);
+        sweep_active_.store(false, std::memory_order_release);
+        drain_pending_unmaps_locked();
+    }
+
+    // §4.5: full allocator purge synchronised with the end of the sweep.
+    if (opts_.purging)
+        jade_.purge_all();
+
+    const std::uint64_t helpers1 =
+        workers_ != nullptr ? workers_->helper_cpu_ns() : 0;
+    sweep_cpu_ns_.fetch_add(
+        (sweep::thread_cpu_ns() - cpu0) + (helpers1 - helpers0),
+        std::memory_order_relaxed);
+}
+
+void
+MineSweeper::release_entry(const Entry& entry)
+{
+    if (entry.unmapped) {
+        // Restore access before handing the range back; physical pages
+        // refault as zeros, so the memory win persists until reuse.
+        jade_.reservation().protect_rw(entry.real_base(), entry.usable);
+        access_map_.set_range(entry.real_base(), entry.usable);
+    }
+    quarantine_bitmap_.clear(entry.real_base());
+    jade_.free_direct(to_ptr(entry.real_base()));
+}
+
+// ----------------------------------------------------------------- misc
+
+void
+MineSweeper::force_sweep()
+{
+    quarantine_.flush_thread_buffer();
+    if (opts_.mode == Mode::kSynchronous) {
+        bool expected = false;
+        if (sweep_in_progress_.compare_exchange_strong(expected, true)) {
+            run_sweep();
+            sweeps_done_.fetch_add(1, std::memory_order_relaxed);
+            sweep_in_progress_.store(false, std::memory_order_release);
+        }
+        return;
+    }
+    std::unique_lock<std::mutex> g(sweep_mu_);
+    const std::uint64_t target =
+        sweeps_done_.load(std::memory_order_relaxed) + 1;
+    sweep_requested_ = true;
+    sweep_cv_.notify_all();
+    sweep_done_cv_.wait(g, [&] {
+        return sweeps_done_.load(std::memory_order_relaxed) >= target;
+    });
+}
+
+void
+MineSweeper::flush()
+{
+    quarantine_.flush_thread_buffer();
+    jade_.flush();
+    if (opts_.mode == Mode::kSynchronous)
+        return;
+    // Wait out any in-flight or requested sweep.
+    std::unique_lock<std::mutex> g(sweep_mu_);
+    sweep_done_cv_.wait(g, [&] {
+        return !sweep_requested_ &&
+               !sweep_in_progress_.load(std::memory_order_relaxed);
+    });
+}
+
+void
+MineSweeper::add_root(const void* base, std::size_t len)
+{
+    roots_.add_root(base, len);
+}
+
+void
+MineSweeper::remove_root(const void* base)
+{
+    roots_.remove_root(base);
+}
+
+void
+MineSweeper::register_mutator_thread()
+{
+    roots_.register_current_thread();
+}
+
+void
+MineSweeper::unregister_mutator_thread()
+{
+    quarantine_.flush_thread_buffer();
+    jade_.flush();
+    roots_.unregister_current_thread();
+    // A sweep that snapshotted the stack list before the removal may
+    // still be scanning this thread's stack; the thread must not exit
+    // (and its stack must not be unmapped) until that sweep drains.
+    while (sweep_in_progress_.load(std::memory_order_acquire)) {
+        struct timespec ts {
+            0, 1000000
+        };
+        ::nanosleep(&ts, nullptr);
+    }
+}
+
+alloc::AllocatorStats
+MineSweeper::stats() const
+{
+    const quarantine::QuarantineStats qs = quarantine_.stats();
+    alloc::AllocatorStats s;
+    const std::size_t jade_live = jade_.live_bytes();
+    const std::size_t quarantined =
+        qs.pending_bytes + qs.failed_bytes + qs.unmapped_bytes;
+    s.live_bytes = jade_live > quarantined ? jade_live - quarantined : 0;
+    s.committed_bytes = access_map_.committed_bytes();
+    s.metadata_bytes = jade_.stats().metadata_bytes +
+                       shadow_.shadow_bytes() * 2;
+    s.quarantine_bytes = quarantined;
+    s.sweeps = sweeps_done_.load(std::memory_order_relaxed);
+    s.alloc_calls = alloc_calls_.load(std::memory_order_relaxed);
+    s.free_calls = free_calls_.load(std::memory_order_relaxed);
+    return s;
+}
+
+SweepStats
+MineSweeper::sweep_stats() const
+{
+    SweepStats s;
+    s.sweeps = sweeps_done_.load(std::memory_order_relaxed);
+    s.entries_released = entries_released_.load(std::memory_order_relaxed);
+    s.bytes_released = bytes_released_.load(std::memory_order_relaxed);
+    s.failed_frees = failed_frees_.load(std::memory_order_relaxed);
+    s.double_frees = double_frees_.load(std::memory_order_relaxed);
+    s.bytes_scanned = bytes_scanned_.load(std::memory_order_relaxed);
+    s.sweep_cpu_ns = sweep_cpu_ns_.load(std::memory_order_relaxed);
+    s.stw_ns = stw_ns_.load(std::memory_order_relaxed);
+    s.pause_ns = pause_ns_.load(std::memory_order_relaxed);
+    s.unmapped_entries = unmapped_entries_.load(std::memory_order_relaxed);
+    return s;
+}
+
+}  // namespace msw::core

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * MineSweeper: drop-in use-after-free mitigation (the paper's core system).
+ *
+ * MineSweeper wraps a JadeHeap allocator. free() does not deallocate:
+ * the allocation is zero-filled (or its pages unmapped, if large) and
+ * placed in quarantine. When the quarantine grows past a threshold, a
+ * background sweeper linearly scans all committed heap pages, registered
+ * roots and mutator stacks, marking in a shadow map every word that points
+ * into the heap. Quarantined allocations with no marked granule provably
+ * have no (aligned, unhidden) dangling pointers and are released to the
+ * real allocator; the rest remain quarantined as failed frees.
+ *
+ * Guarantees (matching the paper §1.2/§3.3):
+ *  - an allocation is never recycled while a discoverable pointer to it
+ *    exists in scanned memory, so use-after-free cannot become
+ *    use-after-reallocate;
+ *  - double frees are idempotent;
+ *  - semantics of correct programs are unchanged (nothing is freed that
+ *    the programmer did not free; hidden/XORed pointers never crash the
+ *    scheme, they merely fall outside the guarantee);
+ *  - every allocation is served with at least one byte of slack so
+ *    one-past-the-end pointers keep their object quarantined.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "alloc/jade_allocator.h"
+#include "core/options.h"
+#include "util/bits.h"
+#include "util/spin_lock.h"
+#include "quarantine/quarantine.h"
+#include "sweep/dirty_tracker.h"
+#include "sweep/page_access_map.h"
+#include "sweep/roots.h"
+#include "sweep/shadow_map.h"
+#include "sweep/sweeper.h"
+
+namespace msw::core {
+
+/** Counters describing sweeping activity (Fig 12, Fig 14 inputs). */
+struct SweepStats {
+    std::uint64_t sweeps = 0;
+    std::uint64_t entries_released = 0;
+    std::uint64_t bytes_released = 0;
+    std::uint64_t failed_frees = 0;      ///< Entry-test failures (cumulative).
+    std::uint64_t double_frees = 0;
+    std::uint64_t bytes_scanned = 0;     ///< Total marking traffic.
+    std::uint64_t sweep_cpu_ns = 0;      ///< Sweeper + helper CPU time.
+    std::uint64_t stw_ns = 0;            ///< Total stop-the-world time.
+    std::uint64_t pause_ns = 0;          ///< Allocation-pausing wait time.
+    std::uint64_t unmapped_entries = 0;  ///< Large allocations unmapped.
+};
+
+class MineSweeper final : public alloc::Allocator
+{
+  public:
+    explicit MineSweeper(const Options& opts = {});
+    ~MineSweeper() override;
+
+    MineSweeper(const MineSweeper&) = delete;
+    MineSweeper& operator=(const MineSweeper&) = delete;
+
+    // ------------------------------------------------------- Allocator
+    void* alloc(std::size_t size) override;
+    void free(void* ptr) override;
+    std::size_t usable_size(const void* ptr) const override;
+    void* alloc_aligned(std::size_t alignment, std::size_t size) override;
+    alloc::AllocatorStats stats() const override;
+    const char* name() const override { return "minesweeper"; }
+
+    /** realloc with quarantine-correct free of the old block. */
+    void* realloc(void* ptr, std::size_t new_size) override;
+
+    /** Complete any in-flight sweep and flush quarantine buffers. */
+    void flush() override;
+
+    // ------------------------------------------------------ Roots/threads
+
+    /** Register a root range to be scanned by sweeps (globals, tables). */
+    void add_root(const void* base, std::size_t len);
+
+    /** Remove a registered root range. */
+    void remove_root(const void* base);
+
+    /**
+     * Register the calling thread: its stack is scanned by sweeps and it
+     * participates in stop-the-world phases (mostly-concurrent mode).
+     */
+    void register_mutator_thread();
+
+    /** Unregister the calling thread (required before it exits). */
+    void unregister_mutator_thread();
+
+    /**
+     * Install a callback producing *additional* root ranges, re-evaluated
+     * at the start of every sweep. The LD_PRELOAD shim uses this to
+     * rescan /proc/self/maps so globals and late-created regions are
+     * covered without explicit registration. Ranges overlapping this
+     * instance's internal_regions() are excluded automatically.
+     */
+    void
+    set_extra_roots_provider(
+        std::function<std::vector<sweep::Range>()> provider)
+    {
+        extra_roots_provider_ = std::move(provider);
+    }
+
+    /**
+     * Memory regions owned by this instance's machinery (shadow maps,
+     * allocator metadata, page maps). Conservative root scans must skip
+     * them: their contents are bit-patterns and metadata, not program
+     * pointers.
+     */
+    std::vector<sweep::Range> internal_regions() const;
+
+    // ---------------------------------------------------------- Control
+
+    /** Trigger a sweep now and wait for it to complete. */
+    void force_sweep();
+
+    SweepStats sweep_stats() const;
+
+    const Options& options() const { return opts_; }
+
+    /** The substrate allocator (tests and benchmarks introspect it). */
+    alloc::JadeAllocator& substrate() { return jade_; }
+    const alloc::JadeAllocator& substrate() const { return jade_; }
+
+    /** True while an allocation with this base is quarantined. */
+    bool
+    in_quarantine(const void* ptr) const
+    {
+        return quarantine_bitmap_.test(to_addr(ptr));
+    }
+
+  private:
+    class Hooks;
+
+    void quarantine_free(void* ptr, std::uintptr_t base, std::size_t usable,
+                         bool is_large);
+    void unmap_entry(std::uintptr_t base, std::size_t usable);
+    void drain_pending_unmaps_locked();
+    void maybe_trigger_sweep();
+    void maybe_pause_allocations();
+    void run_sweep();
+    void release_entry(const quarantine::Entry& entry);
+    void sweeper_loop();
+    std::vector<sweep::Range> scan_ranges() const;
+
+    Options opts_;
+    alloc::JadeAllocator jade_;
+    std::function<std::vector<sweep::Range>()> extra_roots_provider_;
+    std::unique_ptr<Hooks> hooks_;
+    sweep::ShadowMap shadow_;
+    sweep::ShadowMap quarantine_bitmap_;
+    sweep::PageAccessMap access_map_;
+    sweep::RootRegistry roots_;
+    quarantine::Quarantine quarantine_;
+    sweep::Marker marker_;
+    std::unique_ptr<sweep::SweepWorkers> workers_;
+    std::unique_ptr<sweep::DirtyTracker> tracker_;
+
+    // Deferred page-unmapping while a sweep is scanning (readers must not
+    // lose pages mid-scan). Capacity is fixed at construction; see ctor.
+    static constexpr std::size_t kMaxPendingUnmaps = 4096;
+    SpinLock unmap_lock_;
+    std::atomic<bool> sweep_active_{false};
+    std::vector<quarantine::Entry> pending_unmaps_;
+
+    // Sweeper thread control.
+    std::thread sweeper_thread_;
+    std::mutex sweep_mu_;
+    std::condition_variable sweep_cv_;
+    std::condition_variable sweep_done_cv_;
+    bool sweep_requested_ = false;
+    bool shutdown_ = false;
+    std::atomic<bool> sweep_in_progress_{false};
+    std::atomic<bool> pause_flag_{false};
+    std::atomic<std::uint64_t> sweeps_done_{0};
+
+    // Statistics.
+    std::atomic<std::uint64_t> entries_released_{0};
+    std::atomic<std::uint64_t> bytes_released_{0};
+    std::atomic<std::uint64_t> failed_frees_{0};
+    std::atomic<std::uint64_t> double_frees_{0};
+    std::atomic<std::uint64_t> bytes_scanned_{0};
+    std::atomic<std::uint64_t> sweep_cpu_ns_{0};
+    std::atomic<std::uint64_t> stw_ns_{0};
+    std::atomic<std::uint64_t> pause_ns_{0};
+    std::atomic<std::uint64_t> unmapped_entries_{0};
+    std::atomic<std::uint64_t> alloc_calls_{0};
+    std::atomic<std::uint64_t> free_calls_{0};
+};
+
+}  // namespace msw::core

@@ -1,0 +1,326 @@
+#include "metrics/metrics.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "util/check.h"
+#include "vm/vm.h"
+
+namespace msw::metrics {
+
+double
+process_cpu_seconds()
+{
+    struct rusage ru;
+    if (::getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    const auto to_s = [](const timeval& tv) {
+        return static_cast<double>(tv.tv_sec) +
+               static_cast<double>(tv.tv_usec) * 1e-6;
+    };
+    return to_s(ru.ru_utime) + to_s(ru.ru_stime);
+}
+
+double
+wall_seconds()
+{
+    struct timespec ts;
+    ::clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+// ---------------------------------------------------------------- sampler
+
+RssSampler::RssSampler(unsigned interval_ms)
+    : interval_ms_(interval_ms), start_(wall_seconds())
+{
+    thread_ = std::thread([this] { loop(); });
+}
+
+RssSampler::~RssSampler()
+{
+    stop();
+}
+
+void
+RssSampler::loop()
+{
+    while (!stop_.load(std::memory_order_relaxed)) {
+        const std::size_t rss = vm::current_rss_bytes();
+        {
+            std::lock_guard<std::mutex> g(mu_);
+            samples_.emplace_back(wall_seconds() - start_, rss);
+        }
+        struct timespec ts {
+            0, static_cast<long>(interval_ms_) * 1000000
+        };
+        ::nanosleep(&ts, nullptr);
+    }
+}
+
+void
+RssSampler::stop()
+{
+    if (thread_.joinable()) {
+        stop_.store(true, std::memory_order_relaxed);
+        thread_.join();
+    }
+}
+
+std::size_t
+RssSampler::average() const
+{
+    std::lock_guard<std::mutex> g(mu_);
+    if (samples_.empty())
+        return 0;
+    unsigned long long sum = 0;
+    for (const auto& [t, rss] : samples_)
+        sum += rss;
+    return static_cast<std::size_t>(sum / samples_.size());
+}
+
+std::size_t
+RssSampler::peak() const
+{
+    std::lock_guard<std::mutex> g(mu_);
+    std::size_t best = 0;
+    for (const auto& [t, rss] : samples_)
+        best = rss > best ? rss : best;
+    return best;
+}
+
+std::vector<std::pair<double, std::size_t>>
+RssSampler::series() const
+{
+    std::lock_guard<std::mutex> g(mu_);
+    return samples_;
+}
+
+// ------------------------------------------------------------ subprocess
+
+namespace {
+
+struct WireHeader {
+    double wall_s;
+    double cpu_s;
+    std::uint64_t avg_rss;
+    std::uint64_t peak_rss;
+    std::uint64_t sweeps;
+    std::uint64_t allocs;
+    std::uint64_t frees;
+    std::uint64_t checksum;
+    std::uint64_t series_len;
+};
+
+struct WireSample {
+    double t;
+    std::uint64_t rss;
+};
+
+/**
+ * Read @p len bytes, giving up (and returning false) if nothing arrives
+ * within @p timeout_s seconds (0 = wait forever). On timeout the child is
+ * killed by the caller.
+ */
+bool
+read_fully(int fd, void* buf, std::size_t len, unsigned timeout_s)
+{
+    auto* p = static_cast<char*>(buf);
+    while (len > 0) {
+        if (timeout_s > 0) {
+            struct pollfd pfd {
+                fd, POLLIN, 0
+            };
+            const int pr =
+                ::poll(&pfd, 1, static_cast<int>(timeout_s) * 1000);
+            if (pr <= 0)
+                return false;
+        }
+        const ssize_t n = ::read(fd, p, len);
+        if (n <= 0)
+            return false;
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+write_fully(int fd, const void* buf, std::size_t len)
+{
+    const auto* p = static_cast<const char*>(buf);
+    while (len > 0) {
+        const ssize_t n = ::write(fd, p, len);
+        if (n <= 0)
+            return false;
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+}  // namespace
+
+RunRecord
+run_in_subprocess(const std::function<RunRecord()>& body,
+                  unsigned timeout_s)
+{
+    int fds[2];
+    MSW_CHECK(::pipe(fds) == 0);
+
+    const pid_t pid = ::fork();
+    MSW_CHECK(pid >= 0);
+    if (pid == 0) {
+        ::close(fds[0]);
+        RunRecord rec = body();
+        WireHeader hdr;
+        hdr.wall_s = rec.wall_s;
+        hdr.cpu_s = rec.cpu_s;
+        hdr.avg_rss = rec.avg_rss;
+        hdr.peak_rss = rec.peak_rss;
+        hdr.sweeps = rec.sweeps;
+        hdr.allocs = rec.allocs;
+        hdr.frees = rec.frees;
+        hdr.checksum = rec.checksum;
+        hdr.series_len = rec.rss_series.size();
+        bool ok = write_fully(fds[1], &hdr, sizeof(hdr));
+        for (const auto& [t, rss] : rec.rss_series) {
+            if (!ok)
+                break;
+            WireSample s{t, rss};
+            ok = write_fully(fds[1], &s, sizeof(s));
+        }
+        ::close(fds[1]);
+        ::_exit(ok ? 0 : 1);
+    }
+
+    ::close(fds[1]);
+
+    RunRecord rec;
+    WireHeader hdr;
+    bool ok = read_fully(fds[0], &hdr, sizeof(hdr), timeout_s);
+    if (ok) {
+        rec.wall_s = hdr.wall_s;
+        rec.cpu_s = hdr.cpu_s;
+        rec.avg_rss = hdr.avg_rss;
+        rec.peak_rss = hdr.peak_rss;
+        rec.sweeps = hdr.sweeps;
+        rec.allocs = hdr.allocs;
+        rec.frees = hdr.frees;
+        rec.checksum = hdr.checksum;
+        rec.rss_series.reserve(hdr.series_len);
+        for (std::uint64_t i = 0; i < hdr.series_len && ok; ++i) {
+            WireSample s;
+            ok = read_fully(fds[0], &s, sizeof(s), timeout_s);
+            if (ok)
+                rec.rss_series.emplace_back(s.t, s.rss);
+        }
+    }
+    ::close(fds[0]);
+
+    if (!ok)
+        ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    rec.ok = ok && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    return rec;
+}
+
+// ----------------------------------------------------------------- table
+
+double
+geomean(const std::vector<double>& values)
+{
+    if (values.empty())
+        return 0;
+    double log_sum = 0;
+    for (const double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{}
+
+void
+Table::add_row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = row[c].size() > widths[c] ? row[c].size()
+                                                  : widths[c];
+    }
+    const auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string& cell = c < row.size() ? row[c] : "";
+            std::printf("%c %-*s", c == 0 ? '|' : '|',
+                        static_cast<int>(widths[c]), cell.c_str());
+        }
+        std::printf("|\n");
+    };
+    print_row(headers_);
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        std::printf("|%s", std::string(widths[c] + 2, '-').c_str());
+    }
+    std::printf("|\n");
+    for (const auto& row : rows_)
+        print_row(row);
+    std::fflush(stdout);
+}
+
+std::string
+fmt_ratio(double r)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3fx", r);
+    return buf;
+}
+
+std::string
+fmt_mib(std::size_t bytes)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+    return buf;
+}
+
+std::string
+fmt_seconds(double s)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", s);
+    return buf;
+}
+
+double
+bench_scale()
+{
+    const char* env = std::getenv("MSW_BENCH_SCALE");
+    if (env == nullptr)
+        return 1.0;
+    const double v = std::atof(env);
+    return v > 0 ? v : 1.0;
+}
+
+}  // namespace msw::metrics

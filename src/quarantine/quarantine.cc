@@ -1,0 +1,293 @@
+#include "quarantine/quarantine.h"
+
+#include <sys/mman.h>
+
+#include <cstring>
+
+#include "util/bits.h"
+#include "util/check.h"
+#include "vm/vm.h"
+
+namespace msw::quarantine {
+
+struct Quarantine::ThreadBuffer {
+    std::atomic<Quarantine*> owner{nullptr};
+    ThreadBuffer* reg_prev = nullptr;
+    ThreadBuffer* reg_next = nullptr;
+    std::size_t count = 0;
+    std::size_t capacity = 0;
+    std::size_t mapped_bytes = 0;  // os allocation size, for munmap
+    Entry entries[1];              // [capacity], flexible
+
+    static std::size_t
+    bytes_for(std::size_t capacity)
+    {
+        return sizeof(ThreadBuffer) + (capacity - 1) * sizeof(Entry);
+    }
+};
+
+Quarantine::ThreadBuffer* Quarantine::g_buffer_head = nullptr;
+SpinLock Quarantine::g_buffer_lock;
+
+// ------------------------------------------------------ chunked storage
+
+Quarantine::EntryChunk*
+Quarantine::chunk_alloc()
+{
+    void* mem = ::mmap(nullptr, align_up(sizeof(EntryChunk), vm::kPageSize),
+                       PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    MSW_CHECK(mem != MAP_FAILED);
+    return new (mem) EntryChunk();
+}
+
+void
+Quarantine::chunk_free_list(EntryChunk* head)
+{
+    while (head != nullptr) {
+        EntryChunk* next = head->next;
+        ::munmap(head, align_up(sizeof(EntryChunk), vm::kPageSize));
+        head = next;
+    }
+}
+
+void
+Quarantine::append_locked(EntryChunk** head, const Entry& entry)
+{
+    if (*head == nullptr || (*head)->count == EntryChunk::kEntries) {
+        // mmap is a syscall, not a malloc: safe under lock_ even in the
+        // self-hosted deployment.
+        EntryChunk* chunk = chunk_alloc();
+        chunk->next = *head;
+        *head = chunk;
+    }
+    (*head)->entries[(*head)->count++] = entry;
+}
+
+// ------------------------------------------------------- thread buffers
+
+Quarantine::Quarantine(std::size_t tl_buffer_entries)
+    : buffer_capacity_(tl_buffer_entries > 0 ? tl_buffer_entries : 1)
+{
+    MSW_CHECK(pthread_key_create(&buffer_key_, &buffer_destructor) == 0);
+}
+
+Quarantine::~Quarantine()
+{
+    flush_thread_buffer();
+    {
+        std::lock_guard<SpinLock> g(g_buffer_lock);
+        ThreadBuffer* buf = g_buffer_head;
+        while (buf != nullptr) {
+            ThreadBuffer* next = buf->reg_next;
+            if (buf->owner.load(std::memory_order_relaxed) == this) {
+                buf->owner.store(nullptr, std::memory_order_release);
+                if (buf->reg_prev != nullptr)
+                    buf->reg_prev->reg_next = buf->reg_next;
+                else
+                    g_buffer_head = buf->reg_next;
+                if (buf->reg_next != nullptr)
+                    buf->reg_next->reg_prev = buf->reg_prev;
+                buf->reg_prev = nullptr;
+                buf->reg_next = nullptr;
+            }
+            buf = next;
+        }
+    }
+    pthread_key_delete(buffer_key_);
+    chunk_free_list(current_);
+    chunk_free_list(failed_);
+}
+
+Quarantine::ThreadBuffer*
+Quarantine::get_buffer()
+{
+    auto* buf = static_cast<ThreadBuffer*>(pthread_getspecific(buffer_key_));
+    if (buf != nullptr)
+        return buf;
+    const std::size_t bytes = align_up(
+        ThreadBuffer::bytes_for(buffer_capacity_), vm::kPageSize);
+    void* mem = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    MSW_CHECK(mem != MAP_FAILED);
+    buf = static_cast<ThreadBuffer*>(mem);
+    buf->owner.store(this, std::memory_order_relaxed);
+    buf->capacity = buffer_capacity_;
+    buf->mapped_bytes = bytes;
+    {
+        std::lock_guard<SpinLock> g(g_buffer_lock);
+        buf->reg_next = g_buffer_head;
+        if (g_buffer_head != nullptr)
+            g_buffer_head->reg_prev = buf;
+        g_buffer_head = buf;
+    }
+    pthread_setspecific(buffer_key_, buf);
+    return buf;
+}
+
+void
+Quarantine::buffer_destructor(void* arg)
+{
+    auto* buf = static_cast<ThreadBuffer*>(arg);
+    if (buf->owner.load(std::memory_order_acquire) != nullptr) {
+        std::lock_guard<SpinLock> g(g_buffer_lock);
+        Quarantine* owner = buf->owner.load(std::memory_order_relaxed);
+        if (owner != nullptr) {
+            if (buf->reg_prev != nullptr)
+                buf->reg_prev->reg_next = buf->reg_next;
+            else
+                g_buffer_head = buf->reg_next;
+            if (buf->reg_next != nullptr)
+                buf->reg_next->reg_prev = buf->reg_prev;
+            std::lock_guard<SpinLock> g2(owner->lock_);
+            owner->flush_buffer_locked(buf);
+        }
+    }
+    ::munmap(buf, buf->mapped_bytes);
+}
+
+void
+Quarantine::flush_buffer_locked(ThreadBuffer* buf)
+{
+    for (std::size_t i = 0; i < buf->count; ++i)
+        append_locked(&current_, buf->entries[i]);
+    buf->count = 0;
+}
+
+// ------------------------------------------------------------ public API
+
+void
+Quarantine::insert(const Entry& entry)
+{
+    entries_added_.fetch_add(1, std::memory_order_relaxed);
+    if (entry.unmapped) {
+        unmapped_bytes_.fetch_add(entry.usable, std::memory_order_relaxed);
+    } else {
+        pending_bytes_.fetch_add(entry.usable, std::memory_order_relaxed);
+    }
+    ThreadBuffer* buf = get_buffer();
+    buf->entries[buf->count++] = entry;
+    if (buf->count == buf->capacity) {
+        std::lock_guard<SpinLock> g(lock_);
+        flush_buffer_locked(buf);
+    }
+}
+
+void
+Quarantine::flush_thread_buffer()
+{
+    auto* buf = static_cast<ThreadBuffer*>(pthread_getspecific(buffer_key_));
+    if (buf == nullptr || buf->count == 0)
+        return;
+    std::lock_guard<SpinLock> g(lock_);
+    flush_buffer_locked(buf);
+}
+
+void
+Quarantine::lock_in(std::vector<Entry>& out)
+{
+    flush_thread_buffer();
+
+    EntryChunk* taken_current = nullptr;
+    EntryChunk* taken_failed = nullptr;
+    {
+        std::lock_guard<SpinLock> g(lock_);
+        taken_current = current_;
+        taken_failed = failed_;
+        current_ = nullptr;
+        failed_ = nullptr;
+    }
+
+    // Copy into the caller's vector *outside* lock_: its reallocation may
+    // re-enter the allocator (and thus insert()), which is fine unlocked.
+    out.clear();
+    std::size_t mapped = 0;
+    std::size_t unmapped = 0;
+    for (EntryChunk* c = taken_current; c != nullptr; c = c->next) {
+        for (std::size_t i = 0; i < c->count; ++i) {
+            out.push_back(c->entries[i]);
+            if (c->entries[i].unmapped)
+                unmapped += c->entries[i].usable;
+            else
+                mapped += c->entries[i].usable;
+        }
+    }
+    std::size_t failed_mapped = 0;
+    for (EntryChunk* c = taken_failed; c != nullptr; c = c->next) {
+        for (std::size_t i = 0; i < c->count; ++i) {
+            out.push_back(c->entries[i]);
+            if (c->entries[i].unmapped)
+                unmapped += c->entries[i].usable;
+            else
+                failed_mapped += c->entries[i].usable;
+        }
+    }
+    chunk_free_list(taken_current);
+    chunk_free_list(taken_failed);
+
+    // Accounting: the locked-in set leaves "pending"/"failed"; entries
+    // that fail the sweep re-enter via store_failed().
+    failed_bytes_.fetch_sub(failed_mapped, std::memory_order_relaxed);
+    std::size_t expected = pending_bytes_.load(std::memory_order_relaxed);
+    std::size_t desired;
+    do {
+        desired = expected > mapped ? expected - mapped : 0;
+    } while (!pending_bytes_.compare_exchange_weak(
+        expected, desired, std::memory_order_relaxed));
+    unmapped_bytes_.fetch_sub(unmapped, std::memory_order_relaxed);
+}
+
+void
+Quarantine::store_failed(std::vector<Entry>&& failed)
+{
+    // Build the chunk list outside lock_; chunk_alloc is mmap-backed, so
+    // nothing here can re-enter the allocator.
+    std::size_t mapped = 0;
+    std::size_t unmapped = 0;
+    EntryChunk* head = nullptr;
+    EntryChunk* chunk = nullptr;
+    for (const Entry& e : failed) {
+        if (e.unmapped)
+            unmapped += e.usable;
+        else
+            mapped += e.usable;
+        if (chunk == nullptr || chunk->count == EntryChunk::kEntries) {
+            EntryChunk* fresh = chunk_alloc();
+            fresh->next = head;
+            head = fresh;
+            chunk = fresh;
+        }
+        chunk->entries[chunk->count++] = e;
+    }
+
+    {
+        std::lock_guard<SpinLock> g(lock_);
+        // Attach (failed_ is normally empty here: lock_in drained it).
+        if (failed_ == nullptr) {
+            failed_ = head;
+        } else {
+            EntryChunk* last = head;
+            while (last != nullptr && last->next != nullptr)
+                last = last->next;
+            if (last != nullptr) {
+                last->next = failed_;
+                failed_ = head;
+            }
+        }
+    }
+    failed_bytes_.fetch_add(mapped, std::memory_order_relaxed);
+    unmapped_bytes_.fetch_add(unmapped, std::memory_order_relaxed);
+}
+
+QuarantineStats
+Quarantine::stats() const
+{
+    QuarantineStats s;
+    s.pending_bytes = pending_bytes_.load(std::memory_order_relaxed);
+    s.failed_bytes = failed_bytes_.load(std::memory_order_relaxed);
+    s.unmapped_bytes = unmapped_bytes_.load(std::memory_order_relaxed);
+    s.entries_added = entries_added_.load(std::memory_order_relaxed);
+    return s;
+}
+
+}  // namespace msw::quarantine

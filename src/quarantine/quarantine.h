@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The quarantine: freed allocations held until a sweep proves no dangling
+ * pointer targets them (paper §3).
+ *
+ * Structure:
+ *  - per-thread buffers absorb free() bursts without lock traffic (paper
+ *    contribution (c): "thread-local quarantine buffers to reduce lock
+ *    contention"); they spill into the global current epoch;
+ *  - the *current epoch* collects entries between sweeps;
+ *  - at sweep start the current epoch plus all previously *failed* frees
+ *    are locked in; frees arriving during the sweep go to a fresh epoch
+ *    and can only be recycled by a future sweep (§4.3);
+ *  - entries whose shadow range is marked stay behind as failed frees,
+ *    excluded from both sides of the trigger inequality (§3.2).
+ */
+#pragma once
+
+#include <pthread.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/spin_lock.h"
+
+namespace msw::quarantine {
+
+/**
+ * One quarantined allocation.
+ *
+ * The stored address is XOR-masked: quarantine lists (and the sweeper's
+ * locked-in snapshot) may themselves live in scannable memory — in the
+ * LD_PRELOAD deployment they are allocated from the protected heap — and
+ * a raw address there would look like a dangling pointer and self-pin
+ * every quarantined object. Masking keeps the quarantine's own metadata
+ * invisible to the conservative scan (the paper instead excludes its
+ * metadata ranges from sweeping, §3.2; masking achieves the same
+ * exclusion without a range list).
+ */
+struct Entry {
+    /** Masked address; use real_base(), construct with make(). */
+    std::uintptr_t masked_base = 0;
+    std::size_t usable = 0;
+    /** Physical pages released while quarantined (paper §4.2). */
+    bool unmapped = false;
+
+    static constexpr std::uintptr_t kPtrMask = 0xa5a5'5a5a'c3c3'3c3cull;
+
+    static Entry
+    make(std::uintptr_t base, std::size_t usable, bool unmapped)
+    {
+        return Entry{base ^ kPtrMask, usable, unmapped};
+    }
+
+    std::uintptr_t
+    real_base() const
+    {
+        return masked_base ^ kPtrMask;
+    }
+};
+
+/** Aggregate quarantine statistics. */
+struct QuarantineStats {
+    std::size_t pending_bytes = 0;    ///< Current epoch (mapped bytes).
+    std::size_t failed_bytes = 0;     ///< Failed frees awaiting re-test.
+    std::size_t unmapped_bytes = 0;   ///< Unmapped quarantined bytes.
+    std::uint64_t entries_added = 0;  ///< Total quarantined frees.
+    std::uint64_t double_frees = 0;   ///< Duplicates absorbed (by caller).
+};
+
+class Quarantine
+{
+  public:
+    explicit Quarantine(std::size_t tl_buffer_entries = 64);
+    ~Quarantine();
+
+    Quarantine(const Quarantine&) = delete;
+    Quarantine& operator=(const Quarantine&) = delete;
+
+    /**
+     * Add an allocation to the calling thread's buffer (spilling to the
+     * global epoch when full).
+     */
+    void insert(const Entry& entry);
+
+    /** Spill the calling thread's buffer into the global epoch. */
+    void flush_thread_buffer();
+
+    /**
+     * Byte size of the current epoch, *excluding* unmapped entries (which
+     * do not count towards the sweep threshold, §4.2) and excluding failed
+     * frees (§3.2). Includes bytes still sitting in thread buffers.
+     */
+    std::size_t
+    pending_bytes() const
+    {
+        return pending_bytes_.load(std::memory_order_relaxed);
+    }
+
+    /** Unmapped bytes currently in quarantine (current + failed). */
+    std::size_t
+    unmapped_bytes() const
+    {
+        return unmapped_bytes_.load(std::memory_order_relaxed);
+    }
+
+    std::size_t
+    failed_bytes() const
+    {
+        return failed_bytes_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Lock in the sweep set: moves the current epoch (with the caller's
+     * buffer flushed) plus all failed frees into @p out. Entries freed
+     * after this call land in a fresh epoch.
+     */
+    void lock_in(std::vector<Entry>& out);
+
+    /**
+     * Record the failed frees left over from a sweep over the set obtained
+     * from lock_in().
+     */
+    void store_failed(std::vector<Entry>&& failed);
+
+    QuarantineStats stats() const;
+
+  private:
+    struct ThreadBuffer;
+
+    /**
+     * Internal storage is mmap-chunked, never malloc'd: in the
+     * self-hosted (LD_PRELOAD) deployment a std::vector growing under
+     * lock_ would free its old buffer through the interposed free(),
+     * re-enter insert() and self-deadlock on the non-reentrant spin lock.
+     */
+    struct EntryChunk {
+        static constexpr std::size_t kEntries = 1022;
+        EntryChunk* next = nullptr;
+        std::size_t count = 0;
+        Entry entries[kEntries];
+    };
+
+    ThreadBuffer* get_buffer();
+    void flush_buffer_locked(ThreadBuffer* buf);
+    static void buffer_destructor(void* arg);
+
+    static EntryChunk* chunk_alloc();
+    static void chunk_free_list(EntryChunk* head);
+    /** Append to a chunk list (caller holds lock_). */
+    void append_locked(EntryChunk** head, const Entry& entry);
+
+    const std::size_t buffer_capacity_;
+    pthread_key_t buffer_key_{};
+
+    mutable SpinLock lock_;
+    EntryChunk* current_ = nullptr;
+    EntryChunk* failed_ = nullptr;
+
+    std::atomic<std::size_t> pending_bytes_{0};
+    std::atomic<std::size_t> unmapped_bytes_{0};
+    std::atomic<std::size_t> failed_bytes_{0};
+    std::atomic<std::uint64_t> entries_added_{0};
+
+    // Global registry of thread buffers so the destructor can orphan
+    // buffers of still-running threads.
+    static ThreadBuffer* g_buffer_head;
+    static SpinLock g_buffer_lock;
+};
+
+}  // namespace msw::quarantine

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Exerciser for the LD_PRELOAD shim: an ordinary dynamically-linked C++
+ * program that uses malloc/free, new/delete, STL containers, realloc and
+ * posix_memalign — and contains a deliberate use-after-free pattern whose
+ * exploitation the shim must prevent.
+ *
+ * Run directly it uses glibc malloc; run under the shim all allocation is
+ * MineSweeper's:
+ *
+ *   $ LD_PRELOAD=.../libminesweeper_preload.so ./shim_victim
+ */
+#include <malloc.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+/** The "program bug": a global dangling pointer. */
+void* g_dangling;
+
+bool
+spray_aliases_victim()
+{
+    char* victim = static_cast<char*>(std::malloc(200));
+    std::snprintf(victim, 200, "session token: 1234");
+    g_dangling = victim;
+    std::free(victim);  // erroneous free; pointer survives in g_dangling
+
+    bool aliased = false;
+    std::vector<void*> sprays;
+    for (int i = 0; i < 4000 && !aliased; ++i) {
+        void* p = std::malloc(200);
+        std::memset(p, 'X', 200);
+        sprays.push_back(p);
+        aliased = p == victim;
+    }
+    for (void* p : sprays)
+        std::free(p);
+    g_dangling = nullptr;
+    return aliased;
+}
+
+}  // namespace
+
+int
+main()
+{
+    // Plain malloc/free churn with integrity checks.
+    std::vector<std::pair<unsigned char*, unsigned char>> live;
+    for (int i = 0; i < 50000; ++i) {
+        if (live.empty() || (i % 5) != 0) {
+            const std::size_t size = 1 + (i * 2654435761u) % 2000;
+            auto* p = static_cast<unsigned char*>(std::malloc(size));
+            const auto canary = static_cast<unsigned char>(i);
+            std::memset(p, canary, size);
+            live.emplace_back(p, canary);
+        } else {
+            auto [p, canary] = live.back();
+            live.pop_back();
+            if (*p != canary) {
+                std::printf("VICTIM FAIL: canary corrupted\n");
+                return 1;
+            }
+            std::free(p);
+        }
+    }
+    for (auto [p, canary] : live)
+        std::free(p);
+
+    // C++ operators and containers.
+    auto* numbers = new int[1000];
+    for (int i = 0; i < 1000; ++i)
+        numbers[i] = i;
+    std::map<std::string, int> table;
+    for (int i = 0; i < 2000; ++i)
+        table["key-" + std::to_string(i)] = numbers[i % 1000];
+    if (table.at("key-1999") != 999) {
+        std::printf("VICTIM FAIL: container state wrong\n");
+        return 1;
+    }
+    delete[] numbers;
+
+    // realloc ladder.
+    char* buf = static_cast<char*>(std::malloc(16));
+    std::strcpy(buf, "grow me");
+    for (std::size_t size = 32; size <= 1 << 20; size *= 4)
+        buf = static_cast<char*>(std::realloc(buf, size));
+    if (std::strcmp(buf, "grow me") != 0) {
+        std::printf("VICTIM FAIL: realloc lost data\n");
+        return 1;
+    }
+    std::free(buf);
+
+    // Aligned allocation.
+    void* aligned = nullptr;
+    if (posix_memalign(&aligned, 4096, 10000) != 0 ||
+        (reinterpret_cast<std::uintptr_t>(aligned) & 4095) != 0) {
+        std::printf("VICTIM FAIL: posix_memalign\n");
+        return 1;
+    }
+    std::free(aligned);
+
+    // usable size sanity.
+    void* probe = std::malloc(100);
+    if (malloc_usable_size(probe) < 100) {
+        std::printf("VICTIM FAIL: malloc_usable_size\n");
+        return 1;
+    }
+    std::free(probe);
+
+    // The use-after-free exploit attempt.
+    const bool aliased = spray_aliases_victim();
+    std::printf("uaf spray aliased the freed object: %s\n",
+                aliased ? "YES (unprotected allocator)"
+                        : "NO (reuse was prevented)");
+
+    // Under the shim, reuse while the dangling pointer existed must not
+    // have happened. MSW_SHIM_EXPECT=1 makes that a hard failure.
+    const char* expect = std::getenv("MSW_SHIM_EXPECT");
+    if (expect != nullptr && std::strcmp(expect, "protected") == 0 &&
+        aliased) {
+        std::printf("VICTIM FAIL: use-after-reallocate occurred under "
+                    "the shim\n");
+        return 1;
+    }
+    std::printf("VICTIM OK\n");
+    return 0;
+}

@@ -1,0 +1,261 @@
+#include "sweep/roots.h"
+
+#include <ucontext.h>
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+
+#include "util/bits.h"
+#include "util/check.h"
+#include "util/log.h"
+
+namespace msw::sweep {
+
+namespace {
+
+/** Signal used to park mutator threads for stop-the-world phases. */
+constexpr int kParkSignal = SIGUSR1;
+
+/** The calling thread's mutator record, if registered. */
+thread_local MutatorThread* tls_self = nullptr;
+
+/** Extra per-thread state the handler needs, kept out of the header. */
+struct ParkControl {
+    std::atomic<std::uint64_t>* resume_gen;
+    std::atomic<int>* park_count;
+};
+thread_local ParkControl tls_park{};
+
+std::atomic<bool> g_handler_installed{false};
+
+void
+sleep_ns(long ns)
+{
+    struct timespec ts {
+        0, ns
+    };
+    ::nanosleep(&ts, nullptr);
+}
+
+}  // namespace
+
+// Out-of-line STW state (one per registry) — defined here to keep the
+// header free of signal plumbing.
+struct RootRegistry::StwState {
+    std::atomic<std::uint64_t> resume_gen{0};
+    std::atomic<int> parked{0};
+};
+
+void
+RootRegistry::park_handler(int, siginfo_t*, void* ucontext)
+{
+    MutatorThread* self = tls_self;
+    if (self == nullptr || tls_park.resume_gen == nullptr)
+        return;
+
+    // Capture the register file: a dangling pointer living only in a
+    // register must still pin its allocation during the STW recheck.
+    const auto* uc = static_cast<const ucontext_t*>(ucontext);
+    const std::size_t n = sizeof(uc->uc_mcontext.gregs) /
+                          sizeof(uc->uc_mcontext.gregs[0]);
+    const std::size_t count = n < 32 ? n : 32;
+    for (std::size_t i = 0; i < count; ++i)
+        self->regs[i] = static_cast<std::uint64_t>(uc->uc_mcontext.gregs[i]);
+    self->num_regs = static_cast<unsigned>(count);
+
+    const std::uint64_t gen =
+        tls_park.resume_gen->load(std::memory_order_acquire);
+    self->parked = true;
+    tls_park.park_count->fetch_add(1, std::memory_order_release);
+    while (tls_park.resume_gen->load(std::memory_order_acquire) == gen)
+        sleep_ns(50000);
+    self->parked = false;
+}
+
+void
+RootRegistry::install_handler()
+{
+    bool expected = false;
+    if (g_handler_installed.compare_exchange_strong(expected, true)) {
+        struct sigaction sa;
+        std::memset(&sa, 0, sizeof(sa));
+        sa.sa_sigaction = &RootRegistry::park_handler;
+        sa.sa_flags = SA_SIGINFO | SA_RESTART;
+        sigemptyset(&sa.sa_mask);
+        MSW_CHECK(sigaction(kParkSignal, &sa, nullptr) == 0);
+    }
+}
+
+RootRegistry::RootRegistry() : stw_(new StwState) {}
+
+RootRegistry::~RootRegistry()
+{
+    delete stw_;
+}
+
+void
+RootRegistry::add_root(const void* base, std::size_t len)
+{
+    std::lock_guard<SpinLock> g(lock_);
+    roots_.push_back(Range{to_addr(base), len});
+}
+
+void
+RootRegistry::remove_root(const void* base)
+{
+    std::lock_guard<SpinLock> g(lock_);
+    for (std::size_t i = 0; i < roots_.size(); ++i) {
+        if (roots_[i].base == to_addr(base)) {
+            roots_[i] = roots_.back();
+            roots_.pop_back();
+            return;
+        }
+    }
+}
+
+void
+RootRegistry::register_current_thread()
+{
+    install_handler();
+    MSW_CHECK(tls_self == nullptr);
+
+    auto* t = new MutatorThread();
+    t->handle = pthread_self();
+
+    pthread_attr_t attr;
+    MSW_CHECK(pthread_getattr_np(pthread_self(), &attr) == 0);
+    void* stack_addr = nullptr;
+    std::size_t stack_size = 0;
+    MSW_CHECK(pthread_attr_getstack(&attr, &stack_addr, &stack_size) == 0);
+    pthread_attr_destroy(&attr);
+    t->stack = Range{to_addr(stack_addr), stack_size};
+
+    tls_self = t;
+    tls_park.resume_gen = &stw_->resume_gen;
+    tls_park.park_count = &stw_->parked;
+
+    std::lock_guard<SpinLock> g(lock_);
+    threads_.push_back(t);
+}
+
+void
+RootRegistry::unregister_current_thread()
+{
+    MutatorThread* t = tls_self;
+    MSW_CHECK(t != nullptr);
+    {
+        std::lock_guard<SpinLock> g(lock_);
+        for (std::size_t i = 0; i < threads_.size(); ++i) {
+            if (threads_[i] == t) {
+                threads_[i] = threads_.back();
+                threads_.pop_back();
+                break;
+            }
+        }
+    }
+    tls_self = nullptr;
+    tls_park = ParkControl{};
+    delete t;
+}
+
+std::vector<Range>
+RootRegistry::roots() const
+{
+    std::lock_guard<SpinLock> g(lock_);
+    return roots_;
+}
+
+std::vector<Range>
+RootRegistry::stacks() const
+{
+    std::lock_guard<SpinLock> g(lock_);
+    std::vector<Range> out;
+    out.reserve(threads_.size());
+    for (const MutatorThread* t : threads_)
+        out.push_back(t->stack);
+    return out;
+}
+
+std::size_t
+RootRegistry::num_threads() const
+{
+    std::lock_guard<SpinLock> g(lock_);
+    return threads_.size();
+}
+
+void
+RootRegistry::stop_world()
+{
+    lock_.lock();  // held until resume_world(): registry frozen
+    MSW_CHECK(!world_stopped_);
+    world_stopped_ = true;
+    stw_->parked.store(0, std::memory_order_relaxed);
+
+    int expected = 0;
+    const pthread_t self = pthread_self();
+    for (MutatorThread* t : threads_) {
+        if (pthread_equal(t->handle, self))
+            continue;
+        MSW_CHECK(pthread_kill(t->handle, kParkSignal) == 0);
+        ++expected;
+    }
+    stw_expected_ = expected;
+
+    const std::uint64_t deadline = 10000;  // ms
+    std::uint64_t waited_us = 0;
+    while (stw_->parked.load(std::memory_order_acquire) < expected) {
+        sleep_ns(100000);
+        waited_us += 100;
+        if (waited_us > deadline * 1000)
+            panic("stop_world: %d of %d threads failed to park",
+                  expected - stw_->parked.load(), expected);
+    }
+}
+
+void
+RootRegistry::resume_world()
+{
+    MSW_CHECK(world_stopped_);
+    stw_->resume_gen.fetch_add(1, std::memory_order_release);
+    world_stopped_ = false;
+    lock_.unlock();
+}
+
+std::vector<Range>
+RootRegistry::roots_stw() const
+{
+    MSW_CHECK(world_stopped_);
+    return roots_;
+}
+
+std::vector<Range>
+RootRegistry::stacks_stw() const
+{
+    MSW_CHECK(world_stopped_);
+    std::vector<Range> out;
+    out.reserve(threads_.size());
+    for (const MutatorThread* t : threads_)
+        out.push_back(t->stack);
+    return out;
+}
+
+std::vector<Range>
+RootRegistry::parked_registers() const
+{
+    // Only valid while the world is stopped (lock_ is held by the
+    // stopper, which is the caller).
+    MSW_CHECK(world_stopped_);
+    std::vector<Range> out;
+    const pthread_t self = pthread_self();
+    for (const MutatorThread* t : threads_) {
+        if (pthread_equal(t->handle, self))
+            continue;
+        out.push_back(Range{to_addr(&t->regs[0]),
+                            t->num_regs * sizeof(std::uint64_t)});
+    }
+    return out;
+}
+
+}  // namespace msw::sweep

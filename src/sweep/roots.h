@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Root registry: the non-heap memory regions a sweep must scan.
+ *
+ * The paper's sweeps cover "heap, stack and globals" (§4.4). In the
+ * LD_PRELOAD deployment these are discovered from /proc/self/maps; as a
+ * library, the embedding application (or the workload driver) registers
+ * its global/root ranges explicitly, and mutator threads register
+ * themselves so their stacks are scanned and they can be stopped during
+ * the mostly-concurrent stop-the-world phase.
+ */
+#pragma once
+
+#include <pthread.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/spin_lock.h"
+
+namespace msw::sweep {
+
+/** A half-open address range. */
+struct Range {
+    std::uintptr_t base = 0;
+    std::size_t len = 0;
+
+    std::uintptr_t
+    end() const
+    {
+        return base + len;
+    }
+
+    bool
+    empty() const
+    {
+        return len == 0;
+    }
+};
+
+/** Per-registered-thread record. */
+struct MutatorThread {
+    pthread_t handle{};
+    /** Full stack range from pthread attributes. */
+    Range stack;
+    /** Register snapshot captured while parked (stop-the-world). */
+    std::uint64_t regs[32];
+    unsigned num_regs = 0;
+    bool parked = false;
+};
+
+/**
+ * Registry of root ranges and mutator threads. Thread-safe; sweeps take a
+ * snapshot under the lock.
+ */
+class RootRegistry
+{
+  public:
+    RootRegistry();
+    ~RootRegistry();
+    RootRegistry(const RootRegistry&) = delete;
+    RootRegistry& operator=(const RootRegistry&) = delete;
+
+    /** Register a root range (globals, object tables, ...). */
+    void add_root(const void* base, std::size_t len);
+
+    /** Remove a previously registered root range (exact match). */
+    void remove_root(const void* base);
+
+    /**
+     * Register the calling thread as a mutator: its stack will be scanned
+     * by sweeps and it will be suspended during stop-the-world phases.
+     */
+    void register_current_thread();
+
+    /** Unregister the calling thread (must be called before it exits). */
+    void unregister_current_thread();
+
+    /** Snapshot of explicit root ranges. */
+    std::vector<Range> roots() const;
+
+    /**
+     * Snapshot of the *currently live* portion of each registered mutator
+     * stack (from the stack's low bound that could hold data up to its
+     * top). Conservative: returns the full registered stack range.
+     */
+    std::vector<Range> stacks() const;
+
+    /** Number of registered mutator threads. */
+    std::size_t num_threads() const;
+
+    // --- Stop-the-world ------------------------------------------------
+
+    /**
+     * Suspend every registered mutator thread except the caller. Parked
+     * threads capture their register files, scannable via
+     * parked_registers(). Must be paired with resume_world().
+     */
+    void stop_world();
+
+    /** Resume all threads parked by stop_world(). */
+    void resume_world();
+
+    /**
+     * Register snapshots of parked threads (valid only between
+     * stop_world() and resume_world()).
+     */
+    std::vector<Range> parked_registers() const;
+
+    /**
+     * Lock-free views for use *between* stop_world() and resume_world()
+     * (the stopper holds the registry lock for the whole window, so the
+     * plain accessors would self-deadlock).
+     */
+    std::vector<Range> roots_stw() const;
+    std::vector<Range> stacks_stw() const;
+
+  private:
+    struct StwState;
+
+    static void park_handler(int sig, siginfo_t* info, void* ucontext);
+    static void install_handler();
+
+    mutable SpinLock lock_;
+    std::vector<Range> roots_;
+    std::vector<MutatorThread*> threads_;
+
+    StwState* stw_ = nullptr;
+    int stw_expected_ = 0;
+    bool world_stopped_ = false;
+};
+
+}  // namespace msw::sweep

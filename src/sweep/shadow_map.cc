@@ -1,0 +1,86 @@
+#include "sweep/shadow_map.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace msw::sweep {
+
+ShadowMap::ShadowMap(std::uintptr_t heap_base, std::size_t heap_bytes)
+    : heap_base_(heap_base), heap_end_(heap_base + heap_bytes)
+{
+    MSW_CHECK(is_aligned(heap_base, kGranuleBytes));
+    MSW_CHECK(is_aligned(heap_bytes, kGranuleBytes));
+    const std::size_t granules = heap_bytes / kGranuleBytes;
+    num_words_ = ceil_div(granules, 64);
+    space_ = vm::Reservation::reserve(num_words_ * sizeof(std::uint64_t));
+    space_.commit(space_.base(), space_.size());
+    words_ = reinterpret_cast<std::atomic<std::uint64_t>*>(space_.base());
+
+    const std::size_t shadow_bytes = num_words_ * sizeof(std::uint64_t);
+    num_chunks_ = ceil_div(shadow_bytes, kChunkBytes);
+    chunk_space_ = vm::Reservation::reserve(
+        ceil_div(num_chunks_, 64) * sizeof(std::uint64_t));
+    chunk_space_.commit(chunk_space_.base(), chunk_space_.size());
+    chunk_dirty_ =
+        reinterpret_cast<std::atomic<std::uint64_t>*>(chunk_space_.base());
+}
+
+bool
+ShadowMap::test_range(std::uintptr_t addr, std::size_t len) const
+{
+    MSW_DCHECK(len > 0);
+    MSW_DCHECK(covers(addr) && covers(addr + len - 1));
+    const std::size_t g_first = granule_of(addr);
+    const std::size_t g_last = granule_of(addr + len - 1);
+    std::size_t w = g_first / 64;
+    const std::size_t w_last = g_last / 64;
+
+    if (w == w_last) {
+        std::uint64_t mask = ~std::uint64_t{0} << (g_first % 64);
+        const unsigned top = static_cast<unsigned>(g_last % 64);
+        if (top != 63)
+            mask &= (std::uint64_t{1} << (top + 1)) - 1;
+        return (words_[w].load(std::memory_order_relaxed) & mask) != 0;
+    }
+
+    // First partial word.
+    const std::uint64_t head_mask = ~std::uint64_t{0} << (g_first % 64);
+    if ((words_[w].load(std::memory_order_relaxed) & head_mask) != 0)
+        return true;
+    // Full middle words.
+    for (++w; w < w_last; ++w) {
+        if (words_[w].load(std::memory_order_relaxed) != 0)
+            return true;
+    }
+    // Last partial word.
+    const unsigned top = static_cast<unsigned>(g_last % 64);
+    const std::uint64_t tail_mask =
+        top == 63 ? ~std::uint64_t{0} : (std::uint64_t{1} << (top + 1)) - 1;
+    return (words_[w_last].load(std::memory_order_relaxed) & tail_mask) != 0;
+}
+
+void
+ShadowMap::clear_marks()
+{
+    const std::size_t chunk_words = ceil_div(num_chunks_, 64);
+    for (std::size_t cw = 0; cw < chunk_words; ++cw) {
+        std::uint64_t bits =
+            chunk_dirty_[cw].exchange(0, std::memory_order_relaxed);
+        while (bits != 0) {
+            const unsigned b = static_cast<unsigned>(
+                __builtin_ctzll(bits));
+            bits &= bits - 1;
+            const std::size_t chunk = cw * 64 + b;
+            const std::size_t byte_off = chunk * kChunkBytes;
+            const std::size_t bytes =
+                byte_off + kChunkBytes <= num_words_ * sizeof(std::uint64_t)
+                    ? kChunkBytes
+                    : num_words_ * sizeof(std::uint64_t) - byte_off;
+            std::memset(reinterpret_cast<char*>(space_.base()) + byte_off, 0,
+                        bytes);
+        }
+    }
+}
+
+}  // namespace msw::sweep

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The shadow map: one mark bit per 16 B granule of the heap reservation
+ * (paper §3.2, Figure 5).
+ *
+ * During the marking phase of a sweep, every word of scanned memory that
+ * looks like a pointer into the heap sets the bit for its target granule.
+ * The release phase then tests, for each quarantined allocation, whether
+ * any bit in the allocation's granule range is set; a set bit means a
+ * (possible) dangling pointer and the allocation stays in quarantine.
+ *
+ * The bit-space is flat over the heap reservation (< 1 % of heap size).
+ * Clearing between sweeps is made cheap by tracking which 64 KiB chunks of
+ * shadow were touched, so only those are zeroed.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bits.h"
+#include "vm/vm.h"
+
+namespace msw::sweep {
+
+class ShadowMap
+{
+  public:
+    /** Granule size: one mark bit covers this many bytes of heap. */
+    static constexpr std::size_t kGranuleBytes = 16;
+
+    /** Shadow chunk granularity for dirty tracking (bytes of shadow). */
+    static constexpr std::size_t kChunkBytes = 64 * 1024;
+
+    /**
+     * Create a shadow map covering [heap_base, heap_base + heap_bytes).
+     * @p heap_base must be 16-byte aligned; @p heap_bytes a multiple of 16.
+     */
+    ShadowMap(std::uintptr_t heap_base, std::size_t heap_bytes);
+
+    ShadowMap(const ShadowMap&) = delete;
+    ShadowMap& operator=(const ShadowMap&) = delete;
+
+    /** True if @p addr falls inside the covered heap range. */
+    bool
+    covers(std::uintptr_t addr) const
+    {
+        return addr >= heap_base_ && addr < heap_end_;
+    }
+
+    /** Set the mark bit for the granule containing @p addr (atomic). */
+    void
+    mark(std::uintptr_t addr)
+    {
+        const std::size_t g = granule_of(addr);
+        auto* word = &words_[g / 64];
+        const std::uint64_t bit = std::uint64_t{1} << (g % 64);
+        // Avoid the RMW when the bit is already set (common for hot
+        // targets); the load is much cheaper than a contended lock;or.
+        if ((word->load(std::memory_order_relaxed) & bit) == 0) {
+            word->fetch_or(bit, std::memory_order_relaxed);
+            note_chunk_dirty(g);
+        }
+    }
+
+    /**
+     * Atomically set the bit for @p addr's granule, returning its
+     * previous value (used for double-free de-duplication).
+     */
+    bool
+    test_and_set(std::uintptr_t addr)
+    {
+        const std::size_t g = granule_of(addr);
+        const std::uint64_t bit = std::uint64_t{1} << (g % 64);
+        const bool was_set =
+            (words_[g / 64].fetch_or(bit, std::memory_order_acq_rel) &
+             bit) != 0;
+        if (!was_set)
+            note_chunk_dirty(g);
+        return was_set;
+    }
+
+    /** Clear the mark bit for the granule containing @p addr (atomic). */
+    void
+    clear(std::uintptr_t addr)
+    {
+        const std::size_t g = granule_of(addr);
+        words_[g / 64].fetch_and(~(std::uint64_t{1} << (g % 64)),
+                                 std::memory_order_relaxed);
+    }
+
+    /** True if the granule containing @p addr is marked. */
+    bool
+    test(std::uintptr_t addr) const
+    {
+        const std::size_t g = granule_of(addr);
+        return (words_[g / 64].load(std::memory_order_relaxed) >>
+                (g % 64)) &
+               1u;
+    }
+
+    /**
+     * True if any granule intersecting [addr, addr+len) is marked.
+     * This is the release-phase test: a set bit anywhere in the
+     * allocation's range (including interior pointers) pins it.
+     */
+    bool test_range(std::uintptr_t addr, std::size_t len) const;
+
+    /** Clear every mark bit touched since the last clear. */
+    void clear_marks();
+
+    /** Total size of the shadow bit-space in bytes (for stats). */
+    std::size_t
+    shadow_bytes() const
+    {
+        return num_words_ * sizeof(std::uint64_t);
+    }
+
+    /** Backing storage regions (for scan exclusion lists). */
+    const vm::Reservation& storage() const { return space_; }
+    const vm::Reservation& chunk_storage() const { return chunk_space_; }
+
+  private:
+    std::size_t
+    granule_of(std::uintptr_t addr) const
+    {
+        MSW_DCHECK(covers(addr));
+        return (addr - heap_base_) / kGranuleBytes;
+    }
+
+    /** Record that granule @p g's shadow chunk was touched (for clears). */
+    void
+    note_chunk_dirty(std::size_t g)
+    {
+        const std::size_t chunk =
+            (g / 64) * sizeof(std::uint64_t) / kChunkBytes;
+        auto* cword = &chunk_dirty_[chunk / 64];
+        const std::uint64_t cbit = std::uint64_t{1} << (chunk % 64);
+        if ((cword->load(std::memory_order_relaxed) & cbit) == 0)
+            cword->fetch_or(cbit, std::memory_order_relaxed);
+    }
+
+    std::uintptr_t heap_base_;
+    std::uintptr_t heap_end_;
+    vm::Reservation space_;
+    vm::Reservation chunk_space_;
+    std::atomic<std::uint64_t>* words_ = nullptr;
+    std::atomic<std::uint64_t>* chunk_dirty_ = nullptr;
+    std::size_t num_words_ = 0;
+    std::size_t num_chunks_ = 0;
+};
+
+}  // namespace msw::sweep

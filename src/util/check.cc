@@ -1,0 +1,52 @@
+#include "util/check.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace msw {
+
+namespace {
+
+void
+vreport(const char* kind, const char* fmt, va_list ap)
+{
+    std::fprintf(stderr, "[msw %s] ", kind);
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+    std::fflush(stderr);
+}
+
+}  // namespace
+
+void
+panic(const char* fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("panic", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatal(const char* fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("fatal", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+namespace detail {
+
+void
+check_failed(const char* cond, const char* file, int line)
+{
+    panic("check failed: %s (%s:%d)", cond, file, line);
+}
+
+}  // namespace detail
+
+}  // namespace msw

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fatal-error and invariant-checking helpers.
+ *
+ * Allocator code cannot use exceptions on its hot paths (it may be called
+ * underneath code that itself cannot unwind, e.g. the LD_PRELOAD shim), so
+ * invariant violations terminate via abort() after printing a diagnostic.
+ *
+ * MSW_CHECK   — always-on invariant; aborts on failure.
+ * MSW_DCHECK  — debug-only invariant; compiled out in NDEBUG builds.
+ * msw::panic  — unconditional "this is a bug" termination.
+ * msw::fatal  — unconditional "user/environment error" termination.
+ */
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace msw {
+
+/** Print a formatted message describing an internal bug and abort(). */
+[[noreturn]] [[gnu::format(printf, 1, 2)]]
+void panic(const char* fmt, ...);
+
+/**
+ * Print a formatted message describing an unrecoverable environment or
+ * configuration error (not a bug in this library) and exit(1).
+ */
+[[noreturn]] [[gnu::format(printf, 1, 2)]]
+void fatal(const char* fmt, ...);
+
+namespace detail {
+
+[[noreturn]]
+void check_failed(const char* cond, const char* file, int line);
+
+}  // namespace detail
+
+}  // namespace msw
+
+#define MSW_CHECK(cond)                                               \
+    do {                                                              \
+        if (__builtin_expect(!(cond), 0)) {                           \
+            ::msw::detail::check_failed(#cond, __FILE__, __LINE__);   \
+        }                                                             \
+    } while (0)
+
+#ifdef NDEBUG
+#define MSW_DCHECK(cond) \
+    do {                 \
+    } while (0)
+#else
+#define MSW_DCHECK(cond) MSW_CHECK(cond)
+#endif

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Minimal levelled logging. Output goes to stderr; the level is set either
+ * programmatically or from the MSW_LOG environment variable
+ * (error|warn|info|debug). Logging is off above the configured level and
+ * costs one relaxed atomic load when disabled.
+ */
+#pragma once
+
+#include <atomic>
+
+namespace msw {
+
+enum class LogLevel : int {
+    kError = 0,
+    kWarn = 1,
+    kInfo = 2,
+    kDebug = 3,
+};
+
+namespace detail {
+extern std::atomic<int> g_log_level;
+[[gnu::format(printf, 2, 3)]]
+void log_write(LogLevel level, const char* fmt, ...);
+}  // namespace detail
+
+/** Set the global log level. */
+void set_log_level(LogLevel level);
+
+/** Current global log level. */
+inline LogLevel
+log_level()
+{
+    return static_cast<LogLevel>(
+        detail::g_log_level.load(std::memory_order_relaxed));
+}
+
+/** True if messages at @p level would currently be emitted. */
+inline bool
+log_enabled(LogLevel level)
+{
+    return static_cast<int>(level) <=
+           detail::g_log_level.load(std::memory_order_relaxed);
+}
+
+}  // namespace msw
+
+#define MSW_LOG(level, ...)                                  \
+    do {                                                     \
+        if (::msw::log_enabled(level)) {                     \
+            ::msw::detail::log_write(level, __VA_ARGS__);    \
+        }                                                    \
+    } while (0)
+
+#define MSW_LOG_ERROR(...) MSW_LOG(::msw::LogLevel::kError, __VA_ARGS__)
+#define MSW_LOG_WARN(...) MSW_LOG(::msw::LogLevel::kWarn, __VA_ARGS__)
+#define MSW_LOG_INFO(...) MSW_LOG(::msw::LogLevel::kInfo, __VA_ARGS__)
+#define MSW_LOG_DEBUG(...) MSW_LOG(::msw::LogLevel::kDebug, __VA_ARGS__)

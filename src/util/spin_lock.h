@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Small locking primitives for allocator-internal synchronisation. A
+ * test-and-test-and-set spin lock with exponential pause backoff is used for
+ * short critical sections (bin operations, quarantine buffer flushes); it
+ * satisfies the Lockable named requirement so it composes with
+ * std::lock_guard / std::scoped_lock.
+ */
+#pragma once
+
+#include <atomic>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace msw {
+
+/** CPU pause hint for spin loops. */
+inline void
+cpu_relax()
+{
+#if defined(__x86_64__)
+    _mm_pause();
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/** TTAS spin lock with bounded exponential backoff. */
+class SpinLock
+{
+  public:
+    SpinLock() = default;
+    SpinLock(const SpinLock&) = delete;
+    SpinLock& operator=(const SpinLock&) = delete;
+
+    void
+    lock()
+    {
+        int spins = 1;
+        for (;;) {
+            if (!locked_.exchange(true, std::memory_order_acquire))
+                return;
+            while (locked_.load(std::memory_order_relaxed)) {
+                for (int i = 0; i < spins; ++i)
+                    cpu_relax();
+                if (spins < 1024)
+                    spins <<= 1;
+            }
+        }
+    }
+
+    bool
+    try_lock()
+    {
+        return !locked_.load(std::memory_order_relaxed) &&
+               !locked_.exchange(true, std::memory_order_acquire);
+    }
+
+    void
+    unlock()
+    {
+        locked_.store(false, std::memory_order_release);
+    }
+
+  private:
+    std::atomic<bool> locked_{false};
+};
+
+}  // namespace msw

@@ -1,0 +1,155 @@
+#include "vm/vm.h"
+
+#include <sys/mman.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace msw::vm {
+
+namespace {
+
+struct PageSizeCheck {
+    PageSizeCheck()
+    {
+        const long os = ::sysconf(_SC_PAGESIZE);
+        if (os != static_cast<long>(kPageSize)) {
+            fatal("OS page size %ld != compiled page size %zu", os,
+                  kPageSize);
+        }
+    }
+};
+const PageSizeCheck g_page_size_check;
+
+}  // namespace
+
+Reservation
+Reservation::reserve(std::size_t bytes)
+{
+    const std::size_t size = align_up(bytes, kPageSize);
+    void* p = ::mmap(nullptr, size, PROT_NONE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    if (p == MAP_FAILED) {
+        fatal("mmap reserve of %zu bytes failed: %s", size,
+              std::strerror(errno));
+    }
+    return Reservation(to_addr(p), size);
+}
+
+Reservation::Reservation(Reservation&& other) noexcept
+    : base_(other.base_), size_(other.size_)
+{
+    other.base_ = 0;
+    other.size_ = 0;
+}
+
+Reservation&
+Reservation::operator=(Reservation&& other) noexcept
+{
+    if (this != &other) {
+        release();
+        base_ = other.base_;
+        size_ = other.size_;
+        other.base_ = 0;
+        other.size_ = 0;
+    }
+    return *this;
+}
+
+Reservation::~Reservation()
+{
+    release();
+}
+
+void
+Reservation::check_range(std::uintptr_t addr, std::size_t len) const
+{
+    MSW_DCHECK(is_aligned(addr, kPageSize));
+    MSW_DCHECK(is_aligned(len, kPageSize));
+    MSW_DCHECK(addr >= base_ && addr + len <= base_ + size_);
+}
+
+void
+Reservation::commit(std::uintptr_t addr, std::size_t len) const
+{
+    check_range(addr, len);
+    if (::mprotect(to_ptr(addr), len, PROT_READ | PROT_WRITE) != 0)
+        panic("commit mprotect failed: %s", std::strerror(errno));
+}
+
+void
+Reservation::decommit(std::uintptr_t addr, std::size_t len) const
+{
+    check_range(addr, len);
+    if (::madvise(to_ptr(addr), len, MADV_DONTNEED) != 0)
+        panic("decommit madvise failed: %s", std::strerror(errno));
+    if (::mprotect(to_ptr(addr), len, PROT_NONE) != 0)
+        panic("decommit mprotect failed: %s", std::strerror(errno));
+}
+
+void
+Reservation::purge_keep_accessible(std::uintptr_t addr, std::size_t len) const
+{
+    check_range(addr, len);
+    if (::madvise(to_ptr(addr), len, MADV_DONTNEED) != 0)
+        panic("purge madvise failed: %s", std::strerror(errno));
+}
+
+void
+Reservation::protect_none(std::uintptr_t addr, std::size_t len) const
+{
+    check_range(addr, len);
+    if (::mprotect(to_ptr(addr), len, PROT_NONE) != 0)
+        panic("protect_none failed: %s", std::strerror(errno));
+}
+
+void
+Reservation::protect_rw(std::uintptr_t addr, std::size_t len) const
+{
+    check_range(addr, len);
+    if (::mprotect(to_ptr(addr), len, PROT_READ | PROT_WRITE) != 0)
+        panic("protect_rw failed: %s", std::strerror(errno));
+}
+
+void
+Reservation::release()
+{
+    if (base_ != 0) {
+        ::munmap(to_ptr(base_), size_);
+        base_ = 0;
+        size_ = 0;
+    }
+}
+
+std::size_t
+current_rss_bytes()
+{
+    // /proc/self/statm field 2 is resident pages.
+    std::FILE* f = std::fopen("/proc/self/statm", "r");
+    if (f == nullptr)
+        return 0;
+    unsigned long vm_pages = 0;
+    unsigned long rss_pages = 0;
+    const int n = std::fscanf(f, "%lu %lu", &vm_pages, &rss_pages);
+    std::fclose(f);
+    if (n != 2)
+        return 0;
+    return static_cast<std::size_t>(rss_pages) * kPageSize;
+}
+
+std::size_t
+peak_rss_bytes()
+{
+    struct rusage ru;
+    if (::getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    return static_cast<std::size_t>(ru.ru_maxrss) * 1024u;
+}
+
+}  // namespace msw::vm

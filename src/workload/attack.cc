@@ -1,0 +1,78 @@
+#include "workload/attack.h"
+
+#include <cstring>
+#include <vector>
+
+#include "util/bits.h"
+
+namespace msw::workload {
+
+AttackResult
+heap_spray_attack(System& system, void** dangling_slot,
+                  std::size_t victim_size, int spray_count)
+{
+    AttackResult result;
+    constexpr unsigned char kVictimByte = 0x56;  // 'V'
+    constexpr unsigned char kAttackByte = 0xa7;
+
+    auto* victim =
+        static_cast<unsigned char*>(system.allocator->alloc(victim_size));
+    std::memset(victim, kVictimByte, victim_size);
+    *dangling_slot = victim;
+
+    system.allocator->free(victim);  // the bug: pointer survives
+
+    std::vector<void*> sprays;
+    sprays.reserve(spray_count);
+    for (int i = 0; i < spray_count; ++i) {
+        auto* fake = static_cast<unsigned char*>(
+            system.allocator->alloc(victim_size));
+        std::memset(fake, kAttackByte, victim_size);
+        sprays.push_back(fake);
+        ++result.sprays;
+        if (fake == victim) {
+            result.aliased = true;
+            break;
+        }
+    }
+
+    // What does the program's dangling pointer see now? (For unmapped
+    // quarantined pages this read would fault; callers check first.)
+    const auto* view = static_cast<const unsigned char*>(*dangling_slot);
+    if (result.aliased || view[0] == kAttackByte)
+        result.view = AttackResult::View::kAttackerData;
+    else if (view[0] == 0)
+        result.view = AttackResult::View::kZeroes;
+    else
+        result.view = AttackResult::View::kOriginal;
+
+    for (void* p : sprays)
+        system.allocator->free(p);
+    *dangling_slot = nullptr;
+    return result;
+}
+
+bool
+double_free_attack(System& system, int attempts)
+{
+    for (int i = 0; i < attempts; ++i) {
+        void* a = system.allocator->alloc(128);
+        system.allocator->free(a);
+        // Victim allocation that may land on a's memory.
+        void* owner1 = system.allocator->alloc(128);
+        // The double free: if honoured, owner1's memory returns to the
+        // free lists while owner1 still uses it...
+        system.allocator->free(a);
+        // ... and the attacker can obtain it again.
+        void* owner2 = system.allocator->alloc(128);
+        const bool aliased = owner1 == owner2;
+        system.allocator->free(owner1);
+        if (owner2 != owner1)
+            system.allocator->free(owner2);
+        if (aliased)
+            return true;
+    }
+    return false;
+}
+
+}  // namespace msw::workload

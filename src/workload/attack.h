@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Use-after-free attack scenarios (paper §1.2, §2, Figure 2), expressed
+ * against the Allocator interface so every system's defence can be
+ * evaluated uniformly — by the tests, the exploit example and any
+ * downstream harness.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "workload/system.h"
+
+namespace msw::workload {
+
+/** Outcome of one attack attempt. */
+struct AttackResult {
+    /** The spray aliased the victim while the dangling pointer lived. */
+    bool aliased = false;
+    /** Number of spray allocations performed. */
+    int sprays = 0;
+    /**
+     * What the dangling pointer read back after the spray: attacker data,
+     * zeroes (MineSweeper's zero-fill), the original data (no reuse, no
+     * zeroing), or nothing (page unmapped -> would fault).
+     */
+    enum class View { kAttackerData, kZeroes, kOriginal, kUnmapped } view =
+        View::kOriginal;
+};
+
+/**
+ * The Figure 2 heap-spray: allocate a victim, free it while a pointer
+ * survives in @p dangling_slot (which should be registered as a root for
+ * quarantining systems), spray same-sized fake objects, then inspect what
+ * the dangling pointer sees.
+ *
+ * @param victim_size  Allocation size (the attacker matches it).
+ * @param spray_count  Attack effort.
+ */
+AttackResult heap_spray_attack(System& system, void** dangling_slot,
+                               std::size_t victim_size, int spray_count);
+
+/**
+ * Double-free-driven attack: free the same allocation twice with an
+ * attacker allocation in between — on unprotected allocators this can
+ * hand two owners the same memory. Returns true if two live "owners"
+ * ever aliased.
+ */
+bool double_free_attack(System& system, int attempts);
+
+}  // namespace msw::workload

@@ -1,0 +1,255 @@
+#include "workload/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace msw::workload {
+
+namespace {
+
+/** One tracked allocation in a worker's table. */
+struct Slot {
+    void* ptr = nullptr;
+    std::uint32_t size = 0;
+};
+
+/** Death calendar capacity (max trackable lifetime in ticks). */
+constexpr std::size_t kRingSize = 8192;
+
+class Worker
+{
+  public:
+    Worker(System& system, const Profile& profile, unsigned index)
+        : system_(system),
+          profile_(profile),
+          rng_(profile.seed * 7919 + index * 104729 + 13),
+          ring_(kRingSize)
+    {
+        // Capacity for the expected live set plus slack; reserved up
+        // front so the root registration below stays valid.
+        const std::size_t expected_live =
+            static_cast<std::size_t>(profile.allocs_per_tick *
+                                     profile.lifetime_mean_ticks) +
+            static_cast<std::size_t>(
+                static_cast<double>(profile.ticks) *
+                profile.allocs_per_tick * profile.long_lived_frac) +
+            1024;
+        slots_.resize(expected_live * 2);
+        free_slots_.reserve(slots_.size());
+        for (std::size_t i = slots_.size(); i > 0; --i)
+            free_slots_.push_back(static_cast<std::uint32_t>(i - 1));
+        live_slots_.reserve(slots_.size());
+    }
+
+    WorkloadResult
+    run()
+    {
+        system_.register_thread();
+        system_.add_root(slots_.data(), slots_.size() * sizeof(Slot));
+
+        const std::uint64_t burst_start =
+            profile_.ticks -
+            static_cast<std::uint64_t>(
+                static_cast<double>(profile_.ticks) *
+                profile_.end_burst_frac);
+
+        for (std::uint64_t t = 0; t < profile_.ticks; ++t) {
+            process_deaths(t);
+            unsigned allocs = profile_.allocs_per_tick;
+            if (t >= burst_start)
+                allocs *= 3;
+            for (unsigned i = 0; i < allocs; ++i)
+                allocate_one(t);
+            do_work();
+        }
+        // Program exit: free everything still live.
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            if (slots_[i].ptr != nullptr)
+                release(static_cast<std::uint32_t>(i));
+        }
+
+        // The slot table's memory is about to be recycled: deregister it
+        // before it can be scanned post-mortem.
+        system_.remove_root(slots_.data());
+        system_.flush();
+        system_.unregister_thread();
+        return result_;
+    }
+
+  private:
+    std::size_t
+    draw_size()
+    {
+        if (profile_.large_prob > 0 && rng_.next_bool(profile_.large_prob)) {
+            return rng_.next_range(profile_.large_min, profile_.large_max);
+        }
+        const double s =
+            rng_.next_lognormal(profile_.size_mu, profile_.size_sigma);
+        auto size = static_cast<std::size_t>(s);
+        size = std::max(size, profile_.size_min);
+        size = std::min(size, profile_.size_max);
+        return size;
+    }
+
+    void
+    allocate_one(std::uint64_t now)
+    {
+        if (free_slots_.empty())
+            return;  // table full: skip (rare; sized generously)
+        const std::uint32_t idx = free_slots_.back();
+        free_slots_.pop_back();
+
+        const std::size_t size = draw_size();
+        auto* p = static_cast<unsigned char*>(
+            system_.allocator->alloc(size));
+        result_.allocs += 1;
+        result_.bytes_allocated += size;
+
+        // Initialise: canary word + pointer fields referencing other live
+        // objects (builds the in-heap reference graph). The canary is a
+        // pure function of the trace so checksums agree across systems.
+        if (size >= sizeof(std::uint64_t)) {
+            *reinterpret_cast<std::uint64_t*>(p) =
+                (static_cast<std::uint64_t>(idx) * 2654435761u) ^ size;
+        }
+        const std::size_t ptr_capacity =
+            size / sizeof(void*) > 1 ? size / sizeof(void*) - 1 : 0;
+        for (unsigned k = 0; k < profile_.ptr_slots && k < ptr_capacity;
+             ++k) {
+            if (!live_slots_.empty() && rng_.next_bool(profile_.ptr_prob)) {
+                const std::uint32_t target_idx =
+                    live_slots_[rng_.next_below(live_slots_.size())];
+                void* target = slots_[target_idx].ptr;
+                std::memcpy(p + (k + 1) * sizeof(void*), &target,
+                            sizeof(void*));
+            }
+        }
+
+        slots_[idx].ptr = p;
+        slots_[idx].size = static_cast<std::uint32_t>(size);
+        live_slots_.push_back(idx);
+
+        // Schedule death.
+        if (rng_.next_bool(profile_.long_lived_frac))
+            return;  // long-lived: freed at end of run
+        auto lifetime = static_cast<std::uint64_t>(
+            rng_.next_exponential(profile_.lifetime_mean_ticks)) + 1;
+        lifetime = std::min<std::uint64_t>(lifetime, kRingSize - 1);
+        ring_[(now + lifetime) % kRingSize].push_back(idx);
+    }
+
+    void
+    process_deaths(std::uint64_t now)
+    {
+        auto& due = ring_[now % kRingSize];
+        for (const std::uint32_t idx : due) {
+            if (slots_[idx].ptr != nullptr)
+                release(idx);
+        }
+        due.clear();
+    }
+
+    void
+    release(std::uint32_t idx)
+    {
+        // The slot is cleared, but pointers to this object stored inside
+        // *other* objects' bodies remain — genuine dangling pointers.
+        system_.allocator->free(slots_[idx].ptr);
+        result_.frees += 1;
+        slots_[idx].ptr = nullptr;
+        slots_[idx].size = 0;
+        free_slots_.push_back(idx);
+        // live_slots_ is lazily compacted in do_work().
+    }
+
+    void
+    do_work()
+    {
+        // Memory traffic over live data.
+        std::size_t touched = 0;
+        while (touched < profile_.touch_bytes_per_tick &&
+               !live_slots_.empty()) {
+            const std::size_t pick = rng_.next_below(live_slots_.size());
+            const std::uint32_t idx = live_slots_[pick];
+            if (slots_[idx].ptr == nullptr) {
+                // Dead entry: compact.
+                live_slots_[pick] = live_slots_.back();
+                live_slots_.pop_back();
+                continue;
+            }
+            // Write-then-read traffic over the object body (skipping the
+            // canary and pointer fields at the front): the values are a
+            // pure function of the trace, so every system computes the
+            // same checksum while paying real memory traffic.
+            auto* bytes = static_cast<unsigned char*>(slots_[idx].ptr);
+            const std::size_t step =
+                std::min<std::size_t>(slots_[idx].size, 256);
+            const std::size_t data_start =
+                (1 + profile_.ptr_slots) * sizeof(void*);
+            for (std::size_t b = data_start; b < step; ++b)
+                bytes[b] = static_cast<unsigned char>(b ^ idx);
+            for (std::size_t b = data_start; b < step; b += 16)
+                result_.checksum += bytes[b];
+            if (slots_[idx].size >= sizeof(std::uint64_t)) {
+                result_.checksum +=
+                    *reinterpret_cast<const std::uint64_t*>(bytes);
+            }
+            touched += step;
+        }
+        // Pure compute.
+        std::uint64_t acc = result_.checksum | 1;
+        for (unsigned i = 0; i < profile_.work_per_tick; ++i)
+            acc = acc * 6364136223846793005ull + 1442695040888963407ull;
+        result_.checksum ^= acc >> 33;
+    }
+
+    System& system_;
+    const Profile& profile_;
+    Rng rng_;
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> free_slots_;
+    std::vector<std::uint32_t> live_slots_;
+    std::vector<std::vector<std::uint32_t>> ring_;
+    WorkloadResult result_;
+};
+
+}  // namespace
+
+WorkloadResult
+run_profile(System& system, const Profile& profile)
+{
+    MSW_CHECK(profile.threads >= 1);
+    if (profile.threads == 1) {
+        Worker worker(system, profile, 0);
+        return worker.run();
+    }
+
+    std::vector<WorkloadResult> results(profile.threads);
+    std::vector<std::thread> threads;
+    for (unsigned i = 0; i < profile.threads; ++i) {
+        threads.emplace_back([&, i] {
+            Worker worker(system, profile, i);
+            results[i] = worker.run();
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+
+    WorkloadResult total;
+    for (const WorkloadResult& r : results) {
+        total.allocs += r.allocs;
+        total.frees += r.frees;
+        total.bytes_allocated += r.bytes_allocated;
+        total.checksum ^= r.checksum;
+    }
+    return total;
+}
+
+}  // namespace msw::workload

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Deterministic workload executor.
+ *
+ * Turns a Profile into an object-churn trace against a System:
+ *  - each worker thread owns a slot table (registered as a root range, so
+ *    sweeps and marking passes scan the program's "pointers");
+ *  - allocations draw sizes from the profile's distribution, carry
+ *    canaries, and store real pointers to other live objects in their
+ *    bodies (pointer density), so the heap contains a genuine reference
+ *    graph;
+ *  - lifetimes are managed by a death-ring calendar; long-lived objects
+ *    survive to the end;
+ *  - between allocations the worker performs compute and memory-touch
+ *    work, reproducing each benchmark's allocation-to-work ratio;
+ *  - when an object dies, pointers to it elsewhere in the heap are left
+ *    dangling *in the heap data* (as real programs do) — this is what
+ *    makes failed frees and quarantine dynamics realistic.
+ *
+ * The run is deterministic for a given (profile, seed): every system
+ * executes the identical trace, and the checksum proves it.
+ */
+#pragma once
+
+#include "workload/profile.h"
+#include "workload/system.h"
+
+namespace msw::workload {
+
+/** Execute @p profile against @p system; blocks until complete. */
+WorkloadResult run_profile(System& system, const Profile& profile);
+
+}  // namespace msw::workload

@@ -1,0 +1,561 @@
+#include "workload/mimalloc_kernels.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace msw::workload {
+
+namespace {
+
+constexpr unsigned kThreads = 4;  // the suite's "N" on our 4-vCPU model
+
+std::uint64_t
+iters(double scale, std::uint64_t base)
+{
+    const auto v = static_cast<std::uint64_t>(
+        static_cast<double>(base) * scale);
+    return v > 0 ? v : 1;
+}
+
+/** Shared helper: window-replacement churn (alloc-test's core loop). */
+WorkloadResult
+window_churn(System& sys, std::uint64_t iterations, std::size_t window,
+             std::size_t min_size, std::size_t max_size,
+             std::uint64_t seed)
+{
+    WorkloadResult r;
+    Rng rng(seed);
+    std::vector<void*> slots(window, nullptr);
+    sys.register_thread();
+    sys.add_root(slots.data(), slots.size() * sizeof(void*));
+    for (std::uint64_t i = 0; i < iterations; ++i) {
+        const std::size_t idx = rng.next_below(window);
+        if (slots[idx] != nullptr) {
+            sys.allocator->free(slots[idx]);
+            ++r.frees;
+        }
+        const std::size_t size = rng.next_range(min_size, max_size);
+        slots[idx] = sys.allocator->alloc(size);
+        *static_cast<unsigned char*>(slots[idx]) =
+            static_cast<unsigned char>(i);
+        ++r.allocs;
+        r.bytes_allocated += size;
+    }
+    for (void* p : slots) {
+        if (p != nullptr) {
+            sys.allocator->free(p);
+            ++r.frees;
+        }
+    }
+    sys.remove_root(slots.data());
+    sys.flush();
+    sys.unregister_thread();
+    return r;
+}
+
+WorkloadResult
+run_threads(unsigned n, const std::function<WorkloadResult(unsigned)>& body)
+{
+    std::vector<WorkloadResult> results(n);
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < n; ++t)
+        threads.emplace_back([&, t] { results[t] = body(t); });
+    for (auto& th : threads)
+        th.join();
+    WorkloadResult total;
+    for (const auto& r : results) {
+        total.allocs += r.allocs;
+        total.frees += r.frees;
+        total.bytes_allocated += r.bytes_allocated;
+        total.checksum ^= r.checksum;
+    }
+    return total;
+}
+
+// --------------------------------------------------------------- kernels
+
+WorkloadResult
+alloc_test(System& sys, double scale, unsigned threads)
+{
+    const std::uint64_t n = iters(scale, 400000);
+    if (threads == 1)
+        return window_churn(sys, n, 1000, 16, 1000, 42);
+    return run_threads(threads, [&](unsigned t) {
+        return window_churn(sys, n / threads, 1000, 16, 1000, 42 + t);
+    });
+}
+
+/** barnes: build a pointer-linked tree, traverse it, then free it. */
+WorkloadResult
+barnes(System& sys, double scale)
+{
+    WorkloadResult r;
+    const std::size_t nodes = iters(scale, 300000);
+    struct Node {
+        Node* left;
+        Node* right;
+        double mass[6];
+    };
+    std::vector<Node*> all;
+    all.reserve(nodes);
+    sys.register_thread();
+    Rng rng(7);
+    for (std::size_t i = 0; i < nodes; ++i) {
+        auto* n = static_cast<Node*>(sys.allocator->alloc(sizeof(Node)));
+        n->left = nullptr;
+        n->right = nullptr;
+        n->mass[0] = static_cast<double>(i);
+        if (!all.empty()) {
+            Node* parent = all[rng.next_below(all.size())];
+            (rng.next_bool(0.5) ? parent->left : parent->right) = n;
+        }
+        all.push_back(n);
+        ++r.allocs;
+        r.bytes_allocated += sizeof(Node);
+    }
+    // Traverse: touch every node through the pointer graph root.
+    for (Node* n : all)
+        r.checksum += static_cast<std::uint64_t>(n->mass[0]);
+    for (Node* n : all) {
+        sys.allocator->free(n);
+        ++r.frees;
+    }
+    sys.flush();
+    sys.unregister_thread();
+    return r;
+}
+
+/** cache-scratch: repeated writes to one small object per thread. */
+WorkloadResult
+cache_scratch(System& sys, double scale, unsigned threads)
+{
+    const std::uint64_t writes = iters(scale, 20000000);
+    auto body = [&](unsigned t) {
+        WorkloadResult r;
+        sys.register_thread();
+        auto* obj = static_cast<unsigned char*>(sys.allocator->alloc(64));
+        ++r.allocs;
+        for (std::uint64_t i = 0; i < writes / threads; ++i)
+            obj[i % 64] = static_cast<unsigned char>(i + t);
+        r.checksum = obj[0];
+        sys.allocator->free(obj);
+        ++r.frees;
+        sys.flush();
+        sys.unregister_thread();
+        return r;
+    };
+    if (threads == 1)
+        return body(0);
+    return run_threads(threads, body);
+}
+
+/** cfrac: chains of tiny short-lived bignum limbs with compute. */
+WorkloadResult
+cfrac(System& sys, double scale)
+{
+    WorkloadResult r;
+    Rng rng(11);
+    sys.register_thread();
+    const std::uint64_t rounds = iters(scale, 120000);
+    for (std::uint64_t round = 0; round < rounds; ++round) {
+        void* chain[12];
+        const unsigned len = 2 + rng.next_below(10);
+        for (unsigned i = 0; i < len; ++i) {
+            const std::size_t size = 16 + 16 * rng.next_below(4);
+            chain[i] = sys.allocator->alloc(size);
+            std::memset(chain[i], static_cast<int>(round), 16);
+            ++r.allocs;
+            r.bytes_allocated += size;
+        }
+        // "Arithmetic" on the limbs.
+        std::uint64_t acc = round;
+        for (unsigned i = 0; i < len; ++i)
+            acc += *static_cast<unsigned char*>(chain[i]);
+        r.checksum ^= acc;
+        for (unsigned i = 0; i < len; ++i) {
+            sys.allocator->free(chain[i]);
+            ++r.frees;
+        }
+    }
+    sys.flush();
+    sys.unregister_thread();
+    return r;
+}
+
+/** espresso: medium-size window churn (logic minimiser proxy). */
+WorkloadResult
+espresso(System& sys, double scale)
+{
+    return window_churn(sys, iters(scale, 300000), 400, 32, 2048, 99);
+}
+
+/** glibc-simple: tight alloc-free loop of tiny blocks. */
+WorkloadResult
+glibc_simple(System& sys, double scale)
+{
+    WorkloadResult r;
+    Rng rng(5);
+    sys.register_thread();
+    const std::uint64_t n = iters(scale, 1500000);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::size_t size = 8 + 8 * rng.next_below(8);
+        void* p = sys.allocator->alloc(size);
+        *static_cast<unsigned char*>(p) = static_cast<unsigned char>(i);
+        sys.allocator->free(p);
+        ++r.allocs;
+        ++r.frees;
+        r.bytes_allocated += size;
+    }
+    sys.flush();
+    sys.unregister_thread();
+    return r;
+}
+
+WorkloadResult
+glibc_thread(System& sys, double scale)
+{
+    return run_threads(kThreads, [&](unsigned t) {
+        WorkloadResult r;
+        Rng rng(50 + t);
+        sys.register_thread();
+        const std::uint64_t n = iters(scale, 1500000) / kThreads;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const std::size_t size = 8 + 8 * rng.next_below(8);
+            void* p = sys.allocator->alloc(size);
+            *static_cast<unsigned char*>(p) =
+                static_cast<unsigned char>(i);
+            sys.allocator->free(p);
+            ++r.allocs;
+            ++r.frees;
+            r.bytes_allocated += size;
+        }
+        sys.flush();
+        sys.unregister_thread();
+        return r;
+    });
+}
+
+/** larson: server simulation — per-thread slot tables, random replace. */
+WorkloadResult
+larson(System& sys, double scale, std::uint64_t seed)
+{
+    return run_threads(kThreads, [&](unsigned t) {
+        return window_churn(sys, iters(scale, 500000) / kThreads, 1024, 16,
+                            512, seed + t);
+    });
+}
+
+/** mstress: threads allocate batches and hand them on for freeing. */
+WorkloadResult
+mstress(System& sys, double scale)
+{
+    struct Queue {
+        std::mutex mu;
+        std::deque<std::vector<void*>> batches;
+        bool done = false;
+    };
+    std::vector<Queue> queues(kThreads);
+    const std::uint64_t rounds = iters(scale, 150);
+
+    WorkloadResult total = run_threads(kThreads, [&](unsigned t) {
+        WorkloadResult r;
+        Rng rng(77 + t);
+        sys.register_thread();
+        Queue& out = queues[(t + 1) % kThreads];
+        Queue& in = queues[t];
+        for (std::uint64_t round = 0; round < rounds; ++round) {
+            // Produce a batch for the neighbour.
+            std::vector<void*> batch;
+            batch.reserve(1000);
+            for (int i = 0; i < 1000; ++i) {
+                const std::size_t size = 16 + rng.next_below(500);
+                batch.push_back(sys.allocator->alloc(size));
+                ++r.allocs;
+                r.bytes_allocated += size;
+            }
+            {
+                std::lock_guard<std::mutex> g(out.mu);
+                out.batches.push_back(std::move(batch));
+            }
+            // Drain whatever has arrived for us.
+            std::deque<std::vector<void*>> mine;
+            {
+                std::lock_guard<std::mutex> g(in.mu);
+                mine.swap(in.batches);
+            }
+            for (auto& b : mine) {
+                for (void* p : b) {
+                    sys.allocator->free(p);
+                    ++r.frees;
+                }
+            }
+        }
+        sys.flush();
+        sys.unregister_thread();
+        return r;
+    });
+    // Batches handed off after a receiver's last drain are freed here.
+    for (Queue& q : queues) {
+        for (auto& b : q.batches) {
+            for (void* p : b) {
+                sys.allocator->free(p);
+                ++total.frees;
+            }
+        }
+    }
+    sys.flush();
+    return total;
+}
+
+/** rptest: random pattern — mixed alloc/free/realloc. */
+WorkloadResult
+rptest(System& sys, double scale)
+{
+    return run_threads(kThreads, [&](unsigned t) {
+        WorkloadResult r;
+        Rng rng(123 + t);
+        sys.register_thread();
+        std::vector<std::pair<void*, std::size_t>> slots(512);
+        sys.add_root(slots.data(),
+                     slots.size() * sizeof(slots[0]));
+        const std::uint64_t n = iters(scale, 300000) / kThreads;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const std::size_t idx = rng.next_below(slots.size());
+            auto& [ptr, size] = slots[idx];
+            const unsigned op = static_cast<unsigned>(rng.next_below(10));
+            if (ptr == nullptr || op < 5) {
+                if (ptr != nullptr) {
+                    sys.allocator->free(ptr);
+                    ++r.frees;
+                }
+                size = 16 << rng.next_below(7);  // 16..1024
+                ptr = sys.allocator->alloc(size);
+                ++r.allocs;
+                r.bytes_allocated += size;
+            } else if (op < 7) {
+                // realloc = free(old) + alloc(new) for accounting.
+                const std::size_t new_size = 16 << rng.next_below(8);
+                ptr = sys.allocator->realloc(ptr, new_size);
+                size = new_size;
+                ++r.allocs;
+                ++r.frees;
+                r.bytes_allocated += new_size;
+            } else {
+                sys.allocator->free(ptr);
+                ++r.frees;
+                ptr = nullptr;
+            }
+        }
+        for (auto& [ptr, size] : slots) {
+            if (ptr != nullptr) {
+                sys.allocator->free(ptr);
+                ++r.frees;
+            }
+        }
+        sys.remove_root(slots.data());
+        sys.flush();
+        sys.unregister_thread();
+        return r;
+    });
+}
+
+/**
+ * sh6bench: batched alloc, free-half, alloc-again, free-all — largely in
+ * allocation order (the FIFO pattern the paper notes is kind to FFMalloc).
+ */
+WorkloadResult
+sh6bench(System& sys, double scale)
+{
+    return run_threads(kThreads, [&](unsigned t) {
+        WorkloadResult r;
+        Rng rng(31 + t);
+        sys.register_thread();
+        const std::uint64_t rounds = iters(scale, 600) / kThreads;
+        for (std::uint64_t round = 0; round < rounds; ++round) {
+            std::vector<void*> batch;
+            const std::size_t count = 2000;
+            batch.reserve(count);
+            for (std::size_t i = 0; i < count; ++i) {
+                const std::size_t size = 16 + rng.next_below(80);
+                batch.push_back(sys.allocator->alloc(size));
+                ++r.allocs;
+                r.bytes_allocated += size;
+            }
+            // Free the first half (allocation order), refill, free all.
+            for (std::size_t i = 0; i < count / 2; ++i) {
+                sys.allocator->free(batch[i]);
+                ++r.frees;
+                const std::size_t size = 16 + rng.next_below(80);
+                batch[i] = sys.allocator->alloc(size);
+                ++r.allocs;
+                r.bytes_allocated += size;
+            }
+            for (void* p : batch) {
+                sys.allocator->free(p);
+                ++r.frees;
+            }
+        }
+        sys.flush();
+        sys.unregister_thread();
+        return r;
+    });
+}
+
+/** sh8bench: sh6 with cross-thread frees. */
+WorkloadResult
+sh8bench(System& sys, double scale)
+{
+    struct Handoff {
+        std::mutex mu;
+        std::deque<std::vector<void*>> batches;
+    };
+    std::vector<Handoff> handoffs(kThreads);
+
+    WorkloadResult total = run_threads(kThreads, [&](unsigned t) {
+        WorkloadResult r;
+        Rng rng(61 + t);
+        sys.register_thread();
+        Handoff& out = handoffs[(t + 1) % kThreads];
+        Handoff& in = handoffs[t];
+        const std::uint64_t rounds = iters(scale, 500) / kThreads;
+        for (std::uint64_t round = 0; round < rounds; ++round) {
+            std::vector<void*> batch;
+            for (int i = 0; i < 2000; ++i) {
+                const std::size_t size = 16 + rng.next_below(80);
+                batch.push_back(sys.allocator->alloc(size));
+                ++r.allocs;
+                r.bytes_allocated += size;
+            }
+            {
+                std::lock_guard<std::mutex> g(out.mu);
+                out.batches.push_back(std::move(batch));
+            }
+            std::deque<std::vector<void*>> mine;
+            {
+                std::lock_guard<std::mutex> g(in.mu);
+                mine.swap(in.batches);
+            }
+            for (auto& b : mine) {
+                for (void* p : b) {
+                    sys.allocator->free(p);
+                    ++r.frees;
+                }
+            }
+        }
+        sys.flush();
+        sys.unregister_thread();
+        return r;
+    });
+    for (Handoff& q : handoffs) {
+        for (auto& b : q.batches) {
+            for (void* p : b) {
+                sys.allocator->free(p);
+                ++total.frees;
+            }
+        }
+    }
+    sys.flush();
+    return total;
+}
+
+/** xmalloc-test: dedicated producers and consumers. */
+WorkloadResult
+xmalloc_test(System& sys, double scale)
+{
+    struct Shared {
+        std::mutex mu;
+        std::condition_variable cv;
+        std::deque<void*> queue;
+        int producers_left = 2;
+    };
+    Shared shared;
+    const std::uint64_t per_producer = iters(scale, 400000) / 2;
+
+    return run_threads(kThreads, [&](unsigned t) {
+        WorkloadResult r;
+        sys.register_thread();
+        if (t < 2) {
+            // Producer.
+            Rng rng(211 + t);
+            for (std::uint64_t i = 0; i < per_producer; ++i) {
+                const std::size_t size = 16 + rng.next_below(256);
+                void* p = sys.allocator->alloc(size);
+                ++r.allocs;
+                r.bytes_allocated += size;
+                std::lock_guard<std::mutex> g(shared.mu);
+                shared.queue.push_back(p);
+                shared.cv.notify_one();
+            }
+            std::lock_guard<std::mutex> g(shared.mu);
+            shared.producers_left -= 1;
+            shared.cv.notify_all();
+        } else {
+            // Consumer.
+            for (;;) {
+                void* p = nullptr;
+                {
+                    std::unique_lock<std::mutex> g(shared.mu);
+                    shared.cv.wait(g, [&] {
+                        return !shared.queue.empty() ||
+                               shared.producers_left == 0;
+                    });
+                    if (shared.queue.empty())
+                        break;
+                    p = shared.queue.front();
+                    shared.queue.pop_front();
+                }
+                sys.allocator->free(p);
+                ++r.frees;
+            }
+        }
+        sys.flush();
+        sys.unregister_thread();
+        return r;
+    });
+}
+
+}  // namespace
+
+std::vector<StressKernel>
+mimalloc_kernels()
+{
+    return {
+        {"alloc-test1",
+         [](System& s, double sc) { return alloc_test(s, sc, 1); }},
+        {"alloc-testN",
+         [](System& s, double sc) { return alloc_test(s, sc, kThreads); }},
+        {"barnes", [](System& s, double sc) { return barnes(s, sc); }},
+        {"cache-scratch1",
+         [](System& s, double sc) { return cache_scratch(s, sc, 1); }},
+        {"cache-scratchN",
+         [](System& s, double sc) {
+             return cache_scratch(s, sc, kThreads);
+         }},
+        {"cfrac", [](System& s, double sc) { return cfrac(s, sc); }},
+        {"espresso", [](System& s, double sc) { return espresso(s, sc); }},
+        {"glibc-simple",
+         [](System& s, double sc) { return glibc_simple(s, sc); }},
+        {"glibc-thread",
+         [](System& s, double sc) { return glibc_thread(s, sc); }},
+        {"larsonN",
+         [](System& s, double sc) { return larson(s, sc, 1000); }},
+        {"larsonN-sized",
+         [](System& s, double sc) { return larson(s, sc, 2000); }},
+        {"mstressN", [](System& s, double sc) { return mstress(s, sc); }},
+        {"rptestN", [](System& s, double sc) { return rptest(s, sc); }},
+        {"sh6benchN",
+         [](System& s, double sc) { return sh6bench(s, sc); }},
+        {"sh8benchN",
+         [](System& s, double sc) { return sh8bench(s, sc); }},
+        {"xmalloc-testN",
+         [](System& s, double sc) { return xmalloc_test(s, sc); }},
+    };
+}
+
+}  // namespace msw::workload

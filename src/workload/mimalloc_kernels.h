@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Reimplementations of the mimalloc-bench stress kernels (paper Fig 19).
+ *
+ * These are the allocation *patterns* of the upstream suite — extremely
+ * high allocation/deallocation rates with little or no other work —
+ * rebuilt against the Allocator interface so all four systems run them.
+ * Kernel list and behaviours follow github.com/daanx/mimalloc-bench:
+ * single- vs multi-threaded churn, batch (sh6/sh8bench) patterns, server
+ * workloads (larson), cross-thread frees (mstress, xmalloc-test), and
+ * application proxies (barnes, cfrac, espresso).
+ */
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "workload/profile.h"
+#include "workload/system.h"
+
+namespace msw::workload {
+
+struct StressKernel {
+    std::string name;
+    /** Run the kernel; @p scale stretches iteration counts. */
+    std::function<WorkloadResult(System&, double scale)> run;
+};
+
+/** The 16 kernels of Fig 19, in the paper's order. */
+std::vector<StressKernel> mimalloc_kernels();
+
+}  // namespace msw::workload

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Allocation-behaviour profiles: the workload model standing in for SPEC.
+ *
+ * The quantities the paper's evaluation depends on are allocation rate,
+ * object-size distribution, lifetime distribution, live-heap size,
+ * pointer density and compute-to-allocation ratio — not SPEC's actual
+ * arithmetic. A Profile captures exactly these axes; the executor
+ * (executor.h) turns a profile into a deterministic object-churn trace
+ * with real pointers stored in real heap objects, so sweeps, transitive
+ * marking and page unmapping all do representative work.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace msw::workload {
+
+struct Profile {
+    std::string name;
+
+    /** Simulation ticks ("program time"). */
+    std::uint64_t ticks = 100000;
+
+    /** Allocations per tick (allocation intensity). */
+    unsigned allocs_per_tick = 4;
+
+    // ----- object sizes: lognormal body + optional large tail ---------
+    /** exp(mu) is the median small-object size in bytes. */
+    double size_mu = 4.0;
+    double size_sigma = 1.0;
+    std::size_t size_min = 16;
+    std::size_t size_max = 14000;
+    /** Probability an allocation is a page-scale "large" object. */
+    double large_prob = 0.0;
+    std::size_t large_min = 64 * 1024;
+    std::size_t large_max = 1 << 20;
+
+    // ----- lifetimes ---------------------------------------------------
+    /** Mean object lifetime in ticks (exponential). */
+    double lifetime_mean_ticks = 64;
+    /** Fraction of objects that live until the end of the run. */
+    double long_lived_frac = 0.01;
+
+    // ----- pointer structure -------------------------------------------
+    /** Max pointer fields written per object. */
+    unsigned ptr_slots = 2;
+    /** Probability each pointer field is populated. */
+    double ptr_prob = 0.3;
+
+    // ----- non-allocation work ------------------------------------------
+    /** ALU loop iterations per tick (compute intensity). */
+    unsigned work_per_tick = 400;
+    /** Bytes of live data touched per tick (memory intensity). */
+    unsigned touch_bytes_per_tick = 512;
+
+    // ----- shape ---------------------------------------------------------
+    /** Worker threads (OpenMP-style benchmarks use > 1). */
+    unsigned threads = 1;
+    /** Final fraction of ticks with elevated (3x) allocation rate —
+     *  xalancbmk's end-of-run churn storm. */
+    double end_burst_frac = 0.0;
+
+    std::uint64_t seed = 0x5eed;
+};
+
+/** Result of executing one profile. */
+struct WorkloadResult {
+    std::uint64_t allocs = 0;
+    std::uint64_t frees = 0;
+    std::uint64_t bytes_allocated = 0;
+    std::uint64_t checksum = 0;
+};
+
+}  // namespace msw::workload

@@ -1,0 +1,50 @@
+#include "workload/runner.h"
+
+#include "workload/executor.h"
+
+namespace msw::workload {
+
+metrics::RunRecord
+measure(SystemKind kind,
+        const std::function<WorkloadResult(System&)>& body,
+        const core::Options& msw_options, const MeasureOptions& mopts)
+{
+    return metrics::run_in_subprocess(
+        [&]() -> metrics::RunRecord {
+            metrics::RunRecord rec;
+            System sys = make_system(kind, msw_options);
+            metrics::RssSampler sampler(mopts.rss_interval_ms);
+            const double wall0 = metrics::wall_seconds();
+            const double cpu0 = metrics::process_cpu_seconds();
+
+            const WorkloadResult result = body(sys);
+
+            sys.flush();
+            rec.wall_s = metrics::wall_seconds() - wall0;
+            rec.cpu_s = metrics::process_cpu_seconds() - cpu0;
+            sampler.stop();
+            rec.avg_rss = sampler.average();
+            rec.peak_rss = sampler.peak();
+            rec.rss_series = sampler.series();
+            rec.sweeps = sys.sweeps();
+            rec.allocs = result.allocs;
+            rec.frees = result.frees;
+            rec.checksum = result.checksum;
+            rec.ok = true;
+            return rec;
+        },
+        mopts.timeout_s);
+}
+
+metrics::RunRecord
+measure_profile(SystemKind kind, const Profile& profile,
+                const core::Options& msw_options,
+                const MeasureOptions& mopts)
+{
+    return measure(
+        kind,
+        [&](System& sys) { return run_profile(sys, profile); },
+        msw_options, mopts);
+}
+
+}  // namespace msw::workload

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Measurement runner: one (system, workload) execution in a forked child
+ * with PSRecord-style RSS sampling — the paper's methodology (§5.1, A.5):
+ * every configuration runs as its own process, timed end to end, with
+ * memory sampled externally on an interval.
+ */
+#pragma once
+
+#include <functional>
+
+#include "core/options.h"
+#include "metrics/metrics.h"
+#include "workload/profile.h"
+#include "workload/system.h"
+
+namespace msw::workload {
+
+struct MeasureOptions {
+    /** Kill a run after this many seconds (0 = unlimited). */
+    unsigned timeout_s = 300;
+    /** RSS sampling period. */
+    unsigned rss_interval_ms = 10;
+};
+
+/**
+ * Fork; in the child construct the system, run @p body against it, and
+ * report wall/CPU time, sampled RSS and counters back to the parent.
+ */
+metrics::RunRecord measure(
+    SystemKind kind, const std::function<WorkloadResult(System&)>& body,
+    const core::Options& msw_options = core::Options{},
+    const MeasureOptions& mopts = MeasureOptions{});
+
+/** measure() specialisation running a SPEC-style profile. */
+metrics::RunRecord measure_profile(
+    SystemKind kind, const Profile& profile,
+    const core::Options& msw_options = core::Options{},
+    const MeasureOptions& mopts = MeasureOptions{});
+
+}  // namespace msw::workload

@@ -1,0 +1,343 @@
+#include "workload/spec_profiles.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace msw::workload {
+
+namespace {
+
+/** Convenience builder: profiles differ in a handful of axes. */
+Profile
+make(const char* name, std::uint64_t ticks, unsigned apt,
+     double median_size, double sigma, double lifetime, double llf,
+     unsigned ptr_slots, double ptr_prob, unsigned work, unsigned touch)
+{
+    Profile p;
+    p.name = name;
+    p.ticks = ticks;
+    p.allocs_per_tick = apt;
+    p.size_mu = std::log(median_size);
+    p.size_sigma = sigma;
+    p.lifetime_mean_ticks = lifetime;
+    p.long_lived_frac = llf;
+    p.ptr_slots = ptr_slots;
+    p.ptr_prob = ptr_prob;
+    p.work_per_tick = work;
+    p.touch_bytes_per_tick = touch;
+    p.seed = 0x2006;
+    return p;
+}
+
+void
+apply_scale(std::vector<Profile>& profiles, double scale)
+{
+    for (Profile& p : profiles) {
+        p.ticks = static_cast<std::uint64_t>(
+            static_cast<double>(p.ticks) * scale);
+        if (p.ticks < 1000)
+            p.ticks = 1000;
+    }
+}
+
+}  // namespace
+
+std::vector<Profile>
+spec2006_profiles(double scale)
+{
+    std::vector<Profile> v;
+
+    // --- allocation-light, compute-bound benchmarks -------------------
+    {
+        // astar: pathfinding; moderate allocation of nodes.
+        Profile p = make("astar", 300000, 1, 80, 0.8, 400, 0.02, 2, 0.3,
+                         500, 1024);
+        v.push_back(p);
+    }
+    {
+        // bzip2: a few large long-lived buffers, heavy compute.
+        Profile p = make("bzip2", 60000, 1, 200, 1.0, 1000, 0.10, 0, 0,
+                         2500, 4096);
+        p.large_prob = 0.01;
+        p.large_min = 256 * 1024;
+        p.large_max = 2 << 20;
+        v.push_back(p);
+    }
+    {
+        // dealII: FEM library, allocation-intensive C++ (vectors, cells).
+        Profile p = make("dealII", 200000, 4, 96, 1.0, 600, 0.05, 2, 0.3,
+                         200, 512);
+        v.push_back(p);
+    }
+    {
+        // gcc: very large live set, bursty medium allocations, some big
+        // IR arrays. The paper's worst memory-overhead case.
+        Profile p = make("gcc", 200000, 5, 120, 1.3, 500, 0.05, 2, 0.3,
+                         150, 512);
+        p.large_prob = 0.004;
+        p.large_min = 64 * 1024;
+        p.large_max = 2 << 20;
+        v.push_back(p);
+    }
+    {
+        Profile p = make("gobmk", 200000, 1, 64, 0.8, 100, 0.01, 1, 0.2,
+                         600, 1024);
+        v.push_back(p);
+    }
+    {
+        Profile p = make("h264ref", 200000, 1, 96, 1.0, 300, 0.05, 1, 0.2,
+                         600, 2048);
+        p.large_prob = 0.005;
+        v.push_back(p);
+    }
+    {
+        Profile p = make("hmmer", 80000, 1, 128, 0.9, 500, 0.05, 0, 0,
+                         2000, 2048);
+        v.push_back(p);
+    }
+    {
+        // lbm: one huge grid allocated up front; pure compute after.
+        Profile p = make("lbm", 30000, 1, 64, 0.5, 5000, 0.9, 0, 0, 5000,
+                         8192);
+        p.large_prob = 0.02;
+        p.large_min = 1 << 20;
+        p.large_max = 4 << 20;
+        v.push_back(p);
+    }
+    {
+        Profile p = make("libquantum", 40000, 1, 48, 0.5, 3000, 0.5, 0, 0,
+                         4000, 8192);
+        v.push_back(p);
+    }
+    {
+        // mcf: a handful of giant arrays, memory-bound traversal.
+        Profile p = make("mcf", 150000, 1, 96, 0.8, 2000, 0.2, 1, 0.2,
+                         700, 4096);
+        p.large_prob = 0.02;
+        p.large_min = 256 * 1024;
+        p.large_max = 4 << 20;
+        v.push_back(p);
+    }
+    {
+        Profile p = make("milc", 50000, 1, 96, 0.8, 2000, 0.4, 0, 0, 3000,
+                         8192);
+        p.large_prob = 0.03;
+        p.large_min = 512 * 1024;
+        p.large_max = 4 << 20;
+        v.push_back(p);
+    }
+    {
+        Profile p = make("namd", 40000, 1, 128, 0.7, 3000, 0.5, 0, 0,
+                         4000, 4096);
+        v.push_back(p);
+    }
+    {
+        // omnetpp: discrete-event simulator; constant small-object churn
+        // with dense event pointers. Most sweeps in the paper (1075).
+        Profile p = make("omnetpp", 250000, 10, 64, 0.8, 300, 0.02, 2,
+                         0.4, 80, 256);
+        v.push_back(p);
+    }
+    {
+        // perlbench: interpreter; very high small-allocation rate.
+        Profile p = make("perlbench", 250000, 8, 56, 1.0, 400, 0.03, 2,
+                         0.35, 120, 256);
+        v.push_back(p);
+    }
+    {
+        Profile p = make("povray", 250000, 1, 56, 0.8, 50, 0.005, 1, 0.25,
+                         600, 512);
+        v.push_back(p);
+    }
+    {
+        Profile p = make("sjeng", 60000, 1, 64, 0.6, 2000, 0.3, 0, 0,
+                         2500, 2048);
+        v.push_back(p);
+    }
+    {
+        // sphinx3: speech recognition; frequent short-lived allocations.
+        Profile p = make("sphinx3", 250000, 3, 40, 0.6, 150, 0.01, 1,
+                         0.25, 250, 512);
+        v.push_back(p);
+    }
+    {
+        // soplex: LP solver; fewer allocations but large matrices.
+        Profile p = make("soplex", 150000, 1, 160, 1.0, 800, 0.08, 1, 0.2,
+                         600, 2048);
+        p.large_prob = 0.05;
+        p.large_min = 128 * 1024;
+        p.large_max = 2 << 20;
+        v.push_back(p);
+    }
+    {
+        // xalancbmk: XSLT processor; extreme tiny-object churn, deep DOM
+        // pointer graphs, and an end-of-run sweep storm. The paper's
+        // worst slowdown case (654 sweeps, most near the end).
+        Profile p = make("xalancbmk", 250000, 12, 48, 0.7, 800, 0.04, 3,
+                         0.5, 50, 256);
+        p.end_burst_frac = 0.25;
+        v.push_back(p);
+    }
+
+    apply_scale(v, scale);
+    return v;
+}
+
+std::vector<Profile>
+spec2017_profiles(double scale)
+{
+    std::vector<Profile> v;
+    const auto threaded = [](Profile p) {
+        p.name += "*";
+        p.threads = 4;
+        p.seed = 0x2017;
+        return p;
+    };
+
+    {
+        Profile p = make("perlbench", 250000, 8, 56, 1.0, 400, 0.03, 2,
+                         0.35, 110, 256);
+        v.push_back(p);
+    }
+    {
+        Profile p = make("gcc", 220000, 5, 120, 1.3, 500, 0.05, 2, 0.3,
+                         140, 512);
+        p.large_prob = 0.004;
+        p.large_min = 64 * 1024;
+        p.large_max = 2 << 20;
+        v.push_back(p);
+    }
+    {
+        Profile p = make("mcf", 150000, 1, 96, 0.8, 2000, 0.2, 1, 0.2,
+                         700, 4096);
+        p.large_prob = 0.02;
+        p.large_min = 256 * 1024;
+        p.large_max = 4 << 20;
+        v.push_back(p);
+    }
+    {
+        // xalancbmk: the paper's 2x slowdown case in 2017 too.
+        Profile p = make("xalancbmk", 250000, 12, 48, 0.7, 800, 0.04, 3,
+                         0.5, 50, 256);
+        p.end_burst_frac = 0.25;
+        v.push_back(p);
+    }
+    {
+        Profile p = make("x264", 150000, 1, 128, 0.9, 100, 0.05, 1, 0.2,
+                         2000, 4096);
+        p.large_prob = 0.02;
+        p.large_min = 256 * 1024;
+        p.large_max = 2 << 20;
+        v.push_back(p);
+    }
+    {
+        Profile p = make("deepsjeng", 60000, 1, 64, 0.6, 2000, 0.3, 0, 0,
+                         2500, 2048);
+        v.push_back(p);
+    }
+    {
+        // leela: Go engine; UCT tree nodes churn.
+        Profile p = make("leela", 200000, 2, 72, 0.7, 80, 0.01, 2, 0.35,
+                         800, 512);
+        v.push_back(p);
+    }
+    {
+        // exchange2: essentially allocation-free Fortran.
+        Profile p = make("exchange2", 30000, 1, 48, 0.4, 5000, 0.5, 0, 0,
+                         5000, 2048);
+        v.push_back(p);
+    }
+    {
+        Profile p = make("xz", 100000, 1, 96, 0.8, 500, 0.1, 0, 0, 2000,
+                         4096);
+        p.large_prob = 0.008;
+        p.large_min = 512 * 1024;
+        p.large_max = 4 << 20;
+        v.push_back(threaded(p));
+    }
+    {
+        Profile p = make("bwaves", 20000, 1, 96, 0.6, 4000, 0.8, 0, 0,
+                         4000, 8192);
+        p.large_prob = 0.004;
+        p.large_min = 1 << 20;
+        p.large_max = 4 << 20;
+        v.push_back(threaded(p));
+    }
+    {
+        Profile p = make("cactuBSSN", 25000, 1, 128, 0.7, 4000, 0.7, 0, 0,
+                         3500, 8192);
+        p.large_prob = 0.004;
+        p.large_min = 1 << 20;
+        p.large_max = 4 << 20;
+        v.push_back(threaded(p));
+    }
+    {
+        Profile p = make("lbm", 30000, 1, 64, 0.5, 5000, 0.9, 0, 0, 5000,
+                         8192);
+        p.large_prob = 0.004;
+        p.large_min = 1 << 20;
+        p.large_max = 4 << 20;
+        v.push_back(threaded(p));
+    }
+    {
+        // wrf: the slowest parallel benchmark in the paper (66 %):
+        // moderate allocation from many threads.
+        Profile p = make("wrf", 120000, 3, 100, 0.9, 200, 0.03, 1, 0.25,
+                         1200, 2048);
+        v.push_back(threaded(p));
+    }
+    {
+        Profile p = make("pop2", 100000, 2, 96, 0.8, 400, 0.05, 1, 0.2,
+                         1500, 4096);
+        v.push_back(threaded(p));
+    }
+    {
+        Profile p = make("imagick", 80000, 1, 128, 0.9, 50, 0.02, 0, 0,
+                         1500, 4096);
+        p.large_prob = 0.02;
+        p.large_min = 512 * 1024;
+        p.large_max = 4 << 20;
+        v.push_back(threaded(p));
+    }
+    {
+        Profile p = make("nab", 100000, 2, 96, 0.8, 150, 0.02, 1, 0.2,
+                         1200, 2048);
+        v.push_back(threaded(p));
+    }
+    {
+        Profile p = make("fotonik3d", 25000, 1, 96, 0.6, 4000, 0.7, 0, 0,
+                         3500, 8192);
+        p.large_prob = 0.004;
+        p.large_min = 1 << 20;
+        p.large_max = 4 << 20;
+        v.push_back(threaded(p));
+    }
+    {
+        Profile p = make("roms", 30000, 1, 96, 0.6, 4000, 0.6, 0, 0, 3000,
+                         8192);
+        p.large_prob = 0.003;
+        p.large_min = 1 << 20;
+        p.large_max = 4 << 20;
+        v.push_back(threaded(p));
+    }
+
+    apply_scale(v, scale);
+    return v;
+}
+
+Profile
+spec_profile(const std::string& name, double scale)
+{
+    for (const Profile& p : spec2006_profiles(scale)) {
+        if (p.name == name)
+            return p;
+    }
+    for (const Profile& p : spec2017_profiles(scale)) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown SPEC profile: %s", name.c_str());
+}
+
+}  // namespace msw::workload

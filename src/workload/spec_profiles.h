@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Per-benchmark allocation-behaviour profiles for SPEC CPU2006 and
+ * SPECspeed2017 (the workloads of paper Figs 7-18).
+ *
+ * Parameters are calibrated to each benchmark's published allocation
+ * character: xalancbmk/omnetpp/perlbench/gcc/dealII/sphinx3 are
+ * allocation-intensive (tiny-object churn, pointer-rich structures,
+ * xalancbmk's end-of-run churn storm, gcc's large live set); lbm,
+ * libquantum, namd, milc, bzip2 etc. allocate a handful of long-lived
+ * buffers and spend their time in compute loops. Starred SPEC2017
+ * benchmarks run multi-threaded (the paper uses their OpenMP builds).
+ *
+ * Absolute op counts are scaled for a seconds-per-run harness (and by
+ * MSW_BENCH_SCALE); the *relative* intensities across benchmarks are the
+ * point, since they determine which benchmarks show overhead.
+ */
+#pragma once
+
+#include <vector>
+
+#include "workload/profile.h"
+
+namespace msw::workload {
+
+/** The 19 SPEC CPU2006 C/C++ benchmarks of Figs 7/9/10/11/12/14-17. */
+std::vector<Profile> spec2006_profiles(double scale = 1.0);
+
+/** The 18 SPECspeed2017 benchmarks of Fig 18 (starred = threaded). */
+std::vector<Profile> spec2017_profiles(double scale = 1.0);
+
+/** Look up one profile by name from either suite. */
+Profile spec_profile(const std::string& name, double scale = 1.0);
+
+}  // namespace msw::workload

@@ -1,0 +1,260 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace msw::workload {
+
+void
+Trace::save(std::ostream& out) const
+{
+    out << "msw-trace v1\n";
+    for (const TraceOp& op : ops_) {
+        switch (op.kind) {
+          case TraceOpKind::kAlloc:
+            out << "a " << op.id << ' ' << op.size << '\n';
+            break;
+          case TraceOpKind::kFree:
+            out << "f " << op.id << '\n';
+            break;
+          case TraceOpKind::kWritePtr:
+            out << "p " << op.id << ' ' << op.slot << ' ';
+            if (op.target == TraceOp::kNullId)
+                out << "-\n";
+            else
+                out << op.target << '\n';
+            break;
+          case TraceOpKind::kTouch:
+            out << "t " << op.id << ' ' << op.size << '\n';
+            break;
+        }
+    }
+}
+
+Trace
+Trace::load(std::istream& in)
+{
+    std::string header;
+    std::getline(in, header);
+    if (header != "msw-trace v1")
+        fatal("trace: bad header '%s'", header.c_str());
+
+    Trace trace;
+    std::string line;
+    std::size_t line_no = 1;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ss(line);
+        char kind = 0;
+        ss >> kind;
+        TraceOp op;
+        switch (kind) {
+          case 'a':
+            op.kind = TraceOpKind::kAlloc;
+            ss >> op.id >> op.size;
+            break;
+          case 'f':
+            op.kind = TraceOpKind::kFree;
+            ss >> op.id;
+            break;
+          case 'p': {
+            op.kind = TraceOpKind::kWritePtr;
+            std::string target;
+            ss >> op.id >> op.slot >> target;
+            op.target = target == "-"
+                            ? TraceOp::kNullId
+                            : static_cast<std::uint32_t>(
+                                  std::stoul(target));
+            break;
+          }
+          case 't':
+            op.kind = TraceOpKind::kTouch;
+            ss >> op.id >> op.size;
+            break;
+          default:
+            fatal("trace: bad op '%c' at line %zu", kind, line_no);
+        }
+        if (ss.fail())
+            fatal("trace: malformed line %zu", line_no);
+        trace.push(op);
+    }
+    return trace;
+}
+
+Trace
+Trace::record(const Profile& profile)
+{
+    MSW_CHECK(profile.threads == 1);
+    Trace trace;
+    Rng rng(profile.seed * 7919 + 13);
+
+    struct LiveObj {
+        std::uint32_t id;
+        std::uint64_t size;
+    };
+    std::vector<LiveObj> live;
+    std::vector<std::vector<std::uint32_t>> ring(8192);
+    std::vector<std::uint64_t> sizes;  // by id
+    std::uint32_t next_id = 0;
+
+    const auto draw_size = [&]() -> std::uint64_t {
+        if (profile.large_prob > 0 &&
+            rng.next_bool(profile.large_prob)) {
+            return rng.next_range(profile.large_min, profile.large_max);
+        }
+        const double s =
+            rng.next_lognormal(profile.size_mu, profile.size_sigma);
+        auto size = static_cast<std::uint64_t>(s);
+        size = std::max<std::uint64_t>(size, profile.size_min);
+        size = std::min<std::uint64_t>(size, profile.size_max);
+        return size;
+    };
+
+    const std::uint64_t burst_start =
+        profile.ticks - static_cast<std::uint64_t>(
+                            static_cast<double>(profile.ticks) *
+                            profile.end_burst_frac);
+
+    for (std::uint64_t t = 0; t < profile.ticks; ++t) {
+        // Deaths due this tick.
+        for (const std::uint32_t id : ring[t % ring.size()]) {
+            trace.push(TraceOp{TraceOpKind::kFree, id, 0, 0, 0});
+            live.erase(std::find_if(live.begin(), live.end(),
+                                    [&](const LiveObj& o) {
+                                        return o.id == id;
+                                    }));
+        }
+        ring[t % ring.size()].clear();
+
+        unsigned allocs = profile.allocs_per_tick;
+        if (t >= burst_start)
+            allocs *= 3;
+        for (unsigned i = 0; i < allocs; ++i) {
+            const std::uint64_t size = draw_size();
+            const std::uint32_t id = next_id++;
+            trace.push(TraceOp{TraceOpKind::kAlloc, id, 0, 0, size});
+            sizes.push_back(size);
+
+            // Pointer fields to random live objects.
+            const std::uint64_t ptr_capacity =
+                size / 8 > 1 ? size / 8 - 1 : 0;
+            for (unsigned k = 0;
+                 k < profile.ptr_slots && k < ptr_capacity; ++k) {
+                if (!live.empty() && rng.next_bool(profile.ptr_prob)) {
+                    const std::uint32_t target =
+                        live[rng.next_below(live.size())].id;
+                    trace.push(TraceOp{TraceOpKind::kWritePtr, id,
+                                       target, k, 0});
+                }
+            }
+            live.push_back({id, size});
+
+            if (!rng.next_bool(profile.long_lived_frac)) {
+                auto lifetime =
+                    static_cast<std::uint64_t>(rng.next_exponential(
+                        profile.lifetime_mean_ticks)) +
+                    1;
+                lifetime =
+                    std::min<std::uint64_t>(lifetime, ring.size() - 1);
+                ring[(t + lifetime) % ring.size()].push_back(id);
+            }
+        }
+
+        // Touch work over a random live object.
+        if (!live.empty() && profile.touch_bytes_per_tick > 0) {
+            const LiveObj& obj = live[rng.next_below(live.size())];
+            trace.push(TraceOp{TraceOpKind::kTouch, obj.id, 0, 0,
+                               std::min<std::uint64_t>(
+                                   obj.size,
+                                   profile.touch_bytes_per_tick)});
+        }
+    }
+    // Free all survivors.
+    for (const LiveObj& obj : live)
+        trace.push(TraceOp{TraceOpKind::kFree, obj.id, 0, 0, 0});
+    return trace;
+}
+
+WorkloadResult
+replay_trace(System& system, const Trace& trace)
+{
+    WorkloadResult result;
+    struct Slot {
+        void* ptr = nullptr;
+        std::uint64_t size = 0;
+    };
+    std::vector<Slot> objects(trace.num_ids());
+    system.register_thread();
+    if (!objects.empty())
+        system.add_root(objects.data(), objects.size() * sizeof(Slot));
+
+    for (const TraceOp& op : trace.ops()) {
+        switch (op.kind) {
+          case TraceOpKind::kAlloc: {
+            MSW_CHECK(op.id < objects.size());
+            MSW_CHECK(objects[op.id].ptr == nullptr);
+            void* p = system.allocator->alloc(op.size);
+            objects[op.id] = Slot{p, op.size};
+            ++result.allocs;
+            result.bytes_allocated += op.size;
+            if (op.size >= 8) {
+                *static_cast<std::uint64_t*>(p) =
+                    (std::uint64_t{op.id} * 2654435761u) ^ op.size;
+            }
+            break;
+          }
+          case TraceOpKind::kFree:
+            MSW_CHECK(objects[op.id].ptr != nullptr);
+            system.allocator->free(objects[op.id].ptr);
+            objects[op.id] = Slot{};
+            ++result.frees;
+            break;
+          case TraceOpKind::kWritePtr: {
+            Slot& obj = objects[op.id];
+            MSW_CHECK(obj.ptr != nullptr);
+            void* value = op.target == TraceOp::kNullId
+                              ? nullptr
+                              : objects[op.target].ptr;
+            const std::size_t off = (op.slot + 1) * sizeof(void*);
+            MSW_CHECK(off + sizeof(void*) <= obj.size);
+            std::memcpy(static_cast<char*>(obj.ptr) + off, &value,
+                        sizeof(void*));
+            break;
+          }
+          case TraceOpKind::kTouch: {
+            Slot& obj = objects[op.id];
+            MSW_CHECK(obj.ptr != nullptr);
+            auto* bytes = static_cast<unsigned char*>(obj.ptr);
+            const std::uint64_t limit =
+                std::min<std::uint64_t>(op.size, obj.size);
+            // Skip canary + pointer fields; deterministic write+read.
+            for (std::uint64_t b = 64; b < limit; ++b)
+                bytes[b] = static_cast<unsigned char>(b ^ op.id);
+            for (std::uint64_t b = 64; b < limit; b += 16)
+                result.checksum += bytes[b];
+            break;
+          }
+        }
+    }
+    // Free any survivors (robust to hand-written traces).
+    for (Slot& slot : objects) {
+        if (slot.ptr != nullptr) {
+            system.allocator->free(slot.ptr);
+            ++result.frees;
+        }
+    }
+    system.remove_root(objects.data());
+    system.flush();
+    system.unregister_thread();
+    return result;
+}
+
+}  // namespace msw::workload

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Recordable, replayable allocation traces.
+ *
+ * A Trace is a flat list of allocator operations with stable object ids —
+ * the exchange format between workload generation and execution. Uses:
+ *  - record a synthetic profile once and replay the *identical* op
+ *    sequence against every system (stronger determinism than sharing a
+ *    seed: even timing-dependent generators replay exactly);
+ *  - persist regression workloads to disk (text format, versioned);
+ *  - write targeted micro-traces in tests (e.g. exact quarantine-cycle
+ *    shapes) without hand-driving the allocator.
+ *
+ * Ops reference objects by dense ids; WRITE_PTR stores real pointers
+ * between live objects during replay, so sweeps and marking passes see a
+ * genuine reference graph, exactly as the profile executor produces.
+ */
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/profile.h"
+#include "workload/system.h"
+
+namespace msw::workload {
+
+enum class TraceOpKind : std::uint8_t {
+    kAlloc,     ///< id := alloc(size)
+    kFree,      ///< free(id)
+    kWritePtr,  ///< objects[id][slot] = objects[target id] (or null)
+    kTouch,     ///< read/write `size` bytes of object `id`
+};
+
+struct TraceOp {
+    TraceOpKind kind = TraceOpKind::kAlloc;
+    std::uint32_t id = 0;
+    std::uint32_t target = 0;  ///< kWritePtr: source object (or kNullId)
+    std::uint32_t slot = 0;    ///< kWritePtr: pointer field index
+    std::uint64_t size = 0;    ///< kAlloc: bytes; kTouch: bytes to touch
+
+    static constexpr std::uint32_t kNullId = 0xffffffffu;
+};
+
+class Trace
+{
+  public:
+    /** Append one op. Ids must be dense and allocated before use. */
+    void
+    push(const TraceOp& op)
+    {
+        ops_.push_back(op);
+        if (op.kind == TraceOpKind::kAlloc && op.id >= num_ids_)
+            num_ids_ = op.id + 1;
+    }
+
+    const std::vector<TraceOp>& ops() const { return ops_; }
+    std::uint32_t num_ids() const { return num_ids_; }
+    bool empty() const { return ops_.empty(); }
+
+    /**
+     * Serialise to a line-oriented text format:
+     *   msw-trace v1
+     *   a <id> <size>
+     *   f <id>
+     *   p <id> <slot> <target|-
+     *   t <id> <bytes>
+     */
+    void save(std::ostream& out) const;
+
+    /** Parse the text format; fatal() on malformed input. */
+    static Trace load(std::istream& in);
+
+    /**
+     * Record the deterministic op sequence a Profile would execute
+     * (single-threaded profiles only).
+     */
+    static Trace record(const Profile& profile);
+
+  private:
+    std::vector<TraceOp> ops_;
+    std::uint32_t num_ids_ = 0;
+};
+
+/**
+ * Replay a trace against a system. Object table is registered as a root
+ * range for the duration. Returns a checksum over the touched bytes; two
+ * systems replaying the same trace return the same checksum.
+ */
+WorkloadResult replay_trace(System& system, const Trace& trace);
+
+}  // namespace msw::workload

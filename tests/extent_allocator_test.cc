@@ -1,0 +1,224 @@
+// Extent-allocator tests: allocation/free/coalescing, page-map lookup,
+// alignment, decay purging, and hook integration.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "alloc/extent_allocator.h"
+
+namespace msw::alloc {
+namespace {
+
+constexpr std::size_t kHeapBytes = 256 << 20;
+
+class ExtentAllocTest : public ::testing::Test
+{
+  protected:
+    ExtentAllocator ea{kHeapBytes, /*decay_ms=*/0};
+};
+
+TEST_F(ExtentAllocTest, AllocReturnsCommittedWritableExtent)
+{
+    ExtentMeta* e = ea.alloc_extent(4, ExtentKind::kLarge);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->pages, 4u);
+    EXPECT_TRUE(e->committed);
+    std::memset(to_ptr(e->base), 0x5a, e->bytes());
+}
+
+TEST_F(ExtentAllocTest, DistinctExtentsDoNotOverlap)
+{
+    ExtentMeta* a = ea.alloc_extent(2, ExtentKind::kLarge);
+    ExtentMeta* b = ea.alloc_extent(3, ExtentKind::kLarge);
+    EXPECT_TRUE(a->end() <= b->base || b->end() <= a->base);
+}
+
+TEST_F(ExtentAllocTest, LookupFindsExtentForEveryInteriorPage)
+{
+    ExtentMeta* e = ea.alloc_extent(8, ExtentKind::kLarge);
+    for (std::size_t off = 0; off < e->bytes(); off += vm::kPageSize)
+        EXPECT_EQ(ea.lookup(e->base + off), e);
+    EXPECT_EQ(ea.lookup(e->base + e->bytes() - 1), e);
+}
+
+TEST_F(ExtentAllocTest, LookupReturnsNullAfterFree)
+{
+    ExtentMeta* e = ea.alloc_extent(2, ExtentKind::kLarge);
+    const std::uintptr_t base = e->base;
+    ea.free_extent(e);
+    EXPECT_EQ(ea.lookup(base), nullptr);
+}
+
+TEST_F(ExtentAllocTest, LookupOutsideHeapReturnsNull)
+{
+    int local = 0;
+    EXPECT_EQ(ea.lookup(to_addr(&local)), nullptr);
+    EXPECT_EQ(ea.lookup(0x1000), nullptr);
+}
+
+TEST_F(ExtentAllocTest, FreedExtentIsReused)
+{
+    ExtentMeta* e = ea.alloc_extent(4, ExtentKind::kLarge);
+    const std::uintptr_t base = e->base;
+    ea.free_extent(e);
+    ExtentMeta* f = ea.alloc_extent(4, ExtentKind::kLarge);
+    EXPECT_EQ(f->base, base) << "exact-size free extent should be reused";
+}
+
+TEST_F(ExtentAllocTest, AdjacentFreesCoalesce)
+{
+    ExtentMeta* a = ea.alloc_extent(2, ExtentKind::kLarge);
+    ExtentMeta* b = ea.alloc_extent(2, ExtentKind::kLarge);
+    ASSERT_EQ(b->base, a->end()) << "bump allocation should be contiguous";
+    const std::uintptr_t base = a->base;
+    ea.free_extent(a);
+    ea.free_extent(b);
+    // A 4-page request must now fit into the coalesced hole.
+    ExtentMeta* c = ea.alloc_extent(4, ExtentKind::kLarge);
+    EXPECT_EQ(c->base, base);
+}
+
+TEST_F(ExtentAllocTest, OversizedFreeExtentIsSplit)
+{
+    ExtentMeta* big = ea.alloc_extent(16, ExtentKind::kLarge);
+    const std::uintptr_t base = big->base;
+    ea.free_extent(big);
+    ExtentMeta* small = ea.alloc_extent(4, ExtentKind::kLarge);
+    EXPECT_EQ(small->base, base);
+    // The 12-page remainder must be reusable.
+    ExtentMeta* rest = ea.alloc_extent(12, ExtentKind::kLarge);
+    EXPECT_EQ(rest->base, base + 4 * vm::kPageSize);
+}
+
+TEST_F(ExtentAllocTest, AlignedAllocationRespectsAlignment)
+{
+    // Force some misalignment first.
+    ea.alloc_extent(3, ExtentKind::kLarge);
+    ExtentMeta* e = ea.alloc_extent(4, ExtentKind::kLarge, /*align_pages=*/8);
+    EXPECT_TRUE(is_aligned(e->base, 8 * vm::kPageSize));
+}
+
+TEST_F(ExtentAllocTest, StatsTrackActiveAndCommitted)
+{
+    const ExtentStats before = ea.stats();
+    ExtentMeta* e = ea.alloc_extent(10, ExtentKind::kLarge);
+    const ExtentStats mid = ea.stats();
+    EXPECT_EQ(mid.active_bytes, before.active_bytes + 10 * vm::kPageSize);
+    EXPECT_GE(mid.committed_bytes, before.committed_bytes);
+    ea.free_extent(e);
+    const ExtentStats after = ea.stats();
+    EXPECT_EQ(after.active_bytes, before.active_bytes);
+}
+
+TEST_F(ExtentAllocTest, PurgeAllDropsCommittedBytes)
+{
+    ExtentMeta* e = ea.alloc_extent(64, ExtentKind::kLarge);
+    std::memset(to_ptr(e->base), 1, e->bytes());
+    ea.free_extent(e);
+    const ExtentStats before = ea.stats();
+    EXPECT_GE(before.committed_bytes, 64 * vm::kPageSize);
+    ea.purge_all();
+    const ExtentStats after = ea.stats();
+    EXPECT_LT(after.committed_bytes, before.committed_bytes);
+    EXPECT_GT(after.purges, before.purges);
+}
+
+TEST_F(ExtentAllocTest, PurgedExtentIsRecommittedOnReuse)
+{
+    ExtentMeta* e = ea.alloc_extent(4, ExtentKind::kLarge);
+    const std::uintptr_t base = e->base;
+    std::memset(to_ptr(base), 0x77, 4 * vm::kPageSize);
+    ea.free_extent(e);
+    ea.purge_all();
+    ExtentMeta* f = ea.alloc_extent(4, ExtentKind::kLarge);
+    ASSERT_EQ(f->base, base);
+    auto* p = reinterpret_cast<unsigned char*>(base);
+    EXPECT_EQ(p[0], 0u) << "purged memory must come back zeroed";
+    p[0] = 1;  // and writable
+}
+
+TEST_F(ExtentAllocTest, ForEachActiveExtentSeesAllActive)
+{
+    std::vector<ExtentMeta*> extents;
+    for (int i = 0; i < 5; ++i)
+        extents.push_back(ea.alloc_extent(i + 1, ExtentKind::kLarge));
+    ea.free_extent(extents[2]);
+
+    std::size_t total = 0;
+    int count = 0;
+    ea.for_each_active_extent([&](std::uintptr_t base, std::size_t bytes) {
+        total += bytes;
+        ++count;
+    });
+    EXPECT_EQ(count, 4);
+    EXPECT_EQ(total, (1 + 2 + 4 + 5) * vm::kPageSize);
+}
+
+TEST_F(ExtentAllocTest, ManyAllocFreeCyclesStayBounded)
+{
+    // Churn must not leak address space: the frontier should stabilise.
+    for (int round = 0; round < 50; ++round) {
+        std::vector<ExtentMeta*> es;
+        for (int i = 0; i < 20; ++i)
+            es.push_back(ea.alloc_extent(1 + (i % 7), ExtentKind::kLarge));
+        for (auto* e : es)
+            ea.free_extent(e);
+    }
+    EXPECT_LT(ea.stats().mapped_frontier, 8u << 20)
+        << "frontier should stay far below 8 MiB for this workload";
+}
+
+class HookRecorder : public ExtentHooks
+{
+  public:
+    using ExtentHooks::ExtentHooks;
+    int commits = 0;
+    int purges = 0;
+
+    void
+    commit(std::uintptr_t addr, std::size_t len) override
+    {
+        ++commits;
+        ExtentHooks::commit(addr, len);
+    }
+
+    void
+    purge(std::uintptr_t addr, std::size_t len) override
+    {
+        ++purges;
+        ExtentHooks::purge(addr, len);
+    }
+};
+
+TEST(ExtentHooksTest, HooksObserveCommitAndPurge)
+{
+    ExtentAllocator ea(kHeapBytes, 0);
+    HookRecorder hooks(&ea.reservation());
+    ea.set_hooks(&hooks);
+    ExtentMeta* e = ea.alloc_extent(4, ExtentKind::kLarge);
+    EXPECT_EQ(hooks.commits, 1);
+    ea.free_extent(e);
+    EXPECT_EQ(hooks.purges, 0) << "no purge before decay/purge_all";
+    ea.purge_all();
+    EXPECT_EQ(hooks.purges, 1);
+    // Reuse after purge must commit again.
+    ea.alloc_extent(4, ExtentKind::kLarge);
+    EXPECT_EQ(hooks.commits, 2);
+}
+
+TEST(ExtentDecayTest, DecayPurgesOldFreeExtents)
+{
+    ExtentAllocator ea(kHeapBytes, /*decay_ms=*/1);
+    ExtentMeta* e = ea.alloc_extent(32, ExtentKind::kLarge);
+    std::memset(to_ptr(e->base), 1, e->bytes());
+    ea.free_extent(e);
+    const ExtentStats before = ea.stats();
+    usleep(5000);
+    ea.decay_tick();
+    const ExtentStats after = ea.stats();
+    EXPECT_LT(after.committed_bytes, before.committed_bytes);
+}
+
+}  // namespace
+}  // namespace msw::alloc

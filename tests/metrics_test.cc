@@ -1,0 +1,136 @@
+// Metrics tests: RSS sampling, CPU/wall clocks, subprocess round-trips,
+// geomean and table formatting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "metrics/metrics.h"
+#include "vm/vm.h"
+
+namespace msw::metrics {
+namespace {
+
+TEST(Clocks, WallAdvances)
+{
+    const double a = wall_seconds();
+    struct timespec ts {
+        0, 20 * 1000 * 1000
+    };
+    nanosleep(&ts, nullptr);
+    EXPECT_GT(wall_seconds(), a + 0.015);
+}
+
+TEST(Clocks, CpuAdvancesUnderWork)
+{
+    const double a = process_cpu_seconds();
+    volatile std::uint64_t x = 1;
+    for (int i = 0; i < 30000000; ++i)
+        x = x * 31 + 7;
+    EXPECT_GT(process_cpu_seconds(), a);
+}
+
+TEST(Sampler, ObservesAllocationGrowth)
+{
+    RssSampler sampler(2);
+    const std::size_t kBytes = 64 << 20;
+    vm::Reservation r = vm::Reservation::reserve(kBytes);
+    r.commit(r.base(), kBytes);
+    std::memset(reinterpret_cast<void*>(r.base()), 1, kBytes);
+    struct timespec ts {
+        0, 30 * 1000 * 1000
+    };
+    nanosleep(&ts, nullptr);
+    sampler.stop();
+    EXPECT_GE(sampler.peak(), sampler.average());
+    EXPECT_GT(sampler.peak(), kBytes / 2);
+    EXPECT_GE(sampler.series().size(), 2u);
+}
+
+TEST(Subprocess, ReturnsChildRecord)
+{
+    const RunRecord rec = run_in_subprocess([] {
+        RunRecord r;
+        r.wall_s = 1.5;
+        r.cpu_s = 0.5;
+        r.allocs = 42;
+        r.frees = 42;
+        r.checksum = 0xabcd;
+        r.avg_rss = 1000;
+        r.peak_rss = 2000;
+        r.sweeps = 7;
+        r.rss_series = {{0.1, 500}, {0.2, 1500}};
+        return r;
+    });
+    ASSERT_TRUE(rec.ok);
+    EXPECT_DOUBLE_EQ(rec.wall_s, 1.5);
+    EXPECT_EQ(rec.allocs, 42u);
+    EXPECT_EQ(rec.checksum, 0xabcdu);
+    EXPECT_EQ(rec.sweeps, 7u);
+    ASSERT_EQ(rec.rss_series.size(), 2u);
+    EXPECT_EQ(rec.rss_series[1].second, 1500u);
+}
+
+TEST(Subprocess, ChildCrashReportsNotOk)
+{
+    const RunRecord rec = run_in_subprocess([]() -> RunRecord {
+        std::abort();
+    });
+    EXPECT_FALSE(rec.ok);
+}
+
+TEST(Subprocess, ChildIsolatesMemory)
+{
+    // Memory the child touches must not affect the parent's RSS.
+    const std::size_t before = vm::current_rss_bytes();
+    const RunRecord rec = run_in_subprocess([] {
+        vm::Reservation r = vm::Reservation::reserve(256 << 20);
+        r.commit(r.base(), 256 << 20);
+        std::memset(reinterpret_cast<void*>(r.base()), 1, 256 << 20);
+        RunRecord out;
+        out.peak_rss = vm::current_rss_bytes();
+        return out;
+    });
+    ASSERT_TRUE(rec.ok);
+    EXPECT_GT(rec.peak_rss, 200u << 20);
+    EXPECT_LT(vm::current_rss_bytes(), before + (64u << 20));
+}
+
+TEST(Subprocess, TimeoutKillsHungChild)
+{
+    const double t0 = wall_seconds();
+    const RunRecord rec = run_in_subprocess(
+        []() -> RunRecord {
+            for (;;)
+                pause();
+        },
+        /*timeout_s=*/1);
+    EXPECT_FALSE(rec.ok);
+    EXPECT_LT(wall_seconds() - t0, 10.0);
+}
+
+TEST(Geomean, MatchesClosedForm)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_EQ(geomean({}), 0.0);
+}
+
+TEST(Format, Ratios)
+{
+    EXPECT_EQ(fmt_ratio(1.0536), "1.054x");
+    EXPECT_EQ(fmt_mib(1024 * 1024), "1.0");
+    EXPECT_EQ(fmt_seconds(1.23456), "1.235");
+}
+
+TEST(TableTest, PrintsWithoutCrashing)
+{
+    Table t({"bench", "time", "memory"});
+    t.add_row({"xalancbmk", "1.73x", "1.12x"});
+    t.add_row({"geomean", "1.05x", "1.11x"});
+    t.print();
+}
+
+}  // namespace
+}  // namespace msw::metrics

@@ -1,0 +1,181 @@
+// Quarantine tests: buffering, epoch lock-in, failed-free carry-over, and
+// byte accounting across the entry life-cycle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "quarantine/quarantine.h"
+
+namespace msw::quarantine {
+namespace {
+
+Entry
+entry(std::uintptr_t base, std::size_t usable, bool unmapped = false)
+{
+    return Entry::make(base, usable, unmapped);
+}
+
+TEST(Quarantine, InsertAccumulatesPendingBytes)
+{
+    Quarantine q(8);
+    q.insert(entry(0x1000, 100));
+    q.insert(entry(0x2000, 200));
+    EXPECT_EQ(q.pending_bytes(), 300u);
+    EXPECT_EQ(q.stats().entries_added, 2u);
+}
+
+TEST(Quarantine, UnmappedEntriesCountSeparately)
+{
+    Quarantine q(8);
+    q.insert(entry(0x1000, 100));
+    q.insert(entry(0x2000, 4096, /*unmapped=*/true));
+    EXPECT_EQ(q.pending_bytes(), 100u);
+    EXPECT_EQ(q.unmapped_bytes(), 4096u);
+}
+
+TEST(Quarantine, LockInDrainsCurrentEpoch)
+{
+    Quarantine q(4);
+    for (int i = 0; i < 10; ++i)
+        q.insert(entry(0x1000 + i * 16, 16));
+    std::vector<Entry> out;
+    q.lock_in(out);
+    EXPECT_EQ(out.size(), 10u);
+    EXPECT_EQ(q.pending_bytes(), 0u);
+
+    // A second lock-in with nothing new returns empty.
+    q.lock_in(out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Quarantine, EntriesAfterLockInGoToNextEpoch)
+{
+    Quarantine q(2);
+    q.insert(entry(0x1000, 16));
+    std::vector<Entry> first;
+    q.lock_in(first);
+    EXPECT_EQ(first.size(), 1u);
+
+    q.insert(entry(0x2000, 32));
+    EXPECT_EQ(q.pending_bytes(), 32u);
+    std::vector<Entry> second;
+    q.lock_in(second);
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_EQ(second[0].real_base(), 0x2000u);
+}
+
+TEST(Quarantine, FailedFreesRejoinNextLockIn)
+{
+    Quarantine q(2);
+    q.insert(entry(0x1000, 16));
+    q.insert(entry(0x2000, 32));
+    std::vector<Entry> set;
+    q.lock_in(set);
+    EXPECT_EQ(set.size(), 2u);
+
+    // Pretend 0x2000 failed its sweep test.
+    std::vector<Entry> failed = {entry(0x2000, 32)};
+    q.store_failed(std::move(failed));
+    EXPECT_EQ(q.failed_bytes(), 32u);
+    EXPECT_EQ(q.pending_bytes(), 0u)
+        << "failed frees are excluded from the trigger numerator";
+
+    q.insert(entry(0x3000, 64));
+    std::vector<Entry> next;
+    q.lock_in(next);
+    EXPECT_EQ(next.size(), 2u) << "failed entry must be retested";
+    EXPECT_EQ(q.failed_bytes(), 0u);
+    const bool has_failed =
+        std::any_of(next.begin(), next.end(),
+                    [](const Entry& e) { return e.real_base() == 0x2000; });
+    EXPECT_TRUE(has_failed);
+}
+
+TEST(Quarantine, ByteAccountingSurvivesFullCycle)
+{
+    Quarantine q(4);
+    q.insert(entry(0x1000, 100));
+    q.insert(entry(0x2000, 200, true));
+    q.insert(entry(0x3000, 300));
+    EXPECT_EQ(q.pending_bytes(), 400u);
+    EXPECT_EQ(q.unmapped_bytes(), 200u);
+
+    std::vector<Entry> set;
+    q.lock_in(set);
+    EXPECT_EQ(q.pending_bytes(), 0u);
+    EXPECT_EQ(q.unmapped_bytes(), 0u);
+
+    // One mapped and the unmapped entry fail.
+    std::vector<Entry> failed = {entry(0x1000, 100),
+                                 entry(0x2000, 200, true)};
+    q.store_failed(std::move(failed));
+    EXPECT_EQ(q.failed_bytes(), 100u);
+    EXPECT_EQ(q.unmapped_bytes(), 200u);
+    EXPECT_EQ(q.pending_bytes(), 0u);
+}
+
+TEST(Quarantine, BufferSpillsAtCapacity)
+{
+    // With capacity 4, inserting 3 then locking in from *another* thread
+    // misses the buffered entries; inserting 4 spills them globally.
+    Quarantine q(4);
+    for (int i = 0; i < 3; ++i)
+        q.insert(entry(0x1000 + i * 16, 16));
+
+    std::vector<Entry> seen_by_other;
+    std::thread other([&] { q.lock_in(seen_by_other); });
+    other.join();
+    EXPECT_TRUE(seen_by_other.empty())
+        << "entries below capacity stay in the owner's buffer";
+
+    q.insert(entry(0x5000, 16));  // 4th insert: spill
+    std::thread other2([&] { q.lock_in(seen_by_other); });
+    other2.join();
+    EXPECT_EQ(seen_by_other.size(), 4u);
+}
+
+TEST(Quarantine, OwnThreadLockInFlushesOwnBuffer)
+{
+    Quarantine q(64);
+    q.insert(entry(0x1000, 16));
+    std::vector<Entry> out;
+    q.lock_in(out);  // same thread: must flush its own buffer first
+    EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Quarantine, ThreadExitFlushesBuffer)
+{
+    Quarantine q(64);
+    std::thread t([&] { q.insert(entry(0x7000, 16)); });
+    t.join();
+    std::vector<Entry> out;
+    q.lock_in(out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].real_base(), 0x7000u);
+}
+
+TEST(Quarantine, ManyThreadsInsertConcurrently)
+{
+    Quarantine q(16);
+    const int kThreads = 4;
+    const int kPerThread = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i)
+                q.insert(entry(0x10000 + (t * kPerThread + i) * 16, 16));
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    std::vector<Entry> out;
+    q.lock_in(out);
+    EXPECT_EQ(out.size(),
+              static_cast<std::size_t>(kThreads) * kPerThread);
+    EXPECT_EQ(q.stats().entries_added,
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace msw::quarantine

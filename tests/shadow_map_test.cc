@@ -1,0 +1,145 @@
+// Shadow-map tests: marking, range tests with granule edge cases, dirty-
+// chunk clearing, and the de-dup test_and_set.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "sweep/shadow_map.h"
+#include "util/rng.h"
+
+namespace msw::sweep {
+namespace {
+
+constexpr std::uintptr_t kBase = std::uintptr_t{1} << 40;  // fake heap base
+constexpr std::size_t kBytes = 64 << 20;
+
+class ShadowTest : public ::testing::Test
+{
+  protected:
+    ShadowMap map{kBase, kBytes};
+};
+
+TEST_F(ShadowTest, CoversExactRange)
+{
+    EXPECT_TRUE(map.covers(kBase));
+    EXPECT_TRUE(map.covers(kBase + kBytes - 1));
+    EXPECT_FALSE(map.covers(kBase - 1));
+    EXPECT_FALSE(map.covers(kBase + kBytes));
+}
+
+TEST_F(ShadowTest, MarkSetsExactlyOneGranule)
+{
+    map.mark(kBase + 1000);
+    EXPECT_TRUE(map.test(kBase + 1000));
+    // Same granule (16 B): also marked.
+    EXPECT_TRUE(map.test(kBase + 1000 - (1000 % 16)));
+    // Neighbouring granules: unmarked.
+    EXPECT_FALSE(map.test(kBase + 1000 + 16));
+    EXPECT_FALSE(map.test(kBase + 1000 - 16 - (1000 % 16)));
+}
+
+TEST_F(ShadowTest, TestRangeFindsInteriorMark)
+{
+    map.mark(kBase + 4096 + 160);  // interior of [4096, 4096+512)
+    EXPECT_TRUE(map.test_range(kBase + 4096, 512));
+    EXPECT_FALSE(map.test_range(kBase + 4096 + 512, 512));
+    EXPECT_FALSE(map.test_range(kBase, 4096));
+}
+
+TEST_F(ShadowTest, TestRangeBoundaryInclusive)
+{
+    // Mark exactly the first granule of an allocation.
+    map.mark(kBase + 1024);
+    EXPECT_TRUE(map.test_range(kBase + 1024, 16));
+    // Mark the last granule.
+    map.clear_marks();
+    map.mark(kBase + 1024 + 496);
+    EXPECT_TRUE(map.test_range(kBase + 1024, 512));
+    EXPECT_FALSE(map.test_range(kBase + 1024, 496));
+}
+
+TEST_F(ShadowTest, TestRangeSpanningManyWords)
+{
+    // A range longer than 64 granules exercises the multi-word path.
+    const std::size_t len = 64 * 1024;
+    EXPECT_FALSE(map.test_range(kBase, len));
+    map.mark(kBase + 32 * 1024);
+    EXPECT_TRUE(map.test_range(kBase, len));
+}
+
+TEST_F(ShadowTest, UnalignedRangeEdges)
+{
+    // Granule-unaligned base and length must still test conservatively.
+    map.mark(kBase + 105);
+    EXPECT_TRUE(map.test_range(kBase + 100, 10));
+    EXPECT_TRUE(map.test_range(kBase + 96, 16));
+}
+
+TEST_F(ShadowTest, ClearMarksResetsEverything)
+{
+    Rng rng(5);
+    std::vector<std::uintptr_t> addrs;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uintptr_t a = kBase + rng.next_below(kBytes);
+        addrs.push_back(a);
+        map.mark(a);
+    }
+    map.clear_marks();
+    for (const auto a : addrs)
+        ASSERT_FALSE(map.test(a));
+}
+
+TEST_F(ShadowTest, ClearThenRemarkWorks)
+{
+    map.mark(kBase + 100);
+    map.clear_marks();
+    map.mark(kBase + 200);
+    EXPECT_FALSE(map.test(kBase + 100));
+    EXPECT_TRUE(map.test(kBase + 200));
+}
+
+TEST_F(ShadowTest, TestAndSetReportsPriorState)
+{
+    EXPECT_FALSE(map.test_and_set(kBase + 64));
+    EXPECT_TRUE(map.test_and_set(kBase + 64));
+    map.clear(kBase + 64);
+    EXPECT_FALSE(map.test_and_set(kBase + 64));
+}
+
+TEST_F(ShadowTest, SingleClearOnlyAffectsOneGranule)
+{
+    map.mark(kBase);
+    map.mark(kBase + 16);
+    map.clear(kBase);
+    EXPECT_FALSE(map.test(kBase));
+    EXPECT_TRUE(map.test(kBase + 16));
+}
+
+TEST_F(ShadowTest, ConcurrentMarkingIsSound)
+{
+    // Multiple threads marking overlapping regions: every mark must land.
+    const int kThreads = 4;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (std::size_t i = 0; i < 50000; ++i)
+                map.mark(kBase + ((i * 37 + t * 13) % (kBytes / 2)));
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    for (std::size_t i = 0; i < 50000; ++i) {
+        for (int t = 0; t < kThreads; ++t)
+            ASSERT_TRUE(map.test(kBase + ((i * 37 + t * 13) % (kBytes / 2))));
+    }
+}
+
+TEST_F(ShadowTest, ShadowOverheadIsUnderOnePercent)
+{
+    // Paper §3.2: the shadow space is less than 1 % overhead.
+    EXPECT_LT(map.shadow_bytes(), kBytes / 100);
+}
+
+}  // namespace
+}  // namespace msw::sweep

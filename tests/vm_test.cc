@@ -1,0 +1,160 @@
+// Unit tests for the VM layer: reservation lifecycle, commit/decommit
+// semantics, protection changes, and RSS accounting behaviour.
+#include <gtest/gtest.h>
+
+#include <csetjmp>
+#include <csignal>
+#include <cstring>
+
+#include "util/bits.h"
+#include "vm/vm.h"
+
+namespace msw::vm {
+namespace {
+
+TEST(Reservation, ReserveRoundsToPages)
+{
+    Reservation r = Reservation::reserve(1);
+    EXPECT_EQ(r.size(), kPageSize);
+    EXPECT_NE(r.base(), 0u);
+    EXPECT_TRUE(is_aligned(r.base(), kPageSize));
+}
+
+TEST(Reservation, ContainsBounds)
+{
+    Reservation r = Reservation::reserve(4 * kPageSize);
+    EXPECT_TRUE(r.contains(r.base()));
+    EXPECT_TRUE(r.contains(r.base() + r.size() - 1));
+    EXPECT_FALSE(r.contains(r.base() + r.size()));
+    EXPECT_FALSE(r.contains(r.base() - 1));
+}
+
+TEST(Reservation, CommitMakesWritable)
+{
+    Reservation r = Reservation::reserve(8 * kPageSize);
+    r.commit(r.base(), 2 * kPageSize);
+    auto* p = reinterpret_cast<char*>(r.base());
+    std::memset(p, 0xab, 2 * kPageSize);
+    EXPECT_EQ(p[0], static_cast<char>(0xab));
+    EXPECT_EQ(p[2 * kPageSize - 1], static_cast<char>(0xab));
+}
+
+TEST(Reservation, CommittedPagesStartZeroed)
+{
+    Reservation r = Reservation::reserve(kPageSize);
+    r.commit(r.base(), kPageSize);
+    auto* p = reinterpret_cast<unsigned char*>(r.base());
+    for (std::size_t i = 0; i < kPageSize; i += 64)
+        ASSERT_EQ(p[i], 0u);
+}
+
+TEST(Reservation, DecommitDiscardsContents)
+{
+    Reservation r = Reservation::reserve(kPageSize);
+    r.commit(r.base(), kPageSize);
+    auto* p = reinterpret_cast<unsigned char*>(r.base());
+    p[100] = 42;
+    r.decommit(r.base(), kPageSize);
+    r.commit(r.base(), kPageSize);
+    EXPECT_EQ(p[100], 0u) << "decommit must drop physical contents";
+}
+
+TEST(Reservation, PurgeKeepsAccessibleButDropsContents)
+{
+    Reservation r = Reservation::reserve(kPageSize);
+    r.commit(r.base(), kPageSize);
+    auto* p = reinterpret_cast<unsigned char*>(r.base());
+    p[7] = 9;
+    r.purge_keep_accessible(r.base(), kPageSize);
+    // No commit needed: page must still be accessible, now zero.
+    EXPECT_EQ(p[7], 0u);
+}
+
+TEST(Reservation, MoveTransfersOwnership)
+{
+    Reservation a = Reservation::reserve(kPageSize);
+    const std::uintptr_t base = a.base();
+    Reservation b = std::move(a);
+    EXPECT_EQ(b.base(), base);
+    EXPECT_EQ(a.base(), 0u);
+    Reservation c;
+    c = std::move(b);
+    EXPECT_EQ(c.base(), base);
+    EXPECT_EQ(b.base(), 0u);
+}
+
+TEST(Reservation, ReleaseIsIdempotent)
+{
+    Reservation r = Reservation::reserve(kPageSize);
+    r.release();
+    EXPECT_EQ(r.base(), 0u);
+    r.release();  // Must not crash.
+}
+
+// Protection faults are checked with a fork: cleaner than signal-handler
+// longjmp inside the gtest process.
+bool
+access_faults(std::uintptr_t addr)
+{
+    const pid_t pid = fork();
+    if (pid == 0) {
+        *reinterpret_cast<volatile char*>(addr) = 1;
+        _exit(0);
+    }
+    int status = 0;
+    waitpid(pid, &status, 0);
+    return WIFSIGNALED(status) && WTERMSIG(status) == SIGSEGV;
+}
+
+TEST(Reservation, ReservedPagesAreInaccessible)
+{
+    Reservation r = Reservation::reserve(kPageSize);
+    EXPECT_TRUE(access_faults(r.base()));
+}
+
+TEST(Reservation, ProtectNoneRevokesAccess)
+{
+    Reservation r = Reservation::reserve(kPageSize);
+    r.commit(r.base(), kPageSize);
+    *reinterpret_cast<char*>(r.base()) = 1;
+    r.protect_none(r.base(), kPageSize);
+    EXPECT_TRUE(access_faults(r.base()));
+    r.protect_rw(r.base(), kPageSize);
+    EXPECT_FALSE(access_faults(r.base()));
+    // protect_rw (unlike decommit+commit) preserves contents.
+    EXPECT_EQ(*reinterpret_cast<char*>(r.base()), 1);
+}
+
+TEST(Rss, CurrentRssIsPlausible)
+{
+    const std::size_t rss = current_rss_bytes();
+    EXPECT_GT(rss, 100 * 1024u);           // > 100 KiB
+    EXPECT_LT(rss, 8ull * 1024 * 1024 * 1024);  // < 8 GiB
+}
+
+TEST(Rss, CommittingAndTouchingRaisesRss)
+{
+    const std::size_t kBytes = 32 * 1024 * 1024;
+    const std::size_t before = current_rss_bytes();
+    Reservation r = Reservation::reserve(kBytes);
+    r.commit(r.base(), kBytes);
+    std::memset(reinterpret_cast<void*>(r.base()), 1, kBytes);
+    const std::size_t after = current_rss_bytes();
+    EXPECT_GT(after, before + kBytes / 2);
+}
+
+TEST(Rss, PeakRssAtLeastCurrent)
+{
+    EXPECT_GE(peak_rss_bytes() + 1024 * 1024, current_rss_bytes());
+}
+
+TEST(PagesFor, Rounding)
+{
+    EXPECT_EQ(pages_for(0), 0u);
+    EXPECT_EQ(pages_for(1), 1u);
+    EXPECT_EQ(pages_for(kPageSize), 1u);
+    EXPECT_EQ(pages_for(kPageSize + 1), 2u);
+}
+
+}  // namespace
+}  // namespace msw::vm
