@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_spec2006_memory.dir/fig10_spec2006_memory.cc.o"
+  "CMakeFiles/fig10_spec2006_memory.dir/fig10_spec2006_memory.cc.o.d"
+  "fig10_spec2006_memory"
+  "fig10_spec2006_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_spec2006_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_cpu_utilisation.dir/fig12_cpu_utilisation.cc.o"
+  "CMakeFiles/fig12_cpu_utilisation.dir/fig12_cpu_utilisation.cc.o.d"
+  "fig12_cpu_utilisation"
+  "fig12_cpu_utilisation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cpu_utilisation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

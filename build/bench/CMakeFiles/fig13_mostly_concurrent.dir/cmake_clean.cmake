@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_mostly_concurrent.dir/fig13_mostly_concurrent.cc.o"
+  "CMakeFiles/fig13_mostly_concurrent.dir/fig13_mostly_concurrent.cc.o.d"
+  "fig13_mostly_concurrent"
+  "fig13_mostly_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_mostly_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_sweep_counts.dir/fig14_sweep_counts.cc.o"
+  "CMakeFiles/fig14_sweep_counts.dir/fig14_sweep_counts.cc.o.d"
+  "fig14_sweep_counts"
+  "fig14_sweep_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_sweep_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

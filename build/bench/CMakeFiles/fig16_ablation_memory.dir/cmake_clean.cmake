@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_ablation_memory.dir/fig16_ablation_memory.cc.o"
+  "CMakeFiles/fig16_ablation_memory.dir/fig16_ablation_memory.cc.o.d"
+  "fig16_ablation_memory"
+  "fig16_ablation_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_ablation_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_overhead_sources.dir/fig17_overhead_sources.cc.o"
+  "CMakeFiles/fig17_overhead_sources.dir/fig17_overhead_sources.cc.o.d"
+  "fig17_overhead_sources"
+  "fig17_overhead_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_overhead_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_spec2017.dir/fig18_spec2017.cc.o"
+  "CMakeFiles/fig18_spec2017.dir/fig18_spec2017.cc.o.d"
+  "fig18_spec2017"
+  "fig18_spec2017.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_spec2017.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_mimalloc_bench.dir/fig19_mimalloc_bench.cc.o"
+  "CMakeFiles/fig19_mimalloc_bench.dir/fig19_mimalloc_bench.cc.o.d"
+  "fig19_mimalloc_bench"
+  "fig19_mimalloc_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_mimalloc_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

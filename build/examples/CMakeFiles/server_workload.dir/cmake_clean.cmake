@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_workload.dir/server_workload.cpp.o"
+  "CMakeFiles/server_workload.dir/server_workload.cpp.o.d"
+  "server_workload"
+  "server_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

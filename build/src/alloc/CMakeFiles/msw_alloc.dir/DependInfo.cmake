@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/bin.cc" "src/alloc/CMakeFiles/msw_alloc.dir/bin.cc.o" "gcc" "src/alloc/CMakeFiles/msw_alloc.dir/bin.cc.o.d"
+  "/root/repo/src/alloc/extent.cc" "src/alloc/CMakeFiles/msw_alloc.dir/extent.cc.o" "gcc" "src/alloc/CMakeFiles/msw_alloc.dir/extent.cc.o.d"
+  "/root/repo/src/alloc/extent_allocator.cc" "src/alloc/CMakeFiles/msw_alloc.dir/extent_allocator.cc.o" "gcc" "src/alloc/CMakeFiles/msw_alloc.dir/extent_allocator.cc.o.d"
+  "/root/repo/src/alloc/jade_allocator.cc" "src/alloc/CMakeFiles/msw_alloc.dir/jade_allocator.cc.o" "gcc" "src/alloc/CMakeFiles/msw_alloc.dir/jade_allocator.cc.o.d"
+  "/root/repo/src/alloc/size_classes.cc" "src/alloc/CMakeFiles/msw_alloc.dir/size_classes.cc.o" "gcc" "src/alloc/CMakeFiles/msw_alloc.dir/size_classes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/msw_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/msw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

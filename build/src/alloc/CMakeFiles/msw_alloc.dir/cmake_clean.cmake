@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msw_alloc.dir/bin.cc.o"
+  "CMakeFiles/msw_alloc.dir/bin.cc.o.d"
+  "CMakeFiles/msw_alloc.dir/extent.cc.o"
+  "CMakeFiles/msw_alloc.dir/extent.cc.o.d"
+  "CMakeFiles/msw_alloc.dir/extent_allocator.cc.o"
+  "CMakeFiles/msw_alloc.dir/extent_allocator.cc.o.d"
+  "CMakeFiles/msw_alloc.dir/jade_allocator.cc.o"
+  "CMakeFiles/msw_alloc.dir/jade_allocator.cc.o.d"
+  "CMakeFiles/msw_alloc.dir/size_classes.cc.o"
+  "CMakeFiles/msw_alloc.dir/size_classes.cc.o.d"
+  "libmsw_alloc.a"
+  "libmsw_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msw_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

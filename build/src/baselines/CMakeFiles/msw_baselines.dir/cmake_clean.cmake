@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msw_baselines.dir/ffmalloc.cc.o"
+  "CMakeFiles/msw_baselines.dir/ffmalloc.cc.o.d"
+  "CMakeFiles/msw_baselines.dir/markus.cc.o"
+  "CMakeFiles/msw_baselines.dir/markus.cc.o.d"
+  "libmsw_baselines.a"
+  "libmsw_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msw_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

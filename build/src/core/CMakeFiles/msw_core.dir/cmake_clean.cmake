@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msw_core.dir/minesweeper.cc.o"
+  "CMakeFiles/msw_core.dir/minesweeper.cc.o.d"
+  "libmsw_core.a"
+  "libmsw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

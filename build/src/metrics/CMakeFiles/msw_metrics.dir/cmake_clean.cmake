@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msw_metrics.dir/metrics.cc.o"
+  "CMakeFiles/msw_metrics.dir/metrics.cc.o.d"
+  "libmsw_metrics.a"
+  "libmsw_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msw_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

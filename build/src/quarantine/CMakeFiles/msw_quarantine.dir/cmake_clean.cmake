@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msw_quarantine.dir/quarantine.cc.o"
+  "CMakeFiles/msw_quarantine.dir/quarantine.cc.o.d"
+  "libmsw_quarantine.a"
+  "libmsw_quarantine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msw_quarantine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

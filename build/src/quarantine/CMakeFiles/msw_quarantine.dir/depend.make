@@ -1,0 +1,2 @@
+# Empty dependencies file for msw_quarantine.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minesweeper_preload.dir/shim.cc.o"
+  "CMakeFiles/minesweeper_preload.dir/shim.cc.o.d"
+  "libminesweeper_preload.pdb"
+  "libminesweeper_preload.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minesweeper_preload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

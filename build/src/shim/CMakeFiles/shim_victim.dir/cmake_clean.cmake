@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shim_victim.dir/shim_victim.cc.o"
+  "CMakeFiles/shim_victim.dir/shim_victim.cc.o.d"
+  "shim_victim"
+  "shim_victim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shim_victim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

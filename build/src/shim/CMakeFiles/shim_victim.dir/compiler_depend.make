@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for shim_victim.
+# This may be replaced when dependencies are built.

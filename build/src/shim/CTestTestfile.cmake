@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src/shim
+# Build directory: /root/repo/build/src/shim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(shim_victim_native "/root/repo/build/src/shim/shim_victim")
+set_tests_properties(shim_victim_native PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/shim/CMakeLists.txt;12;add_test;/root/repo/src/shim/CMakeLists.txt;0;")
+add_test(shim_victim_preload "/usr/bin/cmake" "-E" "env" "LD_PRELOAD=/root/repo/build/src/shim/libminesweeper_preload.so" "MSW_SHIM_EXPECT=protected" "/root/repo/build/src/shim/shim_victim")
+set_tests_properties(shim_victim_preload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/shim/CMakeLists.txt;13;add_test;/root/repo/src/shim/CMakeLists.txt;0;")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sweep/dirty_tracker.cc" "src/sweep/CMakeFiles/msw_sweep.dir/dirty_tracker.cc.o" "gcc" "src/sweep/CMakeFiles/msw_sweep.dir/dirty_tracker.cc.o.d"
+  "/root/repo/src/sweep/roots.cc" "src/sweep/CMakeFiles/msw_sweep.dir/roots.cc.o" "gcc" "src/sweep/CMakeFiles/msw_sweep.dir/roots.cc.o.d"
+  "/root/repo/src/sweep/shadow_map.cc" "src/sweep/CMakeFiles/msw_sweep.dir/shadow_map.cc.o" "gcc" "src/sweep/CMakeFiles/msw_sweep.dir/shadow_map.cc.o.d"
+  "/root/repo/src/sweep/sweeper.cc" "src/sweep/CMakeFiles/msw_sweep.dir/sweeper.cc.o" "gcc" "src/sweep/CMakeFiles/msw_sweep.dir/sweeper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/msw_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/msw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

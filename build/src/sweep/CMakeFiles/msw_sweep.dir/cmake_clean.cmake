@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msw_sweep.dir/dirty_tracker.cc.o"
+  "CMakeFiles/msw_sweep.dir/dirty_tracker.cc.o.d"
+  "CMakeFiles/msw_sweep.dir/roots.cc.o"
+  "CMakeFiles/msw_sweep.dir/roots.cc.o.d"
+  "CMakeFiles/msw_sweep.dir/shadow_map.cc.o"
+  "CMakeFiles/msw_sweep.dir/shadow_map.cc.o.d"
+  "CMakeFiles/msw_sweep.dir/sweeper.cc.o"
+  "CMakeFiles/msw_sweep.dir/sweeper.cc.o.d"
+  "libmsw_sweep.a"
+  "libmsw_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msw_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msw_util.dir/check.cc.o"
+  "CMakeFiles/msw_util.dir/check.cc.o.d"
+  "CMakeFiles/msw_util.dir/log.cc.o"
+  "CMakeFiles/msw_util.dir/log.cc.o.d"
+  "libmsw_util.a"
+  "libmsw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

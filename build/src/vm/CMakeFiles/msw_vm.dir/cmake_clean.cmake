@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msw_vm.dir/vm.cc.o"
+  "CMakeFiles/msw_vm.dir/vm.cc.o.d"
+  "libmsw_vm.a"
+  "libmsw_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msw_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/attack.cc" "src/workload/CMakeFiles/msw_workload.dir/attack.cc.o" "gcc" "src/workload/CMakeFiles/msw_workload.dir/attack.cc.o.d"
+  "/root/repo/src/workload/executor.cc" "src/workload/CMakeFiles/msw_workload.dir/executor.cc.o" "gcc" "src/workload/CMakeFiles/msw_workload.dir/executor.cc.o.d"
+  "/root/repo/src/workload/mimalloc_kernels.cc" "src/workload/CMakeFiles/msw_workload.dir/mimalloc_kernels.cc.o" "gcc" "src/workload/CMakeFiles/msw_workload.dir/mimalloc_kernels.cc.o.d"
+  "/root/repo/src/workload/runner.cc" "src/workload/CMakeFiles/msw_workload.dir/runner.cc.o" "gcc" "src/workload/CMakeFiles/msw_workload.dir/runner.cc.o.d"
+  "/root/repo/src/workload/spec_profiles.cc" "src/workload/CMakeFiles/msw_workload.dir/spec_profiles.cc.o" "gcc" "src/workload/CMakeFiles/msw_workload.dir/spec_profiles.cc.o.d"
+  "/root/repo/src/workload/system.cc" "src/workload/CMakeFiles/msw_workload.dir/system.cc.o" "gcc" "src/workload/CMakeFiles/msw_workload.dir/system.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/msw_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/msw_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/msw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/msw_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/msw_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/msw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/msw_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sweep/CMakeFiles/msw_sweep.dir/DependInfo.cmake"
+  "/root/repo/build/src/quarantine/CMakeFiles/msw_quarantine.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/msw_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msw_workload.dir/attack.cc.o"
+  "CMakeFiles/msw_workload.dir/attack.cc.o.d"
+  "CMakeFiles/msw_workload.dir/executor.cc.o"
+  "CMakeFiles/msw_workload.dir/executor.cc.o.d"
+  "CMakeFiles/msw_workload.dir/mimalloc_kernels.cc.o"
+  "CMakeFiles/msw_workload.dir/mimalloc_kernels.cc.o.d"
+  "CMakeFiles/msw_workload.dir/runner.cc.o"
+  "CMakeFiles/msw_workload.dir/runner.cc.o.d"
+  "CMakeFiles/msw_workload.dir/spec_profiles.cc.o"
+  "CMakeFiles/msw_workload.dir/spec_profiles.cc.o.d"
+  "CMakeFiles/msw_workload.dir/system.cc.o"
+  "CMakeFiles/msw_workload.dir/system.cc.o.d"
+  "CMakeFiles/msw_workload.dir/trace.cc.o"
+  "CMakeFiles/msw_workload.dir/trace.cc.o.d"
+  "libmsw_workload.a"
+  "libmsw_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msw_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

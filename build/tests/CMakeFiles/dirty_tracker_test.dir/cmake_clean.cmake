@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirty_tracker_test.dir/dirty_tracker_test.cc.o"
+  "CMakeFiles/dirty_tracker_test.dir/dirty_tracker_test.cc.o.d"
+  "dirty_tracker_test"
+  "dirty_tracker_test.pdb"
+  "dirty_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirty_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

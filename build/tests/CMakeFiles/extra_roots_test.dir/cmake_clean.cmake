@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_roots_test.dir/extra_roots_test.cc.o"
+  "CMakeFiles/extra_roots_test.dir/extra_roots_test.cc.o.d"
+  "extra_roots_test"
+  "extra_roots_test.pdb"
+  "extra_roots_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_roots_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

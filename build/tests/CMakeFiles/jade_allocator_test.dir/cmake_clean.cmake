@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jade_allocator_test.dir/jade_allocator_test.cc.o"
+  "CMakeFiles/jade_allocator_test.dir/jade_allocator_test.cc.o.d"
+  "jade_allocator_test"
+  "jade_allocator_test.pdb"
+  "jade_allocator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jade_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jade_classes_test.dir/jade_classes_test.cc.o"
+  "CMakeFiles/jade_classes_test.dir/jade_classes_test.cc.o.d"
+  "jade_classes_test"
+  "jade_classes_test.pdb"
+  "jade_classes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jade_classes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

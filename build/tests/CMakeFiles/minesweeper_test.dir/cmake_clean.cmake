@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minesweeper_test.dir/minesweeper_test.cc.o"
+  "CMakeFiles/minesweeper_test.dir/minesweeper_test.cc.o.d"
+  "minesweeper_test"
+  "minesweeper_test.pdb"
+  "minesweeper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minesweeper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

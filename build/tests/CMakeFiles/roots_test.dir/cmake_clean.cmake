@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roots_test.dir/roots_test.cc.o"
+  "CMakeFiles/roots_test.dir/roots_test.cc.o.d"
+  "roots_test"
+  "roots_test.pdb"
+  "roots_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roots_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

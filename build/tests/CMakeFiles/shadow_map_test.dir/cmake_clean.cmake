@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadow_map_test.dir/shadow_map_test.cc.o"
+  "CMakeFiles/shadow_map_test.dir/shadow_map_test.cc.o.d"
+  "shadow_map_test"
+  "shadow_map_test.pdb"
+  "shadow_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadow_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

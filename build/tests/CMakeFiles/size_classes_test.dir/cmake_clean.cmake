@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/size_classes_test.dir/size_classes_test.cc.o"
+  "CMakeFiles/size_classes_test.dir/size_classes_test.cc.o.d"
+  "size_classes_test"
+  "size_classes_test.pdb"
+  "size_classes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/size_classes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_test[1]_include.cmake")
+include("/root/repo/build/tests/size_classes_test[1]_include.cmake")
+include("/root/repo/build/tests/extent_allocator_test[1]_include.cmake")
+include("/root/repo/build/tests/jade_allocator_test[1]_include.cmake")
+include("/root/repo/build/tests/shadow_map_test[1]_include.cmake")
+include("/root/repo/build/tests/sweeper_test[1]_include.cmake")
+include("/root/repo/build/tests/quarantine_test[1]_include.cmake")
+include("/root/repo/build/tests/roots_test[1]_include.cmake")
+include("/root/repo/build/tests/dirty_tracker_test[1]_include.cmake")
+include("/root/repo/build/tests/minesweeper_test[1]_include.cmake")
+include("/root/repo/build/tests/minesweeper_modes_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/attack_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/extra_roots_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/jade_classes_test[1]_include.cmake")
