@@ -129,7 +129,7 @@ BM_LinearSweep(benchmark::State& state)
 {
     const std::size_t bytes = 64 << 20;
     vm::Reservation heap = vm::Reservation::reserve(bytes);
-    heap.commit(heap.base(), bytes);
+    heap.commit_must(heap.base(), bytes);
     const double density = static_cast<double>(state.range(0)) / 100.0;
     // Fill with `density` fraction of heap pointers, rest integers.
     Rng rng(3);

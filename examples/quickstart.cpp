@@ -31,6 +31,8 @@ main()
 
     // 3. Allocate and use memory exactly as with malloc/free.
     char* message = static_cast<char*>(ms.alloc(64));
+    if (message == nullptr)  // nullptr under memory pressure, like malloc
+        return 1;
     std::snprintf(message, 64, "hello from the quarantined heap");
     std::printf("allocated: %s\n", message);
 

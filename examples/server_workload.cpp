@@ -48,16 +48,29 @@ worker(msw::core::MineSweeper& ms, int index, std::uint64_t requests,
     msw::Rng rng(9000 + index);
 
     for (std::uint64_t r = 0; r < requests; ++r) {
-        // Parse an incoming request.
+        // Parse an incoming request. Under memory pressure alloc()
+        // returns nullptr (it never aborts): a real server sheds the
+        // request and keeps serving.
         auto* session = static_cast<Session*>(ms.alloc(sizeof(Session)));
+        if (session == nullptr)
+            continue;
         session->id = (static_cast<std::uint64_t>(index) << 32) | r;
         const std::size_t parse_size = 64 + rng.next_below(1500);
         session->parse_buffer = static_cast<char*>(ms.alloc(parse_size));
+        if (session->parse_buffer == nullptr) {
+            ms.free(session);
+            continue;
+        }
         std::memset(session->parse_buffer, 'q', parse_size);
 
         // Produce a response.
         const std::size_t resp_size = 128 + rng.next_below(4000);
         session->response = static_cast<char*>(ms.alloc(resp_size));
+        if (session->response == nullptr) {
+            ms.free(session->parse_buffer);
+            ms.free(session);
+            continue;
+        }
         std::snprintf(session->response, resp_size,
                       "HTTP/1.1 200 OK\r\ncontent-length: %zu\r\n\r\n",
                       parse_size);

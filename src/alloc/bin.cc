@@ -20,6 +20,9 @@ Bin::grab_slab_locked()
     }
     ExtentMeta* slab =
         extents_->alloc_extent(slab_pages(cls_), ExtentKind::kSlab);
+    if (slab == nullptr) {
+        return nullptr;
+    }
     slab->cls = static_cast<std::uint16_t>(cls_);
     slab->arena = arena_;
     nonfull_.push_front(slab);
@@ -36,6 +39,11 @@ Bin::alloc_batch(void** out, unsigned n)
     std::lock_guard<SpinLock> g(lock_);
     while (produced < n) {
         ExtentMeta* slab = grab_slab_locked();
+        if (slab == nullptr) {
+            // Out of extents under pressure: return the short batch; the
+            // caller decides whether to reclaim and retry.
+            break;
+        }
         // Scan the slot bitmap for free slots.
         const unsigned words = (nslots + 63) / 64;
         for (unsigned w = 0; w < words && produced < n; ++w) {

@@ -28,7 +28,9 @@ MetaPool::alloc()
     const std::uintptr_t committed_end = space_.base() + committed_;
     if (bump_ + sz > committed_end) {
         const std::uintptr_t new_end = align_up(bump_ + sz, vm::kPageSize);
-        space_.commit(committed_end, new_end - committed_end);
+        // Metadata the allocator cannot run without; commit_must retries
+        // through transient pressure rather than failing the alloc.
+        space_.commit_must(committed_end, new_end - committed_end);
         committed_ = new_end - space_.base();
     }
     auto* m = reinterpret_cast<ExtentMeta*>(bump_);

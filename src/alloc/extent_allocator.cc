@@ -1,10 +1,12 @@
 #include "alloc/extent_allocator.h"
 
+#include <atomic>
 #include <ctime>
 #include <mutex>
 
 #include "util/bits.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "util/log.h"
 
 namespace msw::alloc {
@@ -31,7 +33,8 @@ ExtentAllocator::ExtentAllocator(std::size_t heap_bytes,
     const std::size_t heap_pages = heap_.size() >> vm::kPageShift;
     page_map_space_ =
         vm::Reservation::reserve(heap_pages * sizeof(ExtentMeta*));
-    page_map_space_.commit(page_map_space_.base(), page_map_space_.size());
+    page_map_space_.commit_must(page_map_space_.base(),
+                                page_map_space_.size());
     page_map_ = reinterpret_cast<ExtentMeta**>(page_map_space_.base());
     bump_ = heap_.base();
 }
@@ -106,14 +109,17 @@ ExtentAllocator::remove_free(ExtentMeta* e)
     free_buckets_[bucket_for(e->pages)].remove(e);
 }
 
-void
+bool
 ExtentAllocator::ensure_committed(ExtentMeta* e)
 {
     if (!e->committed) {
-        hooks_->commit(e->base, e->bytes());
+        if (!hooks_->commit(e->base, e->bytes())) {
+            return false;
+        }
         e->committed = true;
         committed_bytes_ += e->bytes();
     }
+    return true;
 }
 
 void
@@ -121,7 +127,12 @@ ExtentAllocator::purge_extent(ExtentMeta* e)
 {
     MSW_DCHECK(e->kind == ExtentKind::kFree);
     if (e->committed) {
-        hooks_->purge(e->base, e->bytes());
+        if (!hooks_->purge(e->base, e->bytes())) {
+            // Purge failed under pressure: keep the pages accounted as
+            // committed (they still have backing) and let the next decay
+            // pass retry.
+            return;
+        }
         e->committed = false;
         MSW_DCHECK(committed_bytes_ >= e->bytes());
         committed_bytes_ -= e->bytes();
@@ -184,10 +195,19 @@ ExtentAllocator::alloc_extent(std::size_t pages, ExtentKind kind,
         const std::size_t align_bytes = align_pages << vm::kPageShift;
         const std::uintptr_t aligned = align_up(bump_, align_bytes);
         const std::size_t want_bytes = pages << vm::kPageShift;
-        if (aligned + want_bytes > heap_.end()) {
-            fatal("heap reservation exhausted (%zu MiB): cannot allocate "
-                  "%zu pages",
-                  heap_.size() >> 20, pages);
+        if (util::failpoint_should_fail(util::Failpoint::kExtentGrow) ||
+            aligned + want_bytes > heap_.end()) {
+            // VA exhaustion is survivable: a sweep may return quarantined
+            // extents to the free lists. Report once, then fail the
+            // request so alloc() can reclaim and retry.
+            static std::atomic<bool> logged{false};
+            if (!logged.exchange(true, std::memory_order_relaxed)) {
+                MSW_LOG_WARN(
+                    "heap reservation exhausted (%zu MiB): cannot "
+                    "allocate %zu pages",
+                    heap_.size() >> 20, pages);
+            }
+            return nullptr;
         }
         if (aligned > bump_) {
             // Turn the alignment gap into a free extent so it is reusable.
@@ -209,7 +229,12 @@ ExtentAllocator::alloc_extent(std::size_t pages, ExtentKind kind,
     e->next = nullptr;
     e->used_slots = 0;
     e->large_size = 0;
-    ensure_committed(e);
+    if (!ensure_committed(e)) {
+        // Commit failed under pressure: hand the extent back to the free
+        // lists (still uncommitted) and fail the request.
+        insert_free(e);
+        return nullptr;
+    }
     map_extent(e);
     active_bytes_ += e->bytes();
     return e;

@@ -65,6 +65,10 @@ class ExtentAllocator
      * registered in the page map. @p kind must be kSlab or kLarge; the
      * caller fills in kind-specific fields. If @p align_pages > 1 the
      * extent base is aligned to that many pages.
+     *
+     * Returns nullptr when the heap reservation is exhausted or the
+     * commit hook fails under memory pressure; callers propagate the
+     * failure up to alloc() (which retries / reclaims before giving up).
      */
     ExtentMeta* alloc_extent(std::size_t pages, ExtentKind kind,
                              std::size_t align_pages = 1);
@@ -169,7 +173,7 @@ class ExtentAllocator
     void map_extent(ExtentMeta* e);
     void unmap_extent_range(ExtentMeta* e);
     void mark_free_boundaries(ExtentMeta* e);
-    void ensure_committed(ExtentMeta* e);
+    [[nodiscard]] bool ensure_committed(ExtentMeta* e);
     void purge_extent(ExtentMeta* e);
     void decay_pass_locked(std::uint64_t now);
 

@@ -31,23 +31,25 @@ class ExtentHooks
     /**
      * Make [addr, addr+len) readable and writable. Called before an extent
      * is handed out if it is not already committed. Pages previously purged
-     * reappear zero-filled.
+     * reappear zero-filled. Returns false on transient failure (memory
+     * pressure); the extent stays uncommitted and the caller backs off.
      */
-    virtual void
+    [[nodiscard]] virtual bool
     commit(std::uintptr_t addr, std::size_t len)
     {
-        heap_->protect_rw(addr, len);
+        return heap_->protect_rw(addr, len) == vm::VmStatus::kOk;
     }
 
     /**
      * Release the physical memory behind [addr, addr+len). The stock
      * behaviour keeps the range accessible (demand-zero on next touch),
-     * like jemalloc's madvise purging.
+     * like jemalloc's madvise purging. Returns false on transient
+     * failure; the extent must then stay accounted as committed.
      */
-    virtual void
+    [[nodiscard]] virtual bool
     purge(std::uintptr_t addr, std::size_t len)
     {
-        heap_->purge_keep_accessible(addr, len);
+        return heap_->purge_keep_accessible(addr, len) == vm::VmStatus::kOk;
     }
 
   protected:

@@ -242,12 +242,19 @@ JadeAllocator::alloc(std::size_t size)
             shard.count = static_cast<std::uint16_t>(
                 bin_for(tc->arena, cls).alloc_batch(shard.objs, fill));
         }
-        MSW_CHECK(shard.count > 0);
+        if (shard.count == 0) {
+            live_bytes_.fetch_sub(class_size(cls),
+                                  std::memory_order_relaxed);
+            return nullptr;
+        }
         return shard.objs[--shard.count];
     }
     void* out = nullptr;
     const unsigned got = bin_for(0, cls).alloc_batch(&out, 1);
-    MSW_CHECK(got == 1);
+    if (got != 1) {
+        live_bytes_.fetch_sub(class_size(cls), std::memory_order_relaxed);
+        return nullptr;
+    }
     return out;
 }
 
@@ -257,6 +264,9 @@ JadeAllocator::alloc_large(std::size_t size, std::size_t align_pages)
     const std::size_t pages = vm::pages_for(size);
     ExtentMeta* e =
         extents_.alloc_extent(pages, ExtentKind::kLarge, align_pages);
+    if (e == nullptr) {
+        return nullptr;
+    }
     e->large_size = size;
     live_bytes_.fetch_add(e->bytes(), std::memory_order_relaxed);
     return to_ptr(e->base);
@@ -357,6 +367,10 @@ JadeAllocator::realloc(void* ptr, std::size_t new_size)
     if (new_size <= old_usable && new_size * 2 > old_usable)
         return ptr;
     void* fresh = alloc(new_size);
+    if (fresh == nullptr) {
+        // Per the realloc contract the original block stays valid.
+        return nullptr;
+    }
     std::memcpy(fresh, ptr, old_usable < new_size ? old_usable : new_size);
     free(ptr);
     return fresh;

@@ -5,6 +5,7 @@
 
 #include "util/bits.h"
 #include "util/check.h"
+#include "util/log.h"
 
 namespace msw::baseline {
 
@@ -26,12 +27,12 @@ FFMalloc::FFMalloc(const Options& opts)
 {
     const std::size_t pages = space_.size() >> vm::kPageShift;
     info_space_ = vm::Reservation::reserve(pages * sizeof(std::uint32_t));
-    info_space_.commit(info_space_.base(), info_space_.size());
+    info_space_.commit_must(info_space_.base(), info_space_.size());
     page_info_ = reinterpret_cast<std::uint32_t*>(info_space_.base());
 
     live_space_ = vm::Reservation::reserve(
         pages * (sizeof(std::uint16_t) + sizeof(std::uint8_t)));
-    live_space_.commit(live_space_.base(), live_space_.size());
+    live_space_.commit_must(live_space_.base(), live_space_.size());
     page_live_ = reinterpret_cast<std::atomic<std::uint16_t>*>(
         live_space_.base());
     page_sealed_ = reinterpret_cast<std::atomic<std::uint8_t>*>(
@@ -58,16 +59,25 @@ FFMalloc::grab_span(std::size_t bytes, std::size_t align_bytes)
     std::lock_guard<SpinLock> g(frontier_lock_);
     const std::uintptr_t addr = align_up(frontier_, align_bytes);
     if (addr + bytes > space_.end()) {
-        fatal("ffmalloc: virtual address space exhausted (%zu MiB)",
-              space_.size() >> 20);
+        // One-time allocation means VA burn is terminal, not transient;
+        // still honour the malloc contract (nullptr, not abort).
+        static std::atomic<bool> logged{false};
+        if (!logged.exchange(true)) {
+            MSW_LOG_WARN(
+                "ffmalloc: virtual address space exhausted (%zu MiB); "
+                "returning nullptr",
+                space_.size() >> 20);
+        }
+        return 0;
     }
+    if (space_.commit(addr, bytes) != vm::VmStatus::kOk)
+        return 0;  // frontier untouched; a later attempt may succeed
     // Alignment-gap pages are dead forever; they were never committed, so
     // sealing them costs nothing.
     for (std::uintptr_t p = frontier_; p < addr; p += vm::kPageSize)
         page_sealed_[page_index(p)].store(kDecommitted,
                                           std::memory_order_relaxed);
     frontier_ = addr + bytes;
-    space_.commit(addr, bytes);
     committed_bytes_.fetch_add(bytes, std::memory_order_relaxed);
     return addr;
 }
@@ -84,8 +94,11 @@ FFMalloc::seal_and_maybe_decommit(std::uintptr_t page_addr)
     if (page_live_[idx].load(std::memory_order_acquire) == 0) {
         expected = kSealed;
         if (page_sealed_[idx].compare_exchange_strong(
-                expected, kDecommitted, std::memory_order_acq_rel)) {
-            space_.decommit(page_addr, vm::kPageSize);
+                expected, kDecommitted, std::memory_order_acq_rel) &&
+            space_.decommit(page_addr, vm::kPageSize) == vm::VmStatus::kOk) {
+            // On transient decommit failure the page stays physically
+            // committed (bounded leak: its VA is retired and it is never
+            // touched again), so the accounting must not drop it.
             committed_bytes_.fetch_sub(vm::kPageSize,
                                        std::memory_order_relaxed);
         }
@@ -108,8 +121,8 @@ FFMalloc::on_object_freed(std::uintptr_t base, std::size_t usable)
             // it (sealed).
             std::uint8_t expected = kSealed;
             if (page_sealed_[idx].compare_exchange_strong(
-                    expected, kDecommitted, std::memory_order_acq_rel)) {
-                space_.decommit(p, vm::kPageSize);
+                    expected, kDecommitted, std::memory_order_acq_rel) &&
+                space_.decommit(p, vm::kPageSize) == vm::VmStatus::kOk) {
                 committed_bytes_.fetch_sub(vm::kPageSize,
                                            std::memory_order_relaxed);
             }
@@ -117,11 +130,12 @@ FFMalloc::on_object_freed(std::uintptr_t base, std::size_t usable)
     }
 }
 
-void
+bool
 FFMalloc::refill_pool(unsigned cls)
 {
     Pool& pool = pools_[cls];
     // Retire the old span: every fully-consumed or skipped page is sealed.
+    // Idempotent, so running it again on a failed-refill retry is safe.
     if (pool.end != 0) {
         for (std::uintptr_t p = align_down(pool.bump, vm::kPageSize);
              p < pool.end; p += vm::kPageSize) {
@@ -129,10 +143,13 @@ FFMalloc::refill_pool(unsigned cls)
         }
     }
     const std::uintptr_t span = grab_span(kPoolBytes, vm::kPageSize);
+    if (span == 0)
+        return false;  // pool untouched; the next alloc retries the refill
     for (std::uintptr_t p = span; p < span + kPoolBytes; p += vm::kPageSize)
         page_info_[page_index(p)] = cls + 1;
     pool.bump = span;
     pool.end = span + kPoolBytes;
+    return true;
 }
 
 void*
@@ -145,6 +162,8 @@ FFMalloc::alloc(std::size_t size)
     if (size > alloc::kMaxSmallSize) {
         const std::size_t bytes = align_up(size, vm::kPageSize);
         const std::uintptr_t addr = grab_span(bytes, vm::kPageSize);
+        if (addr == 0)
+            return nullptr;
         const std::size_t first = page_index(addr);
         const std::size_t pages = bytes >> vm::kPageShift;
         page_info_[first] = kLargeStart | static_cast<std::uint32_t>(pages);
@@ -161,8 +180,8 @@ FFMalloc::alloc(std::size_t size)
     std::uintptr_t addr;
     {
         std::lock_guard<SpinLock> g(pool.lock);
-        if (pool.bump + csize > pool.end)
-            refill_pool(cls);
+        if (pool.bump + csize > pool.end && !refill_pool(cls))
+            return nullptr;
         addr = pool.bump;
         pool.bump += csize;
         // Count the object on every page it overlaps *before* sealing, so
@@ -198,6 +217,8 @@ FFMalloc::alloc_aligned(std::size_t alignment, std::size_t size)
     const std::size_t align_bytes =
         alignment > vm::kPageSize ? alignment : vm::kPageSize;
     const std::uintptr_t addr = grab_span(bytes, align_bytes);
+    if (addr == 0)
+        return nullptr;
     const std::size_t first = page_index(addr);
     const std::size_t pages = bytes >> vm::kPageShift;
     page_info_[first] = kLargeStart | static_cast<std::uint32_t>(pages);
@@ -234,8 +255,8 @@ FFMalloc::free(void* ptr)
             page_sealed_[first + i].store(kDecommitted,
                                           std::memory_order_relaxed);
         }
-        space_.decommit(addr, bytes);
-        committed_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+        if (space_.decommit(addr, bytes) == vm::VmStatus::kOk)
+            committed_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
         return;
     }
 

@@ -91,8 +91,9 @@ class FFMalloc final : public alloc::Allocator
         return (addr - space_.base()) >> vm::kPageShift;
     }
 
+    /** Returns 0 on VA exhaustion or transient commit failure. */
     std::uintptr_t grab_span(std::size_t bytes, std::size_t align_bytes);
-    void refill_pool(unsigned cls);
+    [[nodiscard]] bool refill_pool(unsigned cls);
     void seal_and_maybe_decommit(std::uintptr_t page_addr);
     void on_object_freed(std::uintptr_t base, std::size_t usable);
 

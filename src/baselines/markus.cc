@@ -24,22 +24,26 @@ class MarkUs::Hooks final : public alloc::ExtentHooks
         : alloc::ExtentHooks(heap), owner_(owner)
     {}
 
-    void
+    [[nodiscard]] bool
     commit(std::uintptr_t addr, std::size_t len) override
     {
-        heap_->protect_rw(addr, len);
+        if (heap_->protect_rw(addr, len) != vm::VmStatus::kOk)
+            return false;
         owner_->access_map_.set_range(addr, len);
         if (owner_->tracker_ != nullptr &&
             owner_->mark_active_.load(std::memory_order_acquire)) {
             owner_->tracker_->note_committed(addr, len);
         }
+        return true;
     }
 
-    void
+    [[nodiscard]] bool
     purge(std::uintptr_t addr, std::size_t len) override
     {
-        heap_->decommit(addr, len);
+        if (heap_->decommit(addr, len) != vm::VmStatus::kOk)
+            return false;
         owner_->access_map_.clear_range(addr, len);
+        return true;
     }
 
   private:
@@ -93,14 +97,41 @@ void*
 MarkUs::alloc(std::size_t size)
 {
     alloc_calls_.fetch_add(1, std::memory_order_relaxed);
-    return jade_.alloc(size + 1);  // end-pointer slack, as MineSweeper
+    void* p = jade_.alloc(size + 1);  // end-pointer slack, as MineSweeper
+    if (__builtin_expect(p != nullptr, 1))
+        return p;
+    return alloc_slow(size + 1, 0);
 }
 
 void*
 MarkUs::alloc_aligned(std::size_t alignment, std::size_t size)
 {
     alloc_calls_.fetch_add(1, std::memory_order_relaxed);
-    return jade_.alloc_aligned(alignment, size + 1);
+    void* p = jade_.alloc_aligned(alignment, size + 1);
+    if (__builtin_expect(p != nullptr, 1))
+        return p;
+    return alloc_slow(size + 1, alignment);
+}
+
+void*
+MarkUs::alloc_slow(std::size_t request, std::size_t alignment)
+{
+    // Memory pressure: marking passes both release unreferenced
+    // quarantined objects and purge the allocator's free structures
+    // (run_mark ends with purge_all), so a forced pass is the strongest
+    // reclaim available. Match MineSweeper's contract: never abort,
+    // return nullptr only once reclaim stops helping.
+    for (unsigned attempt = 0; attempt < 3; ++attempt) {
+        force_mark();
+        void* p = alignment == 0 ? jade_.alloc(request)
+                                 : jade_.alloc_aligned(alignment, request);
+        if (p != nullptr)
+            return p;
+    }
+    MSW_LOG_WARN("markus: returning nullptr for %zu-byte request after "
+                 "forced marking passes",
+                 request);
+    return nullptr;
 }
 
 std::size_t
@@ -149,9 +180,13 @@ MarkUs::free(void* ptr)
             } else {
                 entry = Entry::make(base, usable, false);
             }
-        } else {
-            jade_.reservation().decommit(base, usable);
+        } else if (jade_.reservation().decommit(base, usable) ==
+                   vm::VmStatus::kOk) {
             access_map_.clear_range(base, usable);
+        } else {
+            // Transient decommit failure: forgo the unmap optimisation,
+            // quarantine the block mapped (safe, just no memory win).
+            entry = Entry::make(base, usable, false);
         }
     }
     // Note: MarkUs does *not* zero freed data — reachability through the
@@ -279,8 +314,9 @@ MarkUs::run_mark()
         std::lock_guard<SpinLock> g(unmap_lock_);
         mark_active_.store(false, std::memory_order_release);
         for (const Entry& e : pending_unmaps_) {
-            if (quarantine_bitmap_.test(e.real_base())) {
-                jade_.reservation().decommit(e.real_base(), e.usable);
+            if (quarantine_bitmap_.test(e.real_base()) &&
+                jade_.reservation().decommit(e.real_base(), e.usable) ==
+                    vm::VmStatus::kOk) {
                 access_map_.clear_range(e.real_base(), e.usable);
             }
         }
@@ -326,8 +362,9 @@ MarkUs::run_mark()
     {
         std::lock_guard<SpinLock> g(unmap_lock_);
         for (const Entry& e : pending_unmaps_) {
-            if (quarantine_bitmap_.test(e.real_base())) {
-                jade_.reservation().decommit(e.real_base(), e.usable);
+            if (quarantine_bitmap_.test(e.real_base()) &&
+                jade_.reservation().decommit(e.real_base(), e.usable) ==
+                    vm::VmStatus::kOk) {
                 access_map_.clear_range(e.real_base(), e.usable);
             }
         }
@@ -342,7 +379,14 @@ MarkUs::run_mark()
             continue;
         }
         if (e.unmapped) {
-            jade_.reservation().protect_rw(e.real_base(), e.usable);
+            if (jade_.reservation().protect_rw(e.real_base(), e.usable) !=
+                vm::VmStatus::kOk) {
+                // Cannot restore accessibility; keep the entry quarantined
+                // and retry on the next pass rather than hand out an
+                // inaccessible block.
+                failed.push_back(e);
+                continue;
+            }
             access_map_.set_range(e.real_base(), e.usable);
         }
         quarantine_bitmap_.clear(e.real_base());
@@ -355,8 +399,9 @@ MarkUs::run_mark()
         std::lock_guard<SpinLock> g(unmap_lock_);
         mark_active_.store(false, std::memory_order_release);
         for (const Entry& e : pending_unmaps_) {
-            if (quarantine_bitmap_.test(e.real_base())) {
-                jade_.reservation().decommit(e.real_base(), e.usable);
+            if (quarantine_bitmap_.test(e.real_base()) &&
+                jade_.reservation().decommit(e.real_base(), e.usable) ==
+                    vm::VmStatus::kOk) {
                 access_map_.clear_range(e.real_base(), e.usable);
             }
         }

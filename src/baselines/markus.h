@@ -101,6 +101,8 @@ class MarkUs final : public alloc::Allocator
     class Hooks;
 
     void maybe_trigger_mark();
+    /** Substrate-exhaustion path: forced marking passes, then nullptr. */
+    void* alloc_slow(std::size_t request, std::size_t alignment);
     void run_mark();
     /** Scan [base, base+len) for pointers; push newly marked objects. */
     void scan_for_objects(std::uintptr_t base, std::size_t len,

@@ -1,5 +1,7 @@
 #include "core/minesweeper.h"
 
+#include <unistd.h>
+
 #include <cstring>
 
 #include "alloc/extent.h"
@@ -15,6 +17,8 @@ using alloc::ExtentMeta;
 using quarantine::Entry;
 using sweep::MarkStats;
 using sweep::Range;
+using util::Failpoint;
+using util::failpoint_should_fail;
 
 namespace {
 
@@ -50,25 +54,33 @@ class MineSweeper::Hooks final : public alloc::ExtentHooks
         : alloc::ExtentHooks(heap), msw_(msw)
     {}
 
-    void
+    [[nodiscard]] bool
     commit(std::uintptr_t addr, std::size_t len) override
     {
-        heap_->protect_rw(addr, len);
+        if (heap_->protect_rw(addr, len) != vm::VmStatus::kOk) {
+            return false;
+        }
         msw_->access_map_.set_range(addr, len);
         // Pages appearing mid-epoch must be treated as dirty.
         if (msw_->tracker_ != nullptr &&
             msw_->sweep_active_.load(std::memory_order_acquire)) {
             msw_->tracker_->note_committed(addr, len);
         }
+        return true;
     }
 
-    void
+    [[nodiscard]] bool
     purge(std::uintptr_t addr, std::size_t len) override
     {
         // True decommit (discard + PROT_NONE), not jemalloc's
         // keep-accessible purge: sweeps skip these pages entirely.
-        heap_->decommit(addr, len);
+        if (heap_->decommit(addr, len) != vm::VmStatus::kOk) {
+            // Pages keep their backing and stay in the access map; the
+            // extent stays accounted committed and is re-purged later.
+            return false;
+        }
         msw_->access_map_.clear_range(addr, len);
+        return true;
     }
 
   private:
@@ -100,7 +112,7 @@ MineSweeper::MineSweeper(const Options& opts)
     // reallocation's free() of the old buffer would re-enter
     // quarantine_free() and self-deadlock on the lock in the self-hosted
     // deployment. Overflowing entries simply skip the unmap optimisation.
-    pending_unmaps_.reserve(kMaxPendingUnmaps);
+    pending_unmaps_.reserve(opts_.max_pending_unmaps);
 
     if (opts_.helper_threads > 0)
         workers_ = std::make_unique<sweep::SweepWorkers>(
@@ -125,14 +137,42 @@ MineSweeper::MineSweeper(const Options& opts)
 
 MineSweeper::~MineSweeper()
 {
-    if (sweeper_thread_.joinable()) {
-        {
-            std::lock_guard<std::mutex> g(sweep_mu_);
-            shutdown_ = true;
-        }
-        sweep_cv_.notify_all();
-        sweeper_thread_.join();
+    {
+        std::lock_guard<std::mutex> g(sweep_mu_);
+        shutdown_ = true;
     }
+    // Wake everything: the sweeper (to exit) and any force_sweep()/
+    // flush()/pause waiters (their predicates include shutdown_).
+    sweep_cv_.notify_all();
+    sweep_done_cv_.notify_all();
+    if (sweeper_thread_.joinable())
+        sweeper_thread_.join();
+
+    // Claim the sweep token permanently: a watchdog-fallback or
+    // synchronous sweep that won the CAS before shutdown finishes first
+    // (members are still alive here); any later attempt fails the CAS and
+    // returns without sweeping.
+    bool expected = false;
+    while (!sweep_in_progress_.compare_exchange_weak(
+        expected, true, std::memory_order_acquire)) {
+        expected = false;
+        struct timespec ts {
+            0, 1000000
+        };
+        ::nanosleep(&ts, nullptr);
+    }
+    sweep_done_cv_.notify_all();
+
+    // Drain control-path waiters that entered before shutdown was
+    // visible, so no thread is left blocked on members we destroy.
+    while (control_waiters_.load(std::memory_order_acquire) != 0) {
+        sweep_done_cv_.notify_all();
+        struct timespec ts {
+            0, 1000000
+        };
+        ::nanosleep(&ts, nullptr);
+    }
+
     workers_.reset();
     // Restore default hooks before jade_ (a member) is destroyed, so any
     // destructor-time extent operations do not touch freed state.
@@ -149,7 +189,10 @@ MineSweeper::alloc(std::size_t size)
     // +1 byte so one-past-the-end pointers stay inside the allocation
     // (paper §3.2); size classes are 16 B-granular so this usually costs
     // nothing.
-    return jade_.alloc(size + 1);
+    void* p = jade_.alloc(size + 1);
+    if (__builtin_expect(p != nullptr, 1))
+        return p;
+    return alloc_slow(size + 1, 0);
 }
 
 void*
@@ -157,7 +200,68 @@ MineSweeper::alloc_aligned(std::size_t alignment, std::size_t size)
 {
     alloc_calls_.fetch_add(1, std::memory_order_relaxed);
     maybe_pause_allocations();
-    return jade_.alloc_aligned(alignment, size + 1);
+    void* p = jade_.alloc_aligned(alignment, size + 1);
+    if (__builtin_expect(p != nullptr, 1))
+        return p;
+    return alloc_slow(size + 1, alignment);
+}
+
+void*
+MineSweeper::alloc_slow(std::size_t request, std::size_t alignment)
+{
+    // Degradation ladder (never abort): the substrate failed, which means
+    // the heap VA is exhausted or a commit hit transient ENOMEM — both
+    // conditions a quarantine full of reclaimable memory can cause. Back
+    // off, then interleave retries with emergency reclaims; only report
+    // OOM to the caller once every attempt is spent.
+    unsigned backoff_us = opts_.alloc_retry_backoff_us;
+    for (unsigned attempt = 0; attempt < opts_.alloc_retry_attempts;
+         ++attempt) {
+        if (attempt > 0) {
+            // First retry is cheap (the kernel may just have been briefly
+            // unwilling); later ones drain quarantine first.
+            emergency_reclaim();
+        }
+        if (backoff_us > 0) {
+            ::usleep(backoff_us);
+            backoff_us *= 2;
+        }
+        commit_retries_.fetch_add(1, std::memory_order_relaxed);
+        void* p = alignment > 0 ? jade_.alloc_aligned(alignment, request)
+                                : jade_.alloc(request);
+        if (p != nullptr)
+            return p;
+    }
+    oom_returns_.fetch_add(1, std::memory_order_relaxed);
+    MSW_LOG_WARN("alloc of %zu bytes failed after %u attempts with "
+                 "emergency sweeps; returning nullptr",
+                 request, opts_.alloc_retry_attempts);
+    return nullptr;
+}
+
+void
+MineSweeper::emergency_reclaim()
+{
+    emergency_sweeps_.fetch_add(1, std::memory_order_relaxed);
+    if (!tls_sweep_context) {
+        quarantine_.flush_thread_buffer();
+        if (!run_sweep_now()) {
+            // Another thread owns the sweep; give it a moment to finish
+            // so the purge below sees its released extents.
+            std::unique_lock<std::mutex> g(sweep_mu_);
+            control_waiters_.fetch_add(1, std::memory_order_relaxed);
+            sweep_done_cv_.wait_for(
+                g, std::chrono::milliseconds(100), [&] {
+                    return shutdown_ ||
+                           !sweep_in_progress_.load(
+                               std::memory_order_relaxed);
+                });
+            control_waiters_.fetch_sub(1, std::memory_order_release);
+        }
+    }
+    // Return every free extent's pages to the OS so the next commit can
+    // succeed even when the kernel is the constraint.
+    jade_.purge_all();
 }
 
 std::size_t
@@ -179,6 +283,10 @@ MineSweeper::realloc(void* ptr, std::size_t new_size)
     if (new_size <= old_usable && new_size * 2 > old_usable)
         return ptr;
     void* fresh = alloc(new_size);
+    if (fresh == nullptr) {
+        // Per the realloc contract the original block stays valid.
+        return nullptr;
+    }
     std::memcpy(fresh, ptr,
                 old_usable < new_size ? old_usable : new_size);
     free(ptr);
@@ -225,8 +333,18 @@ MineSweeper::free(void* ptr)
         // Partial versions 1-2 (§5.5): apply unmap/zero side effects, then
         // forward straight to the allocator.
         if (opts_.unmapping && is_large) {
-            jade_.reservation().decommit(base, usable);
-            jade_.reservation().protect_rw(base, usable);
+            if (jade_.reservation().decommit(base, usable) ==
+                vm::VmStatus::kOk) {
+                if (!protect_rw_with_retry(base, usable)) {
+                    // Pages stuck inaccessible: handing them back for
+                    // reuse would fault the program. Keep the block
+                    // quarantined (bounded leak) instead of crashing.
+                    quarantine_.insert(Entry::make(base, usable, true));
+                    return;
+                }
+            } else if (opts_.zeroing) {
+                std::memset(ptr, 0, usable);
+            }
         } else if (opts_.zeroing) {
             std::memset(ptr, 0, usable);
         }
@@ -252,7 +370,7 @@ MineSweeper::quarantine_free(void* ptr, std::uintptr_t base,
         entry = Entry::make(base, usable, true);
         std::lock_guard<SpinLock> g(unmap_lock_);
         if (sweep_active_.load(std::memory_order_relaxed)) {
-            if (pending_unmaps_.size() < kMaxPendingUnmaps) {
+            if (pending_unmaps_.size() < opts_.max_pending_unmaps) {
                 pending_unmaps_.push_back(entry);
                 unmapped_entries_.fetch_add(1, std::memory_order_relaxed);
             } else {
@@ -262,9 +380,14 @@ MineSweeper::quarantine_free(void* ptr, std::uintptr_t base,
                 if (opts_.zeroing)
                     std::memset(ptr, 0, usable);
             }
-        } else {
+        } else if (unmap_entry(base, usable)) {
             unmapped_entries_.fetch_add(1, std::memory_order_relaxed);
-            unmap_entry(base, usable);
+        } else {
+            // Decommit refused under pressure: same safe downgrade as a
+            // full queue — the entry stays mapped while quarantined.
+            entry = Entry::make(base, usable, false);
+            if (opts_.zeroing)
+                std::memset(ptr, 0, usable);
         }
     } else if (opts_.zeroing) {
         // Zeroing removes dangling pointers *from* quarantined data,
@@ -275,11 +398,14 @@ MineSweeper::quarantine_free(void* ptr, std::uintptr_t base,
     quarantine_.insert(entry);
 }
 
-void
+bool
 MineSweeper::unmap_entry(std::uintptr_t base, std::size_t usable)
 {
-    jade_.reservation().decommit(base, usable);
+    if (jade_.reservation().decommit(base, usable) != vm::VmStatus::kOk) {
+        return false;
+    }
     access_map_.clear_range(base, usable);
+    return true;
 }
 
 void
@@ -288,8 +414,16 @@ MineSweeper::drain_pending_unmaps_locked()
     for (const Entry& e : pending_unmaps_) {
         // Entries released meanwhile must not be unmapped: their memory
         // may already be reallocated. Release clears the quarantine bit.
-        if (quarantine_bitmap_.test(e.real_base()))
-            unmap_entry(e.real_base(), e.usable);
+        if (quarantine_bitmap_.test(e.real_base())) {
+            if (!unmap_entry(e.real_base(), e.usable)) {
+                // Transient decommit failure: the entry simply keeps its
+                // pages while quarantined. release_entry()'s protect_rw
+                // and access-map restore are idempotent, so the stale
+                // unmapped flag is harmless.
+                MSW_LOG_DEBUG("deferred unmap of %zu bytes skipped",
+                              e.usable);
+            }
+        }
     }
     pending_unmaps_.clear();
 }
@@ -331,18 +465,18 @@ MineSweeper::maybe_trigger_sweep()
         return;
 
     if (opts_.mode == Mode::kSynchronous) {
-        bool expected = false;
-        if (sweep_in_progress_.compare_exchange_strong(expected, true)) {
-            run_sweep();
-            sweeps_done_.fetch_add(1, std::memory_order_relaxed);
-            sweep_in_progress_.store(false, std::memory_order_release);
-        }
+        run_sweep_now();
         return;
     }
 
     {
         std::lock_guard<std::mutex> g(sweep_mu_);
         sweep_requested_ = true;
+        // Watchdog heartbeat: stamp the oldest unserved request (the
+        // sweeper clears this when it picks the request up).
+        if (sweep_request_ns_.load(std::memory_order_relaxed) == 0)
+            sweep_request_ns_.store(monotonic_ns(),
+                                    std::memory_order_relaxed);
         // Backpressure (§5.7): if the quarantine has grown far past the
         // heap while a sweep is running, pause this allocating thread
         // until the sweep completes.
@@ -355,6 +489,64 @@ MineSweeper::maybe_trigger_sweep()
         }
     }
     sweep_cv_.notify_all();
+    check_sweeper_watchdog();
+}
+
+bool
+MineSweeper::run_sweep_now()
+{
+    bool expected = false;
+    if (!sweep_in_progress_.compare_exchange_strong(
+            expected, true, std::memory_order_acquire)) {
+        return false;
+    }
+    {
+        std::lock_guard<std::mutex> g(sweep_mu_);
+        if (shutdown_) {
+            // Do not start new sweeps during teardown; the destructor is
+            // waiting to claim this token.
+            sweep_in_progress_.store(false, std::memory_order_release);
+            return false;
+        }
+        sweep_requested_ = false;
+        sweep_request_ns_.store(0, std::memory_order_relaxed);
+    }
+    run_sweep();
+    {
+        std::lock_guard<std::mutex> g(sweep_mu_);
+        sweeps_done_.fetch_add(1, std::memory_order_relaxed);
+        pause_flag_.store(false, std::memory_order_relaxed);
+        sweep_in_progress_.store(false, std::memory_order_release);
+    }
+    sweep_done_cv_.notify_all();
+    return true;
+}
+
+void
+MineSweeper::check_sweeper_watchdog()
+{
+    if (opts_.watchdog_timeout_ms == 0 || tls_sweep_context ||
+        opts_.mode == Mode::kSynchronous) {
+        return;
+    }
+    const std::uint64_t req =
+        sweep_request_ns_.load(std::memory_order_relaxed);
+    if (req == 0 || sweep_in_progress_.load(std::memory_order_acquire))
+        return;
+    const bool overdue =
+        watchdog_tripped_.load(std::memory_order_relaxed) ||
+        monotonic_ns() - req >=
+            opts_.watchdog_timeout_ms * 1'000'000ull;
+    if (!overdue)
+        return;
+    if (!watchdog_tripped_.exchange(true, std::memory_order_relaxed)) {
+        MSW_LOG_WARN("sweeper watchdog: request unserved for %llu ms; "
+                     "falling back to synchronous sweeps",
+                     static_cast<unsigned long long>(
+                         opts_.watchdog_timeout_ms));
+    }
+    if (run_sweep_now())
+        watchdog_fallbacks_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void
@@ -365,11 +557,19 @@ MineSweeper::maybe_pause_allocations()
         return;
     }
     const std::uint64_t t0 = monotonic_ns();
-    std::unique_lock<std::mutex> g(sweep_mu_);
-    sweep_done_cv_.wait_for(g, std::chrono::seconds(2), [&] {
-        return !pause_flag_.load(std::memory_order_relaxed);
-    });
+    {
+        std::unique_lock<std::mutex> g(sweep_mu_);
+        control_waiters_.fetch_add(1, std::memory_order_relaxed);
+        sweep_done_cv_.wait_for(g, std::chrono::seconds(2), [&] {
+            return shutdown_ ||
+                   !pause_flag_.load(std::memory_order_relaxed);
+        });
+        control_waiters_.fetch_sub(1, std::memory_order_release);
+    }
     pause_ns_.fetch_add(monotonic_ns() - t0, std::memory_order_relaxed);
+    // A stalled sweeper never clears the pause flag — make sure progress
+    // is still possible before returning to the allocation path.
+    check_sweeper_watchdog();
 }
 
 // ---------------------------------------------------------------- sweeps
@@ -383,8 +583,26 @@ MineSweeper::sweeper_loop()
         sweep_cv_.wait(l, [&] { return sweep_requested_ || shutdown_; });
         if (shutdown_)
             break;
+        if (failpoint_should_fail(Failpoint::kSweeperStall)) {
+            // Play dead: leave the request pending (so the watchdog can
+            // see it age) and re-check once the failpoint lets go.
+            sweep_cv_.wait_for(l, std::chrono::milliseconds(10),
+                               [&] { return shutdown_; });
+            continue;
+        }
+        bool expected = false;
+        if (!sweep_in_progress_.compare_exchange_strong(
+                expected, true, std::memory_order_acquire)) {
+            // A watchdog fallback owns the sweep; it clears the request
+            // and notifies when done.
+            sweep_done_cv_.wait_for(l, std::chrono::milliseconds(1));
+            continue;
+        }
         sweep_requested_ = false;
-        sweep_in_progress_.store(true, std::memory_order_release);
+        // Heartbeat: the request is being served, so the sweeper is
+        // alive again — clear the stall latch.
+        sweep_request_ns_.store(0, std::memory_order_relaxed);
+        watchdog_tripped_.store(false, std::memory_order_relaxed);
         l.unlock();
         run_sweep();
         l.lock();
@@ -447,6 +665,10 @@ MineSweeper::run_sweep()
         std::lock_guard<SpinLock> g(unmap_lock_);
         sweep_active_.store(true, std::memory_order_release);
     }
+    // Test hook: hold the sweep open while armed so tests can exercise
+    // the concurrent free()/deferred-unmap machinery deterministically.
+    while (failpoint_should_fail(Failpoint::kSweepDelay))
+        ::usleep(1000);
     std::vector<Entry> locked_in;
     quarantine_.lock_in(locked_in);
     if (locked_in.empty()) {
@@ -520,6 +742,11 @@ MineSweeper::run_sweep()
     std::atomic<std::uint64_t> failed_count{0};
 
     auto release_job = [&](unsigned index) {
+        // Restore on exit: index 0 runs on the *calling* thread, which for
+        // emergency and watchdog-fallback sweeps is a mutator. Leaving the
+        // flag set would permanently disable that thread's watchdog checks
+        // and emergency reclaims.
+        const bool saved_sweep_context = tls_sweep_context;
         tls_sweep_context = true;
         constexpr std::size_t kBatch = 64;
         for (;;) {
@@ -541,12 +768,19 @@ MineSweeper::run_sweep()
                         continue;
                     }
                 }
-                release_entry(e);
+                if (!release_entry(e)) {
+                    // Could not restore access under pressure: keep the
+                    // entry quarantined; a later sweep retries.
+                    failed_count.fetch_add(1, std::memory_order_relaxed);
+                    failed_per_worker[index].push_back(e);
+                    continue;
+                }
                 released_count.fetch_add(1, std::memory_order_relaxed);
                 released_bytes.fetch_add(e.usable,
                                          std::memory_order_relaxed);
             }
         }
+        tls_sweep_context = saved_sweep_context;
     };
     if (workers_ != nullptr)
         workers_->run(release_job);
@@ -583,17 +817,34 @@ MineSweeper::run_sweep()
         std::memory_order_relaxed);
 }
 
-void
+bool
 MineSweeper::release_entry(const Entry& entry)
 {
     if (entry.unmapped) {
         // Restore access before handing the range back; physical pages
         // refault as zeros, so the memory win persists until reuse.
-        jade_.reservation().protect_rw(entry.real_base(), entry.usable);
+        if (!protect_rw_with_retry(entry.real_base(), entry.usable))
+            return false;
         access_map_.set_range(entry.real_base(), entry.usable);
     }
     quarantine_bitmap_.clear(entry.real_base());
     jade_.free_direct(to_ptr(entry.real_base()));
+    return true;
+}
+
+bool
+MineSweeper::protect_rw_with_retry(std::uintptr_t base, std::size_t len)
+{
+    constexpr int kAttempts = 10;
+    unsigned backoff_us = 50;
+    for (int i = 0; i < kAttempts; ++i) {
+        if (jade_.reservation().protect_rw(base, len) == vm::VmStatus::kOk)
+            return true;
+        ::usleep(backoff_us);
+        if (backoff_us < 10'000)
+            backoff_us *= 2;
+    }
+    return false;
 }
 
 // ----------------------------------------------------------------- misc
@@ -603,22 +854,48 @@ MineSweeper::force_sweep()
 {
     quarantine_.flush_thread_buffer();
     if (opts_.mode == Mode::kSynchronous) {
-        bool expected = false;
-        if (sweep_in_progress_.compare_exchange_strong(expected, true)) {
-            run_sweep();
-            sweeps_done_.fetch_add(1, std::memory_order_relaxed);
-            sweep_in_progress_.store(false, std::memory_order_release);
-        }
+        run_sweep_now();
         return;
     }
-    std::unique_lock<std::mutex> g(sweep_mu_);
-    const std::uint64_t target =
-        sweeps_done_.load(std::memory_order_relaxed) + 1;
-    sweep_requested_ = true;
-    sweep_cv_.notify_all();
-    sweep_done_cv_.wait(g, [&] {
-        return sweeps_done_.load(std::memory_order_relaxed) >= target;
-    });
+    control_waiters_.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::unique_lock<std::mutex> g(sweep_mu_);
+        if (shutdown_) {
+            control_waiters_.fetch_sub(1, std::memory_order_release);
+            return;
+        }
+        const std::uint64_t target =
+            sweeps_done_.load(std::memory_order_relaxed) + 1;
+        sweep_requested_ = true;
+        if (sweep_request_ns_.load(std::memory_order_relaxed) == 0)
+            sweep_request_ns_.store(monotonic_ns(),
+                                    std::memory_order_relaxed);
+        sweep_cv_.notify_all();
+        const auto timeout = std::chrono::milliseconds(
+            opts_.watchdog_timeout_ms != 0 ? opts_.watchdog_timeout_ms
+                                           : 500);
+        for (;;) {
+            const bool done = sweep_done_cv_.wait_for(g, timeout, [&] {
+                return shutdown_ ||
+                       sweeps_done_.load(std::memory_order_relaxed) >=
+                           target;
+            });
+            if (done)
+                break;
+            // Timed out: the sweeper may be stalled or dead. Sweep on
+            // this thread instead of hanging the caller.
+            g.unlock();
+            if (run_sweep_now())
+                watchdog_fallbacks_.fetch_add(1,
+                                              std::memory_order_relaxed);
+            g.lock();
+            if (shutdown_ ||
+                sweeps_done_.load(std::memory_order_relaxed) >= target) {
+                break;
+            }
+        }
+    }
+    control_waiters_.fetch_sub(1, std::memory_order_release);
 }
 
 void
@@ -629,11 +906,27 @@ MineSweeper::flush()
     if (opts_.mode == Mode::kSynchronous)
         return;
     // Wait out any in-flight or requested sweep.
-    std::unique_lock<std::mutex> g(sweep_mu_);
-    sweep_done_cv_.wait(g, [&] {
-        return !sweep_requested_ &&
-               !sweep_in_progress_.load(std::memory_order_relaxed);
-    });
+    control_waiters_.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::unique_lock<std::mutex> g(sweep_mu_);
+        for (;;) {
+            const bool done = sweep_done_cv_.wait_for(
+                g, std::chrono::milliseconds(500), [&] {
+                    return shutdown_ ||
+                           (!sweep_requested_ &&
+                            !sweep_in_progress_.load(
+                                std::memory_order_relaxed));
+                });
+            if (done)
+                break;
+            // A stalled sweeper would leave the request pending forever;
+            // serve it here so flush() keeps its completion guarantee.
+            g.unlock();
+            run_sweep_now();
+            g.lock();
+        }
+    }
+    control_waiters_.fetch_sub(1, std::memory_order_release);
 }
 
 void
@@ -704,6 +997,14 @@ MineSweeper::sweep_stats() const
     s.stw_ns = stw_ns_.load(std::memory_order_relaxed);
     s.pause_ns = pause_ns_.load(std::memory_order_relaxed);
     s.unmapped_entries = unmapped_entries_.load(std::memory_order_relaxed);
+    s.emergency_sweeps = emergency_sweeps_.load(std::memory_order_relaxed);
+    s.commit_retries = commit_retries_.load(std::memory_order_relaxed);
+    s.watchdog_fallbacks =
+        watchdog_fallbacks_.load(std::memory_order_relaxed);
+    s.oom_returns = oom_returns_.load(std::memory_order_relaxed);
+    for (unsigned i = 0; i < util::kNumFailpoints; ++i)
+        s.failpoint_hits[i] =
+            util::failpoint_hits(static_cast<util::Failpoint>(i));
     return s;
 }
 

@@ -35,6 +35,7 @@
 #include "alloc/jade_allocator.h"
 #include "core/options.h"
 #include "util/bits.h"
+#include "util/failpoint.h"
 #include "util/spin_lock.h"
 #include "quarantine/quarantine.h"
 #include "sweep/dirty_tracker.h"
@@ -57,6 +58,15 @@ struct SweepStats {
     std::uint64_t stw_ns = 0;            ///< Total stop-the-world time.
     std::uint64_t pause_ns = 0;          ///< Allocation-pausing wait time.
     std::uint64_t unmapped_entries = 0;  ///< Large allocations unmapped.
+
+    // Resilience counters (memory-pressure degradation + watchdog).
+    std::uint64_t emergency_sweeps = 0;   ///< Reclaims run from alloc().
+    std::uint64_t commit_retries = 0;     ///< alloc() retries after failure.
+    std::uint64_t watchdog_fallbacks = 0; ///< Synchronous watchdog sweeps.
+    std::uint64_t oom_returns = 0;        ///< alloc() nullptr returns.
+
+    /** Process-global failpoint fire counts, indexed by util::Failpoint. */
+    std::uint64_t failpoint_hits[util::kNumFailpoints] = {};
 };
 
 class MineSweeper final : public alloc::Allocator
@@ -146,14 +156,34 @@ class MineSweeper final : public alloc::Allocator
 
     void quarantine_free(void* ptr, std::uintptr_t base, std::size_t usable,
                          bool is_large);
-    void unmap_entry(std::uintptr_t base, std::size_t usable);
+    [[nodiscard]] bool unmap_entry(std::uintptr_t base, std::size_t usable);
     void drain_pending_unmaps_locked();
     void maybe_trigger_sweep();
     void maybe_pause_allocations();
     void run_sweep();
-    void release_entry(const quarantine::Entry& entry);
+    [[nodiscard]] bool release_entry(const quarantine::Entry& entry);
     void sweeper_loop();
     std::vector<sweep::Range> scan_ranges() const;
+
+    /** Slow path once the substrate returns nullptr: retry with backoff,
+        interleaving emergency reclaims; nullptr only when exhausted. */
+    void* alloc_slow(std::size_t request, std::size_t alignment);
+
+    /** Synchronous sweep + full purge to free memory *now*. */
+    void emergency_reclaim();
+
+    /**
+     * Run one sweep on the calling thread if no sweep is in flight
+     * (single-sweeper invariant via CAS on sweep_in_progress_). Returns
+     * false if another thread holds the sweep or shutdown has begun.
+     */
+    bool run_sweep_now();
+
+    /** Mutator-side stall detection; falls back to a synchronous sweep. */
+    void check_sweeper_watchdog();
+
+    /** protect_rw with bounded retry; false once attempts are exhausted. */
+    bool protect_rw_with_retry(std::uintptr_t base, std::size_t len);
 
     Options opts_;
     alloc::JadeAllocator jade_;
@@ -169,8 +199,8 @@ class MineSweeper final : public alloc::Allocator
     std::unique_ptr<sweep::DirtyTracker> tracker_;
 
     // Deferred page-unmapping while a sweep is scanning (readers must not
-    // lose pages mid-scan). Capacity is fixed at construction; see ctor.
-    static constexpr std::size_t kMaxPendingUnmaps = 4096;
+    // lose pages mid-scan). Capacity is fixed at construction
+    // (opts_.max_pending_unmaps); see ctor.
     SpinLock unmap_lock_;
     std::atomic<bool> sweep_active_{false};
     std::vector<quarantine::Entry> pending_unmaps_;
@@ -186,6 +216,17 @@ class MineSweeper final : public alloc::Allocator
     std::atomic<bool> pause_flag_{false};
     std::atomic<std::uint64_t> sweeps_done_{0};
 
+    // Watchdog: timestamp of the oldest unserved sweep request (0 = none)
+    // and a sticky "sweeper considered stalled" latch, cleared when the
+    // background sweeper resumes serving requests.
+    std::atomic<std::uint64_t> sweep_request_ns_{0};
+    std::atomic<bool> watchdog_tripped_{false};
+
+    // Threads blocked in force_sweep()/flush()/pause waits. The destructor
+    // drains these before tearing members down, so control-path calls that
+    // raced shutdown return safely instead of touching freed state.
+    std::atomic<int> control_waiters_{0};
+
     // Statistics.
     std::atomic<std::uint64_t> entries_released_{0};
     std::atomic<std::uint64_t> bytes_released_{0};
@@ -198,6 +239,10 @@ class MineSweeper final : public alloc::Allocator
     std::atomic<std::uint64_t> unmapped_entries_{0};
     std::atomic<std::uint64_t> alloc_calls_{0};
     std::atomic<std::uint64_t> free_calls_{0};
+    std::atomic<std::uint64_t> emergency_sweeps_{0};
+    std::atomic<std::uint64_t> commit_retries_{0};
+    std::atomic<std::uint64_t> watchdog_fallbacks_{0};
+    std::atomic<std::uint64_t> oom_returns_{0};
 };
 
 }  // namespace msw::core

@@ -100,6 +100,35 @@ struct Options {
     /** Report double frees to stderr (the paper's debug mode, §3). */
     bool report_double_frees = false;
 
+    // --- Resilience under memory pressure ------------------------------
+
+    /**
+     * Attempts alloc() makes when the substrate fails (heap exhausted or
+     * transient commit failure). Each attempt after the first runs the
+     * emergency path: synchronous sweep draining reclaimable quarantine,
+     * then a full purge. alloc() returns nullptr — never aborts — once
+     * they are exhausted.
+     */
+    unsigned alloc_retry_attempts = 4;
+
+    /** Backoff before each alloc() retry, doubled per attempt (µs). */
+    unsigned alloc_retry_backoff_us = 100;
+
+    /**
+     * Deadline for the background sweeper to pick up a sweep request.
+     * A mutator observing a miss logs once, falls back to synchronous
+     * sweeping, and keeps honouring the quarantine threshold. 0 disables
+     * the watchdog.
+     */
+    std::uint64_t watchdog_timeout_ms = 2000;
+
+    /**
+     * Capacity of the deferred-unmap queue used while a sweep is
+     * scanning. Overflowing entries skip the unmap optimisation (they are
+     * zeroed instead and stay quarantined — safe, just less memory win).
+     */
+    std::size_t max_pending_unmaps = 4096;
+
     /** Substrate allocator configuration. */
     alloc::JadeAllocator::Options jade{};
 };

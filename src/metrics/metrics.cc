@@ -120,6 +120,11 @@ struct WireHeader {
     std::uint64_t allocs;
     std::uint64_t frees;
     std::uint64_t checksum;
+    std::uint64_t emergency_sweeps;
+    std::uint64_t commit_retries;
+    std::uint64_t watchdog_fallbacks;
+    std::uint64_t oom_returns;
+    std::uint64_t failed_allocs;
     std::uint64_t series_len;
 };
 
@@ -193,6 +198,11 @@ run_in_subprocess(const std::function<RunRecord()>& body,
         hdr.allocs = rec.allocs;
         hdr.frees = rec.frees;
         hdr.checksum = rec.checksum;
+        hdr.emergency_sweeps = rec.emergency_sweeps;
+        hdr.commit_retries = rec.commit_retries;
+        hdr.watchdog_fallbacks = rec.watchdog_fallbacks;
+        hdr.oom_returns = rec.oom_returns;
+        hdr.failed_allocs = rec.failed_allocs;
         hdr.series_len = rec.rss_series.size();
         bool ok = write_fully(fds[1], &hdr, sizeof(hdr));
         for (const auto& [t, rss] : rec.rss_series) {
@@ -219,6 +229,11 @@ run_in_subprocess(const std::function<RunRecord()>& body,
         rec.allocs = hdr.allocs;
         rec.frees = hdr.frees;
         rec.checksum = hdr.checksum;
+        rec.emergency_sweeps = hdr.emergency_sweeps;
+        rec.commit_retries = hdr.commit_retries;
+        rec.watchdog_fallbacks = hdr.watchdog_fallbacks;
+        rec.oom_returns = hdr.oom_returns;
+        rec.failed_allocs = hdr.failed_allocs;
         rec.rss_series.reserve(hdr.series_len);
         for (std::uint64_t i = 0; i < hdr.series_len && ok; ++i) {
             WireSample s;

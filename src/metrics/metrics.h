@@ -37,7 +37,15 @@ struct RunRecord {
     std::uint64_t allocs = 0;
     std::uint64_t frees = 0;
     std::uint64_t checksum = 0;  ///< Workload output (validity check).
-    bool ok = false;             ///< Child completed successfully.
+
+    // Resilience counters (memory-pressure degradation, see core/options.h).
+    std::uint64_t emergency_sweeps = 0;    ///< Reclaims run from alloc().
+    std::uint64_t commit_retries = 0;      ///< alloc() retries after failure.
+    std::uint64_t watchdog_fallbacks = 0;  ///< Synchronous watchdog sweeps.
+    std::uint64_t oom_returns = 0;         ///< alloc() nullptr returns.
+    std::uint64_t failed_allocs = 0;       ///< Workload-observed nullptrs.
+
+    bool ok = false;  ///< Child completed successfully.
     /** RSS series: (seconds since start, bytes). */
     std::vector<std::pair<double, std::size_t>> rss_series;
 };

@@ -152,7 +152,16 @@ malloc(std::size_t size)
     MineSweeper* ms = engine();
     if (ms == nullptr)
         return boot_alloc(size);
-    return ms->alloc(size);
+    // POSIX: set ENOMEM on failure; a successful malloc must not clobber
+    // the caller's errno even though it issues syscalls internally.
+    const int saved_errno = errno;
+    void* p = ms->alloc(size);
+    if (p == nullptr) {
+        errno = ENOMEM;
+        return nullptr;
+    }
+    errno = saved_errno;
+    return p;
 }
 
 void
@@ -163,20 +172,30 @@ free(void* ptr)
     MineSweeper* ms = engine();
     if (ms == nullptr)
         return;  // cannot free during bootstrap; leak (rare, tiny)
+    const int saved_errno = errno;  // free never modifies errno
     ms->free(ptr);
+    errno = saved_errno;
 }
 
 void*
 calloc(std::size_t n, std::size_t size)
 {
     std::size_t bytes = 0;
-    if (n != 0 && __builtin_mul_overflow(n, size, &bytes))
+    if (n != 0 && __builtin_mul_overflow(n, size, &bytes)) {
+        errno = ENOMEM;
         return nullptr;
+    }
     MineSweeper* ms = engine();
+    const int saved_errno = errno;
     void* p = ms == nullptr ? boot_alloc(bytes ? bytes : 1)
                             : ms->alloc(bytes ? bytes : 1);
+    if (p == nullptr) {
+        errno = ENOMEM;
+        return nullptr;
+    }
     // JadeHeap memory may be recycled; calloc must zero.
     std::memset(p, 0, bytes);
+    errno = saved_errno;
     return p;
 }
 
@@ -184,14 +203,26 @@ void*
 realloc(void* ptr, std::size_t size)
 {
     MineSweeper* ms = engine();
+    const int saved_errno = errno;
     if (ptr != nullptr && is_boot_pointer(ptr)) {
         void* fresh = ms == nullptr ? boot_alloc(size) : ms->alloc(size);
+        if (fresh == nullptr) {
+            errno = ENOMEM;
+            return nullptr;  // original boot object left intact
+        }
         std::memcpy(fresh, ptr, size);  // boot objects are small
+        errno = saved_errno;
         return fresh;
     }
     if (ms == nullptr)
         return boot_alloc(size);
-    return ms->realloc(ptr, size);
+    void* p = ms->realloc(ptr, size);  // keeps the original on failure
+    if (p == nullptr && size != 0) {
+        errno = ENOMEM;
+        return nullptr;
+    }
+    errno = saved_errno;
+    return p;
 }
 
 int
@@ -209,8 +240,16 @@ void*
 aligned_alloc(std::size_t alignment, std::size_t size)
 {
     MineSweeper* ms = engine();
-    return ms == nullptr ? boot_alloc(size, alignment)
-                         : ms->alloc_aligned(alignment, size);
+    if (ms == nullptr)
+        return boot_alloc(size, alignment);
+    const int saved_errno = errno;
+    void* p = ms->alloc_aligned(alignment, size);
+    if (p == nullptr) {
+        errno = ENOMEM;
+        return nullptr;
+    }
+    errno = saved_errno;
+    return p;
 }
 
 void*

@@ -227,7 +227,7 @@ MprotectTracker::MprotectTracker(const vm::Reservation* heap) : heap_(heap)
 {
     num_pages_ = heap_->size() >> vm::kPageShift;
     state_ = vm::Reservation::reserve(num_pages_);
-    state_.commit(state_.base(), state_.size());
+    state_.commit_must(state_.base(), state_.size());
     page_state_ = reinterpret_cast<unsigned char*>(state_.base());
     install_segv_handler();
     // Register for the tracker's whole lifetime (not per epoch): a write

@@ -29,7 +29,7 @@ class PageAccessMap
     {
         space_ = vm::Reservation::reserve(ceil_div(num_pages_, 64) *
                                           sizeof(std::uint64_t));
-        space_.commit(space_.base(), space_.size());
+        space_.commit_must(space_.base(), space_.size());
         words_ = reinterpret_cast<std::atomic<std::uint64_t>*>(space_.base());
     }
 

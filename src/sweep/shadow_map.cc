@@ -14,14 +14,14 @@ ShadowMap::ShadowMap(std::uintptr_t heap_base, std::size_t heap_bytes)
     const std::size_t granules = heap_bytes / kGranuleBytes;
     num_words_ = ceil_div(granules, 64);
     space_ = vm::Reservation::reserve(num_words_ * sizeof(std::uint64_t));
-    space_.commit(space_.base(), space_.size());
+    space_.commit_must(space_.base(), space_.size());
     words_ = reinterpret_cast<std::atomic<std::uint64_t>*>(space_.base());
 
     const std::size_t shadow_bytes = num_words_ * sizeof(std::uint64_t);
     num_chunks_ = ceil_div(shadow_bytes, kChunkBytes);
     chunk_space_ = vm::Reservation::reserve(
         ceil_div(num_chunks_, 64) * sizeof(std::uint64_t));
-    chunk_space_.commit(chunk_space_.base(), chunk_space_.size());
+    chunk_space_.commit_must(chunk_space_.base(), chunk_space_.size());
     chunk_dirty_ =
         reinterpret_cast<std::atomic<std::uint64_t>*>(chunk_space_.base());
 }

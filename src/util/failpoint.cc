@@ -1,0 +1,343 @@
+#include "util/failpoint.h"
+
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace msw::util {
+namespace detail {
+
+std::atomic<std::uint32_t> g_failpoints_armed{0};
+
+namespace {
+
+struct FailpointState {
+    FailpointPolicy policy;
+    /** Evaluation ordinal under the *current* policy (reset on arm). */
+    std::atomic<std::uint64_t> policy_evals{0};
+    /** Lifetime totals, kept across re-arms. */
+    std::atomic<std::uint64_t> total_evals{0};
+    std::atomic<std::uint64_t> total_hits{0};
+};
+
+FailpointState g_state[kNumFailpoints];
+
+/**
+ * Guards policy writes. Evaluations read the policy fields without it:
+ * arming while other threads are mid-evaluation may make those threads
+ * see a torn mix of old/new policy for one call, which only perturbs
+ * *whether* that call fails — acceptable for fault injection, and soak
+ * configs arm once at startup anyway.
+ */
+std::mutex g_policy_mu;
+
+std::atomic<std::uint64_t> g_rng_seed{0x5eedfa11};
+
+constexpr const char* kNames[kNumFailpoints] = {
+    "vm.commit",     "vm.decommit", "vm.purge",
+    "extent.grow",   "sweeper.stall", "sweep.delay",
+};
+
+double
+thread_uniform()
+{
+    // Per-thread engine so evaluations never contend; mixed with the
+    // thread id so equal seeds still decorrelate across threads.
+    thread_local Rng rng(
+        g_rng_seed.load(std::memory_order_relaxed) +
+        0x9e3779b97f4a7c15ull *
+            static_cast<std::uint64_t>(
+                reinterpret_cast<std::uintptr_t>(&rng)));
+    return rng.next_double();
+}
+
+void
+recount_armed_locked()
+{
+    std::uint32_t armed = 0;
+    for (auto& st : g_state) {
+        if (st.policy.kind != FailpointPolicy::Kind::kOff) {
+            ++armed;
+        }
+    }
+    g_failpoints_armed.store(armed, std::memory_order_release);
+}
+
+bool
+parse_u64(const char* s, std::size_t len, std::uint64_t* out)
+{
+    if (len == 0 || len > 20) {
+        return false;
+    }
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+        if (s[i] < '0' || s[i] > '9') {
+            return false;
+        }
+        v = v * 10 + static_cast<std::uint64_t>(s[i] - '0');
+    }
+    *out = v;
+    return true;
+}
+
+bool
+parse_double(const char* s, std::size_t len, double* out)
+{
+    char buf[32];
+    if (len == 0 || len >= sizeof(buf)) {
+        return false;
+    }
+    std::memcpy(buf, s, len);
+    buf[len] = '\0';
+    char* end = nullptr;
+    const double v = std::strtod(buf, &end);
+    if (end != buf + len) {
+        return false;
+    }
+    *out = v;
+    return true;
+}
+
+/** Parse one "name=policy" clause of @p len bytes. */
+bool
+parse_clause(const char* clause, std::size_t len)
+{
+    const char* eq =
+        static_cast<const char*>(std::memchr(clause, '=', len));
+    if (eq == nullptr) {
+        return false;
+    }
+    const std::size_t name_len = static_cast<std::size_t>(eq - clause);
+    const char* val = eq + 1;
+    const std::size_t val_len = len - name_len - 1;
+
+    if (name_len == 4 && std::memcmp(clause, "seed", 4) == 0) {
+        std::uint64_t seed = 0;
+        if (!parse_u64(val, val_len, &seed)) {
+            return false;
+        }
+        failpoint_seed(seed);
+        return true;
+    }
+
+    Failpoint fp;
+    if (!failpoint_from_name(clause, name_len, &fp)) {
+        return false;
+    }
+    if (val_len == 3 && std::memcmp(val, "off", 3) == 0) {
+        failpoint_disarm(fp);
+        return true;
+    }
+
+    const char* colon =
+        static_cast<const char*>(std::memchr(val, ':', val_len));
+    if (colon == nullptr) {
+        return false;
+    }
+    const std::size_t kind_len = static_cast<std::size_t>(colon - val);
+    const char* arg = colon + 1;
+    const std::size_t arg_len = val_len - kind_len - 1;
+
+    if ((kind_len == 1 && val[0] == 'p') ||
+        (kind_len == 4 && std::memcmp(val, "prob", 4) == 0)) {
+        double p = 0.0;
+        if (!parse_double(arg, arg_len, &p) || p < 0.0 || p > 1.0) {
+            return false;
+        }
+        failpoint_arm(fp, FailpointPolicy::prob(p));
+        return true;
+    }
+    if (kind_len == 5 && std::memcmp(val, "every", 5) == 0) {
+        std::uint64_t n = 0;
+        if (!parse_u64(arg, arg_len, &n) || n == 0) {
+            return false;
+        }
+        failpoint_arm(fp, FailpointPolicy::every(n));
+        return true;
+    }
+    if (kind_len == 5 && std::memcmp(val, "burst", 5) == 0) {
+        // burst:N fires the next N evaluations; burst:N@S skips S first.
+        std::uint64_t n = 0;
+        std::uint64_t skip = 0;
+        const char* at =
+            static_cast<const char*>(std::memchr(arg, '@', arg_len));
+        if (at != nullptr) {
+            const std::size_t n_len = static_cast<std::size_t>(at - arg);
+            if (!parse_u64(arg, n_len, &n) ||
+                !parse_u64(at + 1, arg_len - n_len - 1, &skip)) {
+                return false;
+            }
+        } else if (!parse_u64(arg, arg_len, &n)) {
+            return false;
+        }
+        if (n == 0) {
+            return false;
+        }
+        failpoint_arm(fp, FailpointPolicy::burst(n, skip));
+        return true;
+    }
+    return false;
+}
+
+/** Arm failpoints from MSW_FAILPOINTS once, before main() runs. */
+const bool g_env_configured = [] {
+    const char* spec = std::getenv("MSW_FAILPOINTS");
+    if (spec != nullptr && *spec != '\0') {
+        if (!failpoint_configure(spec)) {
+            MSW_LOG_WARN("failpoint: malformed MSW_FAILPOINTS \"%s\"",
+                         spec);
+        }
+    }
+    return true;
+}();
+
+}  // namespace
+
+bool
+failpoint_eval_slow(Failpoint fp)
+{
+    FailpointState& st = g_state[static_cast<unsigned>(fp)];
+    // Snapshot: arm/disarm may race this read (see g_policy_mu comment).
+    const FailpointPolicy policy = st.policy;
+    if (policy.kind == FailpointPolicy::Kind::kOff) {
+        return false;
+    }
+
+    st.total_evals.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t ordinal =
+        st.policy_evals.fetch_add(1, std::memory_order_relaxed);
+
+    bool fire = false;
+    switch (policy.kind) {
+    case FailpointPolicy::Kind::kProbability:
+        fire = thread_uniform() < policy.probability;
+        break;
+    case FailpointPolicy::Kind::kEveryNth:
+        fire = (ordinal + 1) % policy.n == 0;
+        break;
+    case FailpointPolicy::Kind::kBurst:
+        fire = ordinal >= policy.skip && ordinal < policy.skip + policy.n;
+        if (ordinal + 1 >= policy.skip + policy.n) {
+            failpoint_disarm(fp);
+        }
+        break;
+    case FailpointPolicy::Kind::kOff:
+        break;
+    }
+    if (fire) {
+        st.total_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+    return fire;
+}
+
+}  // namespace detail
+
+void
+failpoint_arm(Failpoint fp, const FailpointPolicy& policy)
+{
+    std::lock_guard<std::mutex> lock(detail::g_policy_mu);
+    auto& st = detail::g_state[static_cast<unsigned>(fp)];
+    st.policy = policy;
+    st.policy_evals.store(0, std::memory_order_relaxed);
+    detail::recount_armed_locked();
+}
+
+void
+failpoint_disarm(Failpoint fp)
+{
+    std::lock_guard<std::mutex> lock(detail::g_policy_mu);
+    detail::g_state[static_cast<unsigned>(fp)].policy = FailpointPolicy{};
+    detail::recount_armed_locked();
+}
+
+void
+failpoint_disarm_all()
+{
+    std::lock_guard<std::mutex> lock(detail::g_policy_mu);
+    for (auto& st : detail::g_state) {
+        st.policy = FailpointPolicy{};
+    }
+    detail::recount_armed_locked();
+}
+
+bool
+failpoint_configure(const char* spec)
+{
+    if (spec == nullptr) {
+        return false;
+    }
+    // ',' is the documented separator; ';' also accepted for callers not
+    // going through ctest ENVIRONMENT properties (where ';' splits lists).
+    const char* p = spec;
+    while (*p != '\0') {
+        std::size_t len = 0;
+        while (p[len] != '\0' && p[len] != ',' && p[len] != ';') {
+            ++len;
+        }
+        if (len > 0 && !detail::parse_clause(p, len)) {
+            return false;
+        }
+        p += len;
+        if (*p != '\0') {
+            ++p;
+        }
+    }
+    return true;
+}
+
+void
+failpoint_seed(std::uint64_t seed)
+{
+    detail::g_rng_seed.store(seed, std::memory_order_relaxed);
+}
+
+const char*
+failpoint_name(Failpoint fp)
+{
+    return detail::kNames[static_cast<unsigned>(fp)];
+}
+
+bool
+failpoint_from_name(const char* name, std::size_t len, Failpoint* out)
+{
+    for (unsigned i = 0; i < kNumFailpoints; ++i) {
+        if (std::strlen(detail::kNames[i]) == len &&
+            std::memcmp(detail::kNames[i], name, len) == 0) {
+            *out = static_cast<Failpoint>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::uint64_t
+failpoint_evaluations(Failpoint fp)
+{
+    return detail::g_state[static_cast<unsigned>(fp)].total_evals.load(
+        std::memory_order_relaxed);
+}
+
+std::uint64_t
+failpoint_hits(Failpoint fp)
+{
+    return detail::g_state[static_cast<unsigned>(fp)].total_hits.load(
+        std::memory_order_relaxed);
+}
+
+void
+failpoint_reset_counters()
+{
+    for (auto& st : detail::g_state) {
+        st.total_evals.store(0, std::memory_order_relaxed);
+        st.total_hits.store(0, std::memory_order_relaxed);
+    }
+}
+
+}  // namespace msw::util

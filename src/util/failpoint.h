@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Failpoint framework: named fault-injection sites on the paths whose
+ * real-world failures a drop-in allocator must survive (transient
+ * mprotect/madvise ENOMEM, heap-reservation exhaustion, a stalled
+ * background sweeper).
+ *
+ * Each site is identified by a compile-time enumerator and a stable
+ * string name. Sites are armed either programmatically
+ * (failpoint_arm()) or from the MSW_FAILPOINTS environment variable,
+ * with one of three trigger policies:
+ *
+ *   probability  fire each evaluation with probability p
+ *   every-Nth    fire on every Nth evaluation
+ *   burst        fire on evaluations [skip, skip+n) once, then disarm
+ *
+ * MSW_FAILPOINTS syntax (',' separates clauses; ';' also accepted):
+ *
+ *   vm.commit=p:0.05,vm.decommit=every:100,extent.grow=burst:3@10,seed=42
+ *
+ * The seed clause makes probabilistic policies reproducible; without it
+ * the RNG is seeded from the clock and pid, so repeated soak runs
+ * explore different interleavings.
+ *
+ * Cost model: when no failpoint is armed, failpoint_should_fail() is a
+ * single relaxed atomic load of a process-global counter plus a
+ * predictable branch — cheap enough to sit on VM-operation paths.
+ * Policy evaluation and counter maintenance happen only while armed.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace msw::util {
+
+/** Injection sites. Names (failpoint_name) use dotted lowercase. */
+enum class Failpoint : unsigned {
+    kVmCommit = 0,  ///< "vm.commit": mprotect RW (commit/protect_rw).
+    kVmDecommit,    ///< "vm.decommit": madvise+mprotect NONE (decommit).
+    kVmPurge,       ///< "vm.purge": keep-accessible madvise purge.
+    kExtentGrow,    ///< "extent.grow": heap bump-frontier extension.
+    kSweeperStall,  ///< "sweeper.stall": background sweeper plays dead.
+    kSweepDelay,    ///< "sweep.delay": sweep blocks while armed (tests).
+    kCount,
+};
+
+inline constexpr unsigned kNumFailpoints =
+    static_cast<unsigned>(Failpoint::kCount);
+
+/** Trigger policy for one armed failpoint. */
+struct FailpointPolicy {
+    enum class Kind : std::uint8_t {
+        kOff = 0,
+        kProbability,
+        kEveryNth,
+        kBurst,
+    };
+
+    Kind kind = Kind::kOff;
+    /** kProbability: chance each evaluation fires, in [0, 1]. */
+    double probability = 0.0;
+    /** kEveryNth: period; kBurst: number of consecutive firings. */
+    std::uint64_t n = 0;
+    /** kBurst: evaluations to let pass before the burst starts. */
+    std::uint64_t skip = 0;
+
+    static FailpointPolicy
+    prob(double p)
+    {
+        return FailpointPolicy{Kind::kProbability, p, 0, 0};
+    }
+
+    static FailpointPolicy
+    every(std::uint64_t period)
+    {
+        return FailpointPolicy{Kind::kEveryNth, 0.0, period, 0};
+    }
+
+    static FailpointPolicy
+    burst(std::uint64_t count, std::uint64_t skip_first = 0)
+    {
+        return FailpointPolicy{Kind::kBurst, 0.0, count, skip_first};
+    }
+};
+
+/** Arm @p fp with @p policy (replacing any existing policy). */
+void failpoint_arm(Failpoint fp, const FailpointPolicy& policy);
+
+/** Disarm @p fp; evaluations return false again at fast-path cost. */
+void failpoint_disarm(Failpoint fp);
+
+/** Disarm every failpoint (counters are kept; see reset). */
+void failpoint_disarm_all();
+
+/**
+ * Parse an MSW_FAILPOINTS-style spec and arm accordingly. Returns false
+ * (arming nothing further) on the first malformed clause.
+ */
+bool failpoint_configure(const char* spec);
+
+/** Reseed the probabilistic-policy RNG (also via "seed=N" in a spec). */
+void failpoint_seed(std::uint64_t seed);
+
+/** Stable dotted name of @p fp ("vm.commit", ...). */
+const char* failpoint_name(Failpoint fp);
+
+/** Resolve @p len bytes of @p name to a failpoint. */
+bool failpoint_from_name(const char* name, std::size_t len,
+                         Failpoint* out);
+
+/** Times @p fp was evaluated while armed (lifetime total). */
+std::uint64_t failpoint_evaluations(Failpoint fp);
+
+/** Times @p fp fired (lifetime total). */
+std::uint64_t failpoint_hits(Failpoint fp);
+
+/** Zero all evaluation/hit counters. */
+void failpoint_reset_counters();
+
+namespace detail {
+
+/** Number of currently armed failpoints; 0 keeps the fast path trivial. */
+extern std::atomic<std::uint32_t> g_failpoints_armed;
+
+bool failpoint_eval_slow(Failpoint fp);
+
+}  // namespace detail
+
+/**
+ * True if site @p fp should fail this call. One relaxed atomic load and
+ * a predicted-not-taken branch when nothing is armed.
+ */
+inline bool
+failpoint_should_fail(Failpoint fp)
+{
+    if (__builtin_expect(detail::g_failpoints_armed.load(
+                             std::memory_order_relaxed) == 0,
+                         1)) {
+        return false;
+    }
+    return detail::failpoint_eval_slow(fp);
+}
+
+}  // namespace msw::util

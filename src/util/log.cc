@@ -46,7 +46,12 @@ level_name(LogLevel level)
 
 namespace detail {
 
-std::atomic<int> g_log_level{initial_level()};
+std::atomic<int>&
+log_level_ref()
+{
+    static std::atomic<int> level{initial_level()};
+    return level;
+}
 
 void
 log_write(LogLevel level, const char* fmt, ...)
@@ -64,8 +69,8 @@ log_write(LogLevel level, const char* fmt, ...)
 void
 set_log_level(LogLevel level)
 {
-    detail::g_log_level.store(static_cast<int>(level),
-                              std::memory_order_relaxed);
+    detail::log_level_ref().store(static_cast<int>(level),
+                                  std::memory_order_relaxed);
 }
 
 }  // namespace msw

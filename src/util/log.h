@@ -19,7 +19,10 @@ enum class LogLevel : int {
 };
 
 namespace detail {
-extern std::atomic<int> g_log_level;
+// Function-local static so the level is usable from other translation
+// units' dynamic initializers (e.g. MSW_FAILPOINTS parsing), which may
+// run before this library's own initializers.
+std::atomic<int>& log_level_ref();
 [[gnu::format(printf, 2, 3)]]
 void log_write(LogLevel level, const char* fmt, ...);
 }  // namespace detail
@@ -32,7 +35,7 @@ inline LogLevel
 log_level()
 {
     return static_cast<LogLevel>(
-        detail::g_log_level.load(std::memory_order_relaxed));
+        detail::log_level_ref().load(std::memory_order_relaxed));
 }
 
 /** True if messages at @p level would currently be emitted. */
@@ -40,7 +43,7 @@ inline bool
 log_enabled(LogLevel level)
 {
     return static_cast<int>(level) <=
-           detail::g_log_level.load(std::memory_order_relaxed);
+           detail::log_level_ref().load(std::memory_order_relaxed);
 }
 
 }  // namespace msw

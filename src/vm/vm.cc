@@ -10,10 +10,32 @@
 
 #include "util/bits.h"
 #include "util/check.h"
+#include "util/failpoint.h"
+#include "util/log.h"
 
 namespace msw::vm {
 
 namespace {
+
+using util::Failpoint;
+using util::failpoint_should_fail;
+
+/**
+ * Map an mprotect/madvise failure to a status: ENOMEM and EAGAIN are the
+ * kernel saying "not right now" (page-table / VMA allocation failed under
+ * pressure) and are survivable; anything else is a bug in our bookkeeping
+ * and stays fatal.
+ */
+VmStatus
+classify_failure(const char* op, int err)
+{
+    if (err == ENOMEM || err == EAGAIN) {
+        MSW_LOG_DEBUG("vm: transient %s failure: %s", op,
+                      std::strerror(err));
+        return VmStatus::kRetry;
+    }
+    panic("%s failed: %s", op, std::strerror(err));
+}
 
 struct PageSizeCheck {
     PageSizeCheck()
@@ -67,54 +89,113 @@ Reservation::~Reservation()
     release();
 }
 
-void
+bool
 Reservation::check_range(std::uintptr_t addr, std::size_t len) const
 {
+    if (base_ == 0 || len == 0) {
+        return false;
+    }
     MSW_DCHECK(is_aligned(addr, kPageSize));
     MSW_DCHECK(is_aligned(len, kPageSize));
     MSW_DCHECK(addr >= base_ && addr + len <= base_ + size_);
+    return true;
 }
 
-void
+VmStatus
 Reservation::commit(std::uintptr_t addr, std::size_t len) const
 {
-    check_range(addr, len);
-    if (::mprotect(to_ptr(addr), len, PROT_READ | PROT_WRITE) != 0)
-        panic("commit mprotect failed: %s", std::strerror(errno));
+    if (!check_range(addr, len)) {
+        return VmStatus::kOk;
+    }
+    if (failpoint_should_fail(Failpoint::kVmCommit)) {
+        return VmStatus::kRetry;
+    }
+    if (::mprotect(to_ptr(addr), len, PROT_READ | PROT_WRITE) != 0) {
+        return classify_failure("commit mprotect", errno);
+    }
+    return VmStatus::kOk;
 }
 
 void
+Reservation::commit_must(std::uintptr_t addr, std::size_t len) const
+{
+    // Startup/metadata pages: retry hard before giving up, so a p=0.05
+    // soak or a brief pressure spike cannot kill the process during init.
+    constexpr int kAttempts = 10;
+    unsigned backoff_us = 100;
+    for (int i = 0; i < kAttempts; ++i) {
+        if (commit(addr, len) == VmStatus::kOk) {
+            return;
+        }
+        ::usleep(backoff_us);
+        if (backoff_us < 100'000) {
+            backoff_us *= 2;
+        }
+    }
+    fatal("commit of %zu essential bytes failed after %d attempts", len,
+          kAttempts);
+}
+
+VmStatus
 Reservation::decommit(std::uintptr_t addr, std::size_t len) const
 {
-    check_range(addr, len);
-    if (::madvise(to_ptr(addr), len, MADV_DONTNEED) != 0)
-        panic("decommit madvise failed: %s", std::strerror(errno));
-    if (::mprotect(to_ptr(addr), len, PROT_NONE) != 0)
-        panic("decommit mprotect failed: %s", std::strerror(errno));
+    if (!check_range(addr, len)) {
+        return VmStatus::kOk;
+    }
+    if (failpoint_should_fail(Failpoint::kVmDecommit)) {
+        return VmStatus::kRetry;
+    }
+    if (::madvise(to_ptr(addr), len, MADV_DONTNEED) != 0) {
+        return classify_failure("decommit madvise", errno);
+    }
+    if (::mprotect(to_ptr(addr), len, PROT_NONE) != 0) {
+        // Backing is already discarded; retrying the whole decommit is
+        // safe (madvise on empty pages is harmless).
+        return classify_failure("decommit mprotect", errno);
+    }
+    return VmStatus::kOk;
 }
 
-void
+VmStatus
 Reservation::purge_keep_accessible(std::uintptr_t addr, std::size_t len) const
 {
-    check_range(addr, len);
-    if (::madvise(to_ptr(addr), len, MADV_DONTNEED) != 0)
-        panic("purge madvise failed: %s", std::strerror(errno));
+    if (!check_range(addr, len)) {
+        return VmStatus::kOk;
+    }
+    if (failpoint_should_fail(Failpoint::kVmPurge)) {
+        return VmStatus::kRetry;
+    }
+    if (::madvise(to_ptr(addr), len, MADV_DONTNEED) != 0) {
+        return classify_failure("purge madvise", errno);
+    }
+    return VmStatus::kOk;
 }
 
-void
+VmStatus
 Reservation::protect_none(std::uintptr_t addr, std::size_t len) const
 {
-    check_range(addr, len);
-    if (::mprotect(to_ptr(addr), len, PROT_NONE) != 0)
-        panic("protect_none failed: %s", std::strerror(errno));
+    if (!check_range(addr, len)) {
+        return VmStatus::kOk;
+    }
+    if (::mprotect(to_ptr(addr), len, PROT_NONE) != 0) {
+        return classify_failure("protect_none", errno);
+    }
+    return VmStatus::kOk;
 }
 
-void
+VmStatus
 Reservation::protect_rw(std::uintptr_t addr, std::size_t len) const
 {
-    check_range(addr, len);
-    if (::mprotect(to_ptr(addr), len, PROT_READ | PROT_WRITE) != 0)
-        panic("protect_rw failed: %s", std::strerror(errno));
+    if (!check_range(addr, len)) {
+        return VmStatus::kOk;
+    }
+    if (failpoint_should_fail(Failpoint::kVmCommit)) {
+        return VmStatus::kRetry;
+    }
+    if (::mprotect(to_ptr(addr), len, PROT_READ | PROT_WRITE) != 0) {
+        return classify_failure("protect_rw", errno);
+    }
+    return VmStatus::kOk;
 }
 
 void

@@ -25,6 +25,20 @@
 
 namespace msw::vm {
 
+/**
+ * Outcome of a page-permission / backing operation.
+ *
+ * kRetry reports the transient failures (ENOMEM, EAGAIN — kernel out of
+ * memory or out of VMA slots) that a quarantining allocator both causes
+ * and must survive; callers back off, reclaim, and try again. Permanent
+ * errors (bad address, EACCES) still terminate via panic(): they are
+ * allocator bugs, not memory pressure.
+ */
+enum class [[nodiscard]] VmStatus {
+    kOk = 0,
+    kRetry,
+};
+
 /** Base-2 log of the page size this library is built for. */
 inline constexpr unsigned kPageShift = 12;
 
@@ -79,28 +93,36 @@ class Reservation
     }
 
     /** Make [addr, addr+len) readable+writable and demand-backed. */
-    void commit(std::uintptr_t addr, std::size_t len) const;
+    VmStatus commit(std::uintptr_t addr, std::size_t len) const;
+
+    /**
+     * commit() with a bounded retry-with-backoff loop, terminating via
+     * fatal() only once the retries are exhausted. For startup paths
+     * (metadata spaces) that cannot run without the pages.
+     */
+    void commit_must(std::uintptr_t addr, std::size_t len) const;
 
     /**
      * Discard physical backing of [addr, addr+len) and revoke access.
      * Subsequent commit() restores zero-filled pages.
      */
-    void decommit(std::uintptr_t addr, std::size_t len) const;
+    VmStatus decommit(std::uintptr_t addr, std::size_t len) const;
 
     /**
      * Discard physical backing but keep the pages accessible (they refault
      * as zero pages) — jemalloc's default "purge" behaviour, which
      * MineSweeper replaces with decommit/commit (paper §4.5).
      */
-    void purge_keep_accessible(std::uintptr_t addr, std::size_t len) const;
+    VmStatus purge_keep_accessible(std::uintptr_t addr,
+                                   std::size_t len) const;
 
     /** Remove all access permissions from [addr, addr+len). */
-    void protect_none(std::uintptr_t addr, std::size_t len) const;
+    VmStatus protect_none(std::uintptr_t addr, std::size_t len) const;
 
     /** Restore read+write permissions on [addr, addr+len). */
-    void protect_rw(std::uintptr_t addr, std::size_t len) const;
+    VmStatus protect_rw(std::uintptr_t addr, std::size_t len) const;
 
-    /** Unmap the whole reservation (idempotent). */
+    /** Unmap the whole reservation (idempotent; no-op when empty). */
     void release();
 
   private:
@@ -108,7 +130,13 @@ class Reservation
         : base_(base), size_(size)
     {}
 
-    void check_range(std::uintptr_t addr, std::size_t len) const;
+    /**
+     * Validate [addr, addr+len). Returns false — callers no-op — for an
+     * empty reservation or a zero-length range, so released/moved-from
+     * objects stay safe to call into; misuse of a live reservation is
+     * still a checked programming error.
+     */
+    bool check_range(std::uintptr_t addr, std::size_t len) const;
 
     std::uintptr_t base_ = 0;
     std::size_t size_ = 0;

@@ -17,6 +17,8 @@ heap_spray_attack(System& system, void** dangling_slot,
 
     auto* victim =
         static_cast<unsigned char*>(system.allocator->alloc(victim_size));
+    if (victim == nullptr)
+        return result;  // heap exhausted before the attack could start
     std::memset(victim, kVictimByte, victim_size);
     *dangling_slot = victim;
 
@@ -27,6 +29,8 @@ heap_spray_attack(System& system, void** dangling_slot,
     for (int i = 0; i < spray_count; ++i) {
         auto* fake = static_cast<unsigned char*>(
             system.allocator->alloc(victim_size));
+        if (fake == nullptr)
+            break;  // pressure: spray cut short, verdict still valid
         std::memset(fake, kAttackByte, victim_size);
         sprays.push_back(fake);
         ++result.sprays;
@@ -57,9 +61,13 @@ double_free_attack(System& system, int attempts)
 {
     for (int i = 0; i < attempts; ++i) {
         void* a = system.allocator->alloc(128);
+        if (a == nullptr)
+            return false;  // pressure: attack could not even run
         system.allocator->free(a);
         // Victim allocation that may land on a's memory.
         void* owner1 = system.allocator->alloc(128);
+        if (owner1 == nullptr)
+            return false;
         // The double free: if honoured, owner1's memory returns to the
         // free lists while owner1 still uses it...
         system.allocator->free(a);

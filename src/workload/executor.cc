@@ -109,6 +109,13 @@ class Worker
         const std::size_t size = draw_size();
         auto* p = static_cast<unsigned char*>(
             system_.allocator->alloc(size));
+        if (p == nullptr) {
+            // Memory pressure: the system degraded gracefully instead of
+            // aborting. Skip this allocation, as a robust program would.
+            result_.failed_allocs += 1;
+            free_slots_.push_back(idx);
+            return;
+        }
         result_.allocs += 1;
         result_.bytes_allocated += size;
 
@@ -248,6 +255,7 @@ run_profile(System& system, const Profile& profile)
         total.frees += r.frees;
         total.bytes_allocated += r.bytes_allocated;
         total.checksum ^= r.checksum;
+        total.failed_allocs += r.failed_allocs;
     }
     return total;
 }

@@ -72,6 +72,8 @@ struct WorkloadResult {
     std::uint64_t frees = 0;
     std::uint64_t bytes_allocated = 0;
     std::uint64_t checksum = 0;
+    /** Allocations the system refused (nullptr under memory pressure). */
+    std::uint64_t failed_allocs = 0;
 };
 
 }  // namespace msw::workload

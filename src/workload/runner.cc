@@ -30,6 +30,12 @@ measure(SystemKind kind,
             rec.allocs = result.allocs;
             rec.frees = result.frees;
             rec.checksum = result.checksum;
+            rec.failed_allocs = result.failed_allocs;
+            const System::Resilience res = sys.resilience();
+            rec.emergency_sweeps = res.emergency_sweeps;
+            rec.commit_retries = res.commit_retries;
+            rec.watchdog_fallbacks = res.watchdog_fallbacks;
+            rec.oom_returns = res.oom_returns;
             rec.ok = true;
             return rec;
         },

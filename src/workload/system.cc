@@ -59,6 +59,15 @@ make_system(SystemKind kind, const core::Options& msw_options)
         };
         sys.flush = [raw] { raw->flush(); };
         sys.sweeps = [raw] { return raw->sweep_stats().sweeps; };
+        sys.resilience = [raw] {
+            const core::SweepStats st = raw->sweep_stats();
+            System::Resilience r;
+            r.emergency_sweeps = st.emergency_sweeps;
+            r.commit_retries = st.commit_retries;
+            r.watchdog_fallbacks = st.watchdog_fallbacks;
+            r.oom_returns = st.oom_returns;
+            return r;
+        };
         sys.allocator = std::move(ms);
         break;
       }

@@ -43,6 +43,15 @@ struct System {
     std::function<std::uint64_t()> sweeps = [] {
         return std::uint64_t{0};
     };
+
+    /** Resilience counters (zero for systems without a degraded mode). */
+    struct Resilience {
+        std::uint64_t emergency_sweeps = 0;
+        std::uint64_t commit_retries = 0;
+        std::uint64_t watchdog_fallbacks = 0;
+        std::uint64_t oom_returns = 0;
+    };
+    std::function<Resilience()> resilience = [] { return Resilience{}; };
 };
 
 /** Identifiers accepted by make_system(). */

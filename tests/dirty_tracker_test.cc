@@ -43,7 +43,7 @@ class DirtyTrackerTest : public ::testing::TestWithParam<Backend>
   protected:
     DirtyTrackerTest() : heap(vm::Reservation::reserve(8 << 20))
     {
-        heap.commit(heap.base(), heap.size());
+        heap.commit_must(heap.base(), heap.size());
         tracker = GetParam().make(&heap);
     }
 
@@ -158,7 +158,7 @@ TEST(MakeDirtyTracker, ReturnsSomeBackend)
 TEST(MprotectTrackerTest, NoteCommittedMarksDirty)
 {
     vm::Reservation heap = vm::Reservation::reserve(1 << 20);
-    heap.commit(heap.base(), heap.size());
+    heap.commit_must(heap.base(), heap.size());
     MprotectTracker tracker(&heap);
     tracker.begin({Range{heap.base(), 1 << 20}});
     tracker.note_committed(heap.base() + 64 * 1024, 4096);

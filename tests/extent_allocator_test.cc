@@ -176,18 +176,18 @@ class HookRecorder : public ExtentHooks
     int commits = 0;
     int purges = 0;
 
-    void
+    [[nodiscard]] bool
     commit(std::uintptr_t addr, std::size_t len) override
     {
         ++commits;
-        ExtentHooks::commit(addr, len);
+        return ExtentHooks::commit(addr, len);
     }
 
-    void
+    [[nodiscard]] bool
     purge(std::uintptr_t addr, std::size_t len) override
     {
         ++purges;
-        ExtentHooks::purge(addr, len);
+        return ExtentHooks::purge(addr, len);
     }
 };
 

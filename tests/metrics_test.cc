@@ -35,7 +35,7 @@ TEST(Sampler, ObservesAllocationGrowth)
     RssSampler sampler(2);
     const std::size_t kBytes = 64 << 20;
     vm::Reservation r = vm::Reservation::reserve(kBytes);
-    r.commit(r.base(), kBytes);
+    r.commit_must(r.base(), kBytes);
     std::memset(reinterpret_cast<void*>(r.base()), 1, kBytes);
     struct timespec ts {
         0, 30 * 1000 * 1000
@@ -85,7 +85,7 @@ TEST(Subprocess, ChildIsolatesMemory)
     const std::size_t before = vm::current_rss_bytes();
     const RunRecord rec = run_in_subprocess([] {
         vm::Reservation r = vm::Reservation::reserve(256 << 20);
-        r.commit(r.base(), 256 << 20);
+        r.commit_must(r.base(), 256 << 20);
         std::memset(reinterpret_cast<void*>(r.base()), 1, 256 << 20);
         RunRecord out;
         out.peak_rss = vm::current_rss_bytes();

@@ -21,7 +21,7 @@ class MarkerTest : public ::testing::Test
           shadow(heap.base(), heap.size()),
           marker(&shadow, heap.base(), heap.end())
     {
-        heap.commit(heap.base(), heap.size());
+        heap.commit_must(heap.base(), heap.size());
     }
 
     vm::Reservation heap;

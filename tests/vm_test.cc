@@ -32,7 +32,7 @@ TEST(Reservation, ContainsBounds)
 TEST(Reservation, CommitMakesWritable)
 {
     Reservation r = Reservation::reserve(8 * kPageSize);
-    r.commit(r.base(), 2 * kPageSize);
+    ASSERT_EQ(r.commit(r.base(), 2 * kPageSize), VmStatus::kOk);
     auto* p = reinterpret_cast<char*>(r.base());
     std::memset(p, 0xab, 2 * kPageSize);
     EXPECT_EQ(p[0], static_cast<char>(0xab));
@@ -42,7 +42,7 @@ TEST(Reservation, CommitMakesWritable)
 TEST(Reservation, CommittedPagesStartZeroed)
 {
     Reservation r = Reservation::reserve(kPageSize);
-    r.commit(r.base(), kPageSize);
+    ASSERT_EQ(r.commit(r.base(), kPageSize), VmStatus::kOk);
     auto* p = reinterpret_cast<unsigned char*>(r.base());
     for (std::size_t i = 0; i < kPageSize; i += 64)
         ASSERT_EQ(p[i], 0u);
@@ -51,21 +51,21 @@ TEST(Reservation, CommittedPagesStartZeroed)
 TEST(Reservation, DecommitDiscardsContents)
 {
     Reservation r = Reservation::reserve(kPageSize);
-    r.commit(r.base(), kPageSize);
+    ASSERT_EQ(r.commit(r.base(), kPageSize), VmStatus::kOk);
     auto* p = reinterpret_cast<unsigned char*>(r.base());
     p[100] = 42;
-    r.decommit(r.base(), kPageSize);
-    r.commit(r.base(), kPageSize);
+    ASSERT_EQ(r.decommit(r.base(), kPageSize), VmStatus::kOk);
+    ASSERT_EQ(r.commit(r.base(), kPageSize), VmStatus::kOk);
     EXPECT_EQ(p[100], 0u) << "decommit must drop physical contents";
 }
 
 TEST(Reservation, PurgeKeepsAccessibleButDropsContents)
 {
     Reservation r = Reservation::reserve(kPageSize);
-    r.commit(r.base(), kPageSize);
+    ASSERT_EQ(r.commit(r.base(), kPageSize), VmStatus::kOk);
     auto* p = reinterpret_cast<unsigned char*>(r.base());
     p[7] = 9;
-    r.purge_keep_accessible(r.base(), kPageSize);
+    ASSERT_EQ(r.purge_keep_accessible(r.base(), kPageSize), VmStatus::kOk);
     // No commit needed: page must still be accessible, now zero.
     EXPECT_EQ(p[7], 0u);
 }
@@ -89,6 +89,53 @@ TEST(Reservation, ReleaseIsIdempotent)
     r.release();
     EXPECT_EQ(r.base(), 0u);
     r.release();  // Must not crash.
+}
+
+TEST(Reservation, MethodsOnEmptyReservationAreNoOps)
+{
+    // A default-constructed (or moved-from / released) reservation must
+    // accept every method as a well-defined no-op rather than passing a
+    // null base to mmap/mprotect.
+    Reservation r;
+    EXPECT_EQ(r.base(), 0u);
+    EXPECT_EQ(r.size(), 0u);
+    EXPECT_EQ(r.commit(0, kPageSize), VmStatus::kOk);
+    EXPECT_EQ(r.decommit(0, kPageSize), VmStatus::kOk);
+    EXPECT_EQ(r.purge_keep_accessible(0, kPageSize), VmStatus::kOk);
+    EXPECT_EQ(r.protect_none(0, kPageSize), VmStatus::kOk);
+    EXPECT_EQ(r.protect_rw(0, kPageSize), VmStatus::kOk);
+    r.release();
+    r.release();
+}
+
+TEST(Reservation, MovedFromReservationIsSafeToUse)
+{
+    Reservation a = Reservation::reserve(4 * kPageSize);
+    Reservation b = std::move(a);
+    // a is now empty: operations must no-op, and releasing both (double
+    // release of the underlying mapping from a's point of view) is safe.
+    EXPECT_EQ(a.commit(b.base(), kPageSize), VmStatus::kOk);
+    a.release();
+    ASSERT_EQ(b.commit(b.base(), kPageSize), VmStatus::kOk);
+    *reinterpret_cast<char*>(b.base()) = 1;
+    b.release();
+    b.release();
+}
+
+TEST(Reservation, ZeroLengthOperationsAreNoOps)
+{
+    Reservation r = Reservation::reserve(kPageSize);
+    EXPECT_EQ(r.commit(r.base(), 0), VmStatus::kOk);
+    EXPECT_EQ(r.decommit(r.base(), 0), VmStatus::kOk);
+    EXPECT_EQ(r.purge_keep_accessible(r.base(), 0), VmStatus::kOk);
+}
+
+TEST(Reservation, CommitMustSucceedsOnHealthyPath)
+{
+    Reservation r = Reservation::reserve(2 * kPageSize);
+    r.commit_must(r.base(), 2 * kPageSize);
+    std::memset(reinterpret_cast<void*>(r.base()), 0x5a, 2 * kPageSize);
+    EXPECT_EQ(*reinterpret_cast<unsigned char*>(r.base()), 0x5au);
 }
 
 // Protection faults are checked with a fork: cleaner than signal-handler
@@ -115,11 +162,11 @@ TEST(Reservation, ReservedPagesAreInaccessible)
 TEST(Reservation, ProtectNoneRevokesAccess)
 {
     Reservation r = Reservation::reserve(kPageSize);
-    r.commit(r.base(), kPageSize);
+    ASSERT_EQ(r.commit(r.base(), kPageSize), VmStatus::kOk);
     *reinterpret_cast<char*>(r.base()) = 1;
-    r.protect_none(r.base(), kPageSize);
+    ASSERT_EQ(r.protect_none(r.base(), kPageSize), VmStatus::kOk);
     EXPECT_TRUE(access_faults(r.base()));
-    r.protect_rw(r.base(), kPageSize);
+    ASSERT_EQ(r.protect_rw(r.base(), kPageSize), VmStatus::kOk);
     EXPECT_FALSE(access_faults(r.base()));
     // protect_rw (unlike decommit+commit) preserves contents.
     EXPECT_EQ(*reinterpret_cast<char*>(r.base()), 1);
@@ -137,7 +184,7 @@ TEST(Rss, CommittingAndTouchingRaisesRss)
     const std::size_t kBytes = 32 * 1024 * 1024;
     const std::size_t before = current_rss_bytes();
     Reservation r = Reservation::reserve(kBytes);
-    r.commit(r.base(), kBytes);
+    r.commit_must(r.base(), kBytes);
     std::memset(reinterpret_cast<void*>(r.base()), 1, kBytes);
     const std::size_t after = current_rss_bytes();
     EXPECT_GT(after, before + kBytes / 2);
