@@ -36,7 +36,7 @@ Bin::alloc_batch(void** out, unsigned n)
     const unsigned nslots = slab_slots(cls_);
     unsigned produced = 0;
 
-    std::lock_guard<SpinLock> g(lock_);
+    LockGuard g(lock_);
     while (produced < n) {
         ExtentMeta* slab = grab_slab_locked();
         if (slab == nullptr) {
@@ -78,7 +78,7 @@ Bin::free_one(void* ptr, ExtentMeta* meta)
     const unsigned slot = static_cast<unsigned>(offset / obj_size);
     const unsigned nslots = slab_slots(cls_);
 
-    std::lock_guard<SpinLock> g(lock_);
+    LockGuard g(lock_);
     MSW_CHECK(meta->slot_allocated(slot));
     const bool was_full = meta->used_slots == nslots;
     meta->clear_slot(slot);

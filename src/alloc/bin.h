@@ -12,9 +12,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 
+#include "util/mutex.h"
 #include "util/spin_lock.h"
+#include "util/thread_annotations.h"
 
 #include "alloc/extent.h"
 #include "alloc/extent_allocator.h"
@@ -53,12 +54,14 @@ class Bin
     unsigned cls() const { return cls_; }
 
   private:
-    ExtentMeta* grab_slab_locked();
+    ExtentMeta* grab_slab_locked() MSW_REQUIRES(lock_);
 
     ExtentAllocator* extents_ = nullptr;
-    SpinLock lock_;
-    ExtentList nonfull_;
-    ExtentMeta* cached_empty_ = nullptr;
+    // Rank kBin: nests before the extent lock (grab_slab_locked and
+    // free_one call into the extent allocator under lock_).
+    SpinLock lock_{util::LockRank::kBin};
+    ExtentList nonfull_ MSW_GUARDED_BY(lock_);
+    ExtentMeta* cached_empty_ MSW_GUARDED_BY(lock_) = nullptr;
     unsigned cls_ = 0;
     std::uint8_t arena_ = 0;
 };

@@ -1,20 +1,20 @@
 #include "alloc/extent.h"
 
 #include <cstring>
-#include <mutex>
 
 namespace msw::alloc {
 
 MetaPool::MetaPool(std::size_t capacity_bytes)
     : space_(vm::Reservation::reserve(capacity_bytes))
 {
+    LockGuard g(lock_);
     bump_ = space_.base();
 }
 
 ExtentMeta*
 MetaPool::alloc()
 {
-    std::lock_guard<SpinLock> g(lock_);
+    LockGuard g(lock_);
     if (free_list_ != nullptr) {
         ExtentMeta* m = free_list_;
         free_list_ = m->next;
@@ -42,7 +42,7 @@ MetaPool::alloc()
 void
 MetaPool::free(ExtentMeta* meta)
 {
-    std::lock_guard<SpinLock> g(lock_);
+    LockGuard g(lock_);
     meta->next = free_list_;
     free_list_ = meta;
 }

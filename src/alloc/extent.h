@@ -19,7 +19,9 @@
 
 #include "util/bits.h"
 #include "util/check.h"
+#include "util/mutex.h"
 #include "util/spin_lock.h"
+#include "util/thread_annotations.h"
 #include "vm/vm.h"
 
 #include "alloc/size_classes.h"
@@ -161,17 +163,23 @@ class MetaPool
     void free(ExtentMeta* meta);
 
     /** Bytes of metadata currently committed. */
-    std::size_t committed_bytes() const { return committed_; }
+    std::size_t
+    committed_bytes() const
+    {
+        LockGuard g(lock_);
+        return committed_;
+    }
 
     /** The metadata reservation (excluded from conservative scans). */
     const vm::Reservation& reservation() const { return space_; }
 
   private:
     vm::Reservation space_;
-    SpinLock lock_;
-    std::uintptr_t bump_ = 0;
-    std::size_t committed_ = 0;
-    ExtentMeta* free_list_ = nullptr;
+    // Rank kExtentMeta: MetaPool::alloc/free run under the extent lock.
+    mutable SpinLock lock_{util::LockRank::kExtentMeta};
+    std::uintptr_t bump_ MSW_GUARDED_BY(lock_) = 0;
+    std::size_t committed_ MSW_GUARDED_BY(lock_) = 0;
+    ExtentMeta* free_list_ MSW_GUARDED_BY(lock_) = nullptr;
 };
 
 }  // namespace msw::alloc

@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <ctime>
-#include <mutex>
 
 #include "util/bits.h"
 #include "util/check.h"
@@ -44,7 +43,7 @@ ExtentAllocator::~ExtentAllocator() = default;
 ExtentHooks*
 ExtentAllocator::set_hooks(ExtentHooks* hooks)
 {
-    std::lock_guard<SpinLock> g(lock_);
+    LockGuard g(lock_);
     ExtentHooks* old = hooks_;
     hooks_ = hooks != nullptr ? hooks : &default_hooks_;
     return old;
@@ -188,7 +187,7 @@ ExtentAllocator::alloc_extent(std::size_t pages, ExtentKind kind,
     MSW_CHECK(kind != ExtentKind::kFree);
     MSW_DCHECK(is_pow2(align_pages));
 
-    std::lock_guard<SpinLock> g(lock_);
+    LockGuard g(lock_);
     ExtentMeta* e = take_free_extent(pages, align_pages);
     if (e == nullptr) {
         // Extend the bump frontier.
@@ -243,7 +242,7 @@ ExtentAllocator::alloc_extent(std::size_t pages, ExtentKind kind,
 void
 ExtentAllocator::free_extent(ExtentMeta* e)
 {
-    std::lock_guard<SpinLock> g(lock_);
+    LockGuard g(lock_);
     MSW_DCHECK(e->kind != ExtentKind::kFree);
     MSW_DCHECK(active_bytes_ >= e->bytes());
     active_bytes_ -= e->bytes();
@@ -293,7 +292,7 @@ ExtentAllocator::lookup(std::uintptr_t addr) const
 {
     if (!heap_.contains(addr))
         return nullptr;
-    std::lock_guard<SpinLock> g(lock_);
+    LockGuard g(lock_);
     ExtentMeta* e = page_map_[page_index(addr)];
     if (e == nullptr || e->kind == ExtentKind::kFree)
         return nullptr;
@@ -304,14 +303,14 @@ ExtentAllocator::lookup(std::uintptr_t addr) const
 void
 ExtentAllocator::decay_tick()
 {
-    std::lock_guard<SpinLock> g(lock_);
+    LockGuard g(lock_);
     decay_pass_locked(monotonic_ms());
 }
 
 void
 ExtentAllocator::purge_all()
 {
-    std::lock_guard<SpinLock> g(lock_);
+    LockGuard g(lock_);
     decay_pass_locked(UINT64_MAX);
 }
 
@@ -371,7 +370,7 @@ ExtentAllocator::decay_pass_locked(std::uint64_t now)
 ExtentStats
 ExtentAllocator::stats() const
 {
-    std::lock_guard<SpinLock> g(lock_);
+    LockGuard g(lock_);
     ExtentStats s;
     s.committed_bytes = committed_bytes_;
     s.active_bytes = active_bytes_;

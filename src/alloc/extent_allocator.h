@@ -20,9 +20,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 
+#include "util/mutex.h"
 #include "util/spin_lock.h"
+#include "util/thread_annotations.h"
 #include "vm/vm.h"
 
 #include "alloc/extent.h"
@@ -146,7 +147,7 @@ class ExtentAllocator
     void
     for_each_active_extent(Fn&& fn) const
     {
-        std::lock_guard<SpinLock> g(lock_);
+        LockGuard g(lock_);
         for (std::size_t page = 0; page < frontier_pages_;) {
             ExtentMeta* e = page_map_[page];
             if (e != nullptr && e->kind != ExtentKind::kFree) {
@@ -167,36 +168,42 @@ class ExtentAllocator
     static unsigned bucket_for(std::size_t pages);
 
     // All private helpers expect lock_ held.
-    ExtentMeta* take_free_extent(std::size_t pages, std::size_t align_pages);
-    void insert_free(ExtentMeta* e);
-    void remove_free(ExtentMeta* e);
-    void map_extent(ExtentMeta* e);
-    void unmap_extent_range(ExtentMeta* e);
-    void mark_free_boundaries(ExtentMeta* e);
-    [[nodiscard]] bool ensure_committed(ExtentMeta* e);
-    void purge_extent(ExtentMeta* e);
-    void decay_pass_locked(std::uint64_t now);
+    ExtentMeta* take_free_extent(std::size_t pages, std::size_t align_pages)
+        MSW_REQUIRES(lock_);
+    void insert_free(ExtentMeta* e) MSW_REQUIRES(lock_);
+    void remove_free(ExtentMeta* e) MSW_REQUIRES(lock_);
+    void map_extent(ExtentMeta* e) MSW_REQUIRES(lock_);
+    void unmap_extent_range(ExtentMeta* e) MSW_REQUIRES(lock_);
+    void mark_free_boundaries(ExtentMeta* e) MSW_REQUIRES(lock_);
+    [[nodiscard]] bool ensure_committed(ExtentMeta* e) MSW_REQUIRES(lock_);
+    void purge_extent(ExtentMeta* e) MSW_REQUIRES(lock_);
+    void decay_pass_locked(std::uint64_t now) MSW_REQUIRES(lock_);
 
     std::size_t page_index(std::uintptr_t addr) const;
 
     vm::Reservation heap_;
     MetaPool meta_pool_;
     ExtentHooks default_hooks_;
-    ExtentHooks* hooks_;
+    ExtentHooks* hooks_ MSW_GUARDED_BY(lock_);
 
-    mutable SpinLock lock_;
-    ExtentList free_buckets_[kNumBuckets];
+    // Rank kExtent: acquired under bin locks; nests before the metadata
+    // pool lock (MetaPool::alloc runs under lock_).
+    mutable SpinLock lock_{util::LockRank::kExtent};
+    ExtentList free_buckets_[kNumBuckets] MSW_GUARDED_BY(lock_);
+    // page_map_ entries are written under lock_ but read lock-free via
+    // __atomic loads (lookup_live / peek_page_map), so the pointer array
+    // itself is deliberately not guarded.
     ExtentMeta** page_map_ = nullptr;  // One entry per heap page.
     vm::Reservation page_map_space_;
-    std::uintptr_t bump_ = 0;
-    std::size_t frontier_pages_ = 0;
+    std::uintptr_t bump_ MSW_GUARDED_BY(lock_) = 0;
+    std::size_t frontier_pages_ MSW_GUARDED_BY(lock_) = 0;
 
     std::uint64_t decay_ms_;
-    std::uint64_t last_decay_check_ms_ = 0;
+    std::uint64_t last_decay_check_ms_ MSW_GUARDED_BY(lock_) = 0;
 
-    std::size_t committed_bytes_ = 0;
-    std::size_t active_bytes_ = 0;
-    std::uint64_t purge_count_ = 0;
+    std::size_t committed_bytes_ MSW_GUARDED_BY(lock_) = 0;
+    std::size_t active_bytes_ MSW_GUARDED_BY(lock_) = 0;
+    std::uint64_t purge_count_ MSW_GUARDED_BY(lock_) = 0;
 };
 
 /** Monotonic milliseconds used for decay timestamps. */

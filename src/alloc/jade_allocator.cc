@@ -4,7 +4,6 @@
 
 #include <atomic>
 #include <cstring>
-#include <mutex>
 #include <new>
 
 #include "util/bits.h"
@@ -47,8 +46,12 @@ shard_cap(unsigned cls)
     return 4;
 }
 
-/** Serialises tcache-registry operations across all JadeAllocators. */
-SpinLock g_tcache_registry_lock;
+/**
+ * Serialises tcache-registry operations across all JadeAllocators.
+ * Rank kBinRegistry: tcache_destructor flushes shards under this lock,
+ * which nests into bin and extent locks.
+ */
+SpinLock g_tcache_registry_lock{util::LockRank::kBinRegistry};
 
 }  // namespace
 
@@ -110,7 +113,7 @@ JadeAllocator::~JadeAllocator()
     // the storage without touching this (dead) allocator.
     flush();
     {
-        std::lock_guard<SpinLock> g(g_tcache_registry_lock);
+        LockGuard g(g_tcache_registry_lock);
         TCache* tc = g_tcache_head;
         while (tc != nullptr) {
             TCache* next = tc->reg_next;
@@ -158,7 +161,7 @@ JadeAllocator::make_tcache()
     tc->arena = static_cast<std::uint8_t>(arena_for_thread());
     tc->alloc_size = bytes;
     {
-        std::lock_guard<SpinLock> g(g_tcache_registry_lock);
+        LockGuard g(g_tcache_registry_lock);
         tc->reg_next = g_tcache_head;
         if (g_tcache_head != nullptr)
             g_tcache_head->reg_prev = tc;
@@ -187,7 +190,7 @@ JadeAllocator::tcache_destructor(void* arg)
         // Flush while holding the registry lock: the owning allocator's
         // destructor also takes this lock before orphaning caches, so the
         // allocator cannot be destroyed mid-flush.
-        std::lock_guard<SpinLock> g(g_tcache_registry_lock);
+        LockGuard g(g_tcache_registry_lock);
         JadeAllocator* owner = tc->owner.load(std::memory_order_relaxed);
         if (owner != nullptr) {
             if (tc->reg_prev != nullptr)

@@ -140,7 +140,11 @@ class JadeAllocator final : public Allocator
 
     void* alloc_large(std::size_t size, std::size_t align_pages);
 
-    /** Head of the global registry of live thread caches. */
+    /**
+     * Head of the global registry of live thread caches. Guarded by the
+     * file-local g_tcache_registry_lock (rank kBinRegistry) in the .cc —
+     * not annotatable from here because the lock is not visible.
+     */
     static TCache* g_tcache_head;
 
     ExtentAllocator extents_;

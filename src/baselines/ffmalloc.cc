@@ -1,11 +1,11 @@
 #include "baselines/ffmalloc.h"
 
 #include <cstring>
-#include <mutex>
 
 #include "util/bits.h"
 #include "util/check.h"
 #include "util/log.h"
+#include "util/mutex.h"
 
 namespace msw::baseline {
 
@@ -38,7 +38,10 @@ FFMalloc::FFMalloc(const Options& opts)
     page_sealed_ = reinterpret_cast<std::atomic<std::uint8_t>*>(
         live_space_.base() + pages * sizeof(std::uint16_t));
 
-    frontier_ = space_.base();
+    {
+        LockGuard g(frontier_lock_);
+        frontier_ = space_.base();
+    }
     pools_ = new Pool[num_classes_];
 }
 
@@ -50,13 +53,14 @@ FFMalloc::~FFMalloc()
 std::size_t
 FFMalloc::frontier_bytes() const
 {
+    LockGuard g(frontier_lock_);
     return frontier_ - space_.base();
 }
 
 std::uintptr_t
 FFMalloc::grab_span(std::size_t bytes, std::size_t align_bytes)
 {
-    std::lock_guard<SpinLock> g(frontier_lock_);
+    LockGuard g(frontier_lock_);
     const std::uintptr_t addr = align_up(frontier_, align_bytes);
     if (addr + bytes > space_.end()) {
         // One-time allocation means VA burn is terminal, not transient;
@@ -179,7 +183,7 @@ FFMalloc::alloc(std::size_t size)
     Pool& pool = pools_[cls];
     std::uintptr_t addr;
     {
-        std::lock_guard<SpinLock> g(pool.lock);
+        LockGuard g(pool.lock);
         if (pool.bump + csize > pool.end && !refill_pool(cls))
             return nullptr;
         addr = pool.bump;

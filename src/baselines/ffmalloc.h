@@ -32,7 +32,9 @@
 
 #include "alloc/allocator.h"
 #include "alloc/size_classes.h"
+#include "util/lock_rank.h"
 #include "util/spin_lock.h"
+#include "util/thread_annotations.h"
 #include "vm/vm.h"
 
 namespace msw::baseline {
@@ -72,9 +74,11 @@ class FFMalloc final : public alloc::Allocator
   private:
     /** Per-class bump pool. */
     struct Pool {
-        SpinLock lock;
-        std::uintptr_t bump = 0;
-        std::uintptr_t end = 0;
+        // Rank kBin (the per-class analogue of a slab bin); refill nests
+        // into frontier_lock_ (kExtent).
+        SpinLock lock{util::LockRank::kBin};
+        std::uintptr_t bump MSW_GUARDED_BY(lock) = 0;
+        std::uintptr_t end MSW_GUARDED_BY(lock) = 0;
     };
 
     static constexpr std::size_t kPoolBytes = 64 * 1024;
@@ -93,7 +97,12 @@ class FFMalloc final : public alloc::Allocator
 
     /** Returns 0 on VA exhaustion or transient commit failure. */
     std::uintptr_t grab_span(std::size_t bytes, std::size_t align_bytes);
-    [[nodiscard]] bool refill_pool(unsigned cls);
+    /**
+     * Caller holds pools_[cls].lock — not expressible to the analysis
+     * through the index/reference aliasing, hence the opt-out.
+     */
+    [[nodiscard]] bool refill_pool(unsigned cls)
+        MSW_NO_THREAD_SAFETY_ANALYSIS;
     void seal_and_maybe_decommit(std::uintptr_t page_addr);
     void on_object_freed(std::uintptr_t base, std::size_t usable);
 
@@ -108,8 +117,9 @@ class FFMalloc final : public alloc::Allocator
     /** Per-page flag: bump pointer has passed; no new objects will land. */
     std::atomic<std::uint8_t>* page_sealed_ = nullptr;
 
-    SpinLock frontier_lock_;
-    std::uintptr_t frontier_ = 0;
+    // Rank kExtent: the frontier is FFMalloc's extent layer.
+    mutable SpinLock frontier_lock_{util::LockRank::kExtent};
+    std::uintptr_t frontier_ MSW_GUARDED_BY(frontier_lock_) = 0;
 
     Pool* pools_ = nullptr;  // [num_size_classes()]
     unsigned num_classes_;

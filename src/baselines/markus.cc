@@ -67,7 +67,10 @@ MarkUs::MarkUs(const Options& opts)
     jade_.extents().set_hooks(hooks_.get());
     // Fixed capacity: push_back under unmap_lock_ must never reallocate
     // (see MineSweeper; same self-hosting hazard).
-    pending_unmaps_.reserve(4096);
+    {
+        LockGuard g(unmap_lock_);
+        pending_unmaps_.reserve(4096);
+    }
     tracker_ = sweep::make_dirty_tracker(&jade_.reservation());
     if (auto* mp = dynamic_cast<sweep::MprotectTracker*>(tracker_.get())) {
         mp->set_committed_filter(
@@ -84,7 +87,7 @@ MarkUs::~MarkUs()
 {
     if (marker_thread_.joinable()) {
         {
-            std::lock_guard<std::mutex> g(mark_mu_);
+            MutexGuard g(mark_mu_);
             shutdown_ = true;
         }
         mark_cv_.notify_all();
@@ -173,7 +176,7 @@ MarkUs::free(void* ptr)
     Entry entry = Entry::make(base, usable, false);
     if (opts_.unmapping && is_large) {
         entry = Entry::make(base, usable, true);
-        std::lock_guard<SpinLock> g(unmap_lock_);
+        LockGuard g(unmap_lock_);
         if (mark_active_.load(std::memory_order_relaxed)) {
             if (pending_unmaps_.size() < pending_unmaps_.capacity()) {
                 pending_unmaps_.push_back(entry);
@@ -222,7 +225,7 @@ MarkUs::maybe_trigger_mark()
         return;
     }
     {
-        std::lock_guard<std::mutex> g(mark_mu_);
+        MutexGuard g(mark_mu_);
         mark_requested_ = true;
     }
     mark_cv_.notify_all();
@@ -231,9 +234,11 @@ MarkUs::maybe_trigger_mark()
 void
 MarkUs::marker_loop()
 {
-    std::unique_lock<std::mutex> l(mark_mu_);
+    UniqueLock l(mark_mu_);
     while (!shutdown_) {
-        mark_cv_.wait(l, [&] { return mark_requested_ || shutdown_; });
+        mark_cv_.wait(l, [&]() MSW_REQUIRES(mark_mu_) {
+            return mark_requested_ || shutdown_;
+        });
         if (shutdown_)
             break;
         mark_requested_ = false;
@@ -277,7 +282,10 @@ MarkUs::scan_for_objects(std::uintptr_t base, std::size_t len,
             page_checked_until = align_down(lo, vm::kPageSize) +
                                  vm::kPageSize;
         }
-        const std::uint64_t v = *reinterpret_cast<const std::uint64_t*>(lo);
+        // Relaxed atomic: mutators write scanned memory concurrently and
+        // the conservative mark tolerates torn/stale words by design.
+        const std::uint64_t v = __atomic_load_n(
+            reinterpret_cast<const std::uint64_t*>(lo), __ATOMIC_RELAXED);
         if (v - heap_base >= heap_end - heap_base)
             continue;
         alloc::JadeAllocator::AllocationInfo info;
@@ -305,13 +313,13 @@ void
 MarkUs::run_mark()
 {
     {
-        std::lock_guard<SpinLock> g(unmap_lock_);
+        LockGuard g(unmap_lock_);
         mark_active_.store(true, std::memory_order_release);
     }
     std::vector<Entry> locked_in;
     quarantine_.lock_in(locked_in);
     if (locked_in.empty()) {
-        std::lock_guard<SpinLock> g(unmap_lock_);
+        LockGuard g(unmap_lock_);
         mark_active_.store(false, std::memory_order_release);
         for (const Entry& e : pending_unmaps_) {
             if (quarantine_bitmap_.test(e.real_base()) &&
@@ -360,7 +368,7 @@ MarkUs::run_mark()
     // Deferred unmaps before release: every affected entry is still
     // quarantined here.
     {
-        std::lock_guard<SpinLock> g(unmap_lock_);
+        LockGuard g(unmap_lock_);
         for (const Entry& e : pending_unmaps_) {
             if (quarantine_bitmap_.test(e.real_base()) &&
                 jade_.reservation().decommit(e.real_base(), e.usable) ==
@@ -396,7 +404,7 @@ MarkUs::run_mark()
     quarantine_.store_failed(std::move(failed));
 
     {
-        std::lock_guard<SpinLock> g(unmap_lock_);
+        LockGuard g(unmap_lock_);
         mark_active_.store(false, std::memory_order_release);
         for (const Entry& e : pending_unmaps_) {
             if (quarantine_bitmap_.test(e.real_base()) &&
@@ -429,12 +437,12 @@ MarkUs::force_mark()
         }
         return;
     }
-    std::unique_lock<std::mutex> g(mark_mu_);
+    UniqueLock g(mark_mu_);
     const std::uint64_t target =
         marks_done_.load(std::memory_order_relaxed) + 1;
     mark_requested_ = true;
     mark_cv_.notify_all();
-    mark_done_cv_.wait(g, [&] {
+    mark_done_cv_.wait(g, [&]() MSW_REQUIRES(mark_mu_) {
         return marks_done_.load(std::memory_order_relaxed) >= target;
     });
 }
@@ -446,8 +454,8 @@ MarkUs::flush()
     jade_.flush();
     if (!opts_.concurrent)
         return;
-    std::unique_lock<std::mutex> g(mark_mu_);
-    mark_done_cv_.wait(g, [&] {
+    UniqueLock g(mark_mu_);
+    mark_done_cv_.wait(g, [&]() MSW_REQUIRES(mark_mu_) {
         return !mark_requested_ &&
                !mark_in_progress_.load(std::memory_order_relaxed);
     });

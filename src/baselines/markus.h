@@ -26,7 +26,6 @@
 
 #include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -37,7 +36,9 @@
 #include "sweep/page_access_map.h"
 #include "sweep/roots.h"
 #include "sweep/shadow_map.h"
+#include "util/mutex.h"
 #include "util/spin_lock.h"
+#include "util/thread_annotations.h"
 
 namespace msw::baseline {
 
@@ -104,7 +105,12 @@ class MarkUs final : public alloc::Allocator
     /** Substrate-exhaustion path: forced marking passes, then nullptr. */
     void* alloc_slow(std::size_t request, std::size_t alignment);
     void run_mark();
-    /** Scan [base, base+len) for pointers; push newly marked objects. */
+    /**
+     * Scan [base, base+len) for pointers; push newly marked objects.
+     * Conservative scan over racy memory: sanitizer instrumentation off
+     * (see Marker::scan_chunk).
+     */
+    MSW_NO_SANITIZE_ADDRESS MSW_NO_SANITIZE_THREAD
     void scan_for_objects(std::uintptr_t base, std::size_t len,
                           std::vector<sweep::Range>* worklist);
     void drain_worklist(std::vector<sweep::Range>* worklist);
@@ -120,16 +126,19 @@ class MarkUs final : public alloc::Allocator
     quarantine::Quarantine quarantine_;
     std::unique_ptr<sweep::DirtyTracker> tracker_;
 
-    SpinLock unmap_lock_;
+    SpinLock unmap_lock_{util::LockRank::kCoreUnmap};
     std::atomic<bool> mark_active_{false};
-    std::vector<quarantine::Entry> pending_unmaps_;
+    std::vector<quarantine::Entry> pending_unmaps_
+        MSW_GUARDED_BY(unmap_lock_);
 
     std::thread marker_thread_;
-    std::mutex mark_mu_;
-    std::condition_variable mark_cv_;
-    std::condition_variable mark_done_cv_;
-    bool mark_requested_ = false;
-    bool shutdown_ = false;
+    // Same control-band rank as MineSweeper's sweep_mu_ (the two never
+    // coexist on one thread's lock stack).
+    Mutex mark_mu_{util::LockRank::kCoreControl};
+    std::condition_variable_any mark_cv_;
+    std::condition_variable_any mark_done_cv_;
+    bool mark_requested_ MSW_GUARDED_BY(mark_mu_) = false;
+    bool shutdown_ MSW_GUARDED_BY(mark_mu_) = false;
     std::atomic<bool> mark_in_progress_{false};
     std::atomic<std::uint64_t> marks_done_{0};
 

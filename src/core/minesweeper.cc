@@ -112,7 +112,10 @@ MineSweeper::MineSweeper(const Options& opts)
     // reallocation's free() of the old buffer would re-enter
     // quarantine_free() and self-deadlock on the lock in the self-hosted
     // deployment. Overflowing entries simply skip the unmap optimisation.
-    pending_unmaps_.reserve(opts_.max_pending_unmaps);
+    {
+        LockGuard g(unmap_lock_);
+        pending_unmaps_.reserve(opts_.max_pending_unmaps);
+    }
 
     if (opts_.helper_threads > 0)
         workers_ = std::make_unique<sweep::SweepWorkers>(
@@ -138,7 +141,7 @@ MineSweeper::MineSweeper(const Options& opts)
 MineSweeper::~MineSweeper()
 {
     {
-        std::lock_guard<std::mutex> g(sweep_mu_);
+        MutexGuard g(sweep_mu_);
         shutdown_ = true;
     }
     // Wake everything: the sweeper (to exit) and any force_sweep()/
@@ -248,10 +251,11 @@ MineSweeper::emergency_reclaim()
         if (!run_sweep_now()) {
             // Another thread owns the sweep; give it a moment to finish
             // so the purge below sees its released extents.
-            std::unique_lock<std::mutex> g(sweep_mu_);
+            UniqueLock g(sweep_mu_);
             control_waiters_.fetch_add(1, std::memory_order_relaxed);
             sweep_done_cv_.wait_for(
-                g, std::chrono::milliseconds(100), [&] {
+                g, std::chrono::milliseconds(100),
+                [&]() MSW_REQUIRES(sweep_mu_) {
                     return shutdown_ ||
                            !sweep_in_progress_.load(
                                std::memory_order_relaxed);
@@ -368,7 +372,7 @@ MineSweeper::quarantine_free(void* ptr, std::uintptr_t base,
         // physical memory immediately (§4.2). If a sweep is scanning,
         // defer the decommit so concurrent marking never faults.
         entry = Entry::make(base, usable, true);
-        std::lock_guard<SpinLock> g(unmap_lock_);
+        LockGuard g(unmap_lock_);
         if (sweep_active_.load(std::memory_order_relaxed)) {
             if (pending_unmaps_.size() < opts_.max_pending_unmaps) {
                 pending_unmaps_.push_back(entry);
@@ -470,7 +474,7 @@ MineSweeper::maybe_trigger_sweep()
     }
 
     {
-        std::lock_guard<std::mutex> g(sweep_mu_);
+        MutexGuard g(sweep_mu_);
         sweep_requested_ = true;
         // Watchdog heartbeat: stamp the oldest unserved request (the
         // sweeper clears this when it picks the request up).
@@ -501,7 +505,7 @@ MineSweeper::run_sweep_now()
         return false;
     }
     {
-        std::lock_guard<std::mutex> g(sweep_mu_);
+        MutexGuard g(sweep_mu_);
         if (shutdown_) {
             // Do not start new sweeps during teardown; the destructor is
             // waiting to claim this token.
@@ -513,7 +517,7 @@ MineSweeper::run_sweep_now()
     }
     run_sweep();
     {
-        std::lock_guard<std::mutex> g(sweep_mu_);
+        MutexGuard g(sweep_mu_);
         sweeps_done_.fetch_add(1, std::memory_order_relaxed);
         pause_flag_.store(false, std::memory_order_relaxed);
         sweep_in_progress_.store(false, std::memory_order_release);
@@ -558,12 +562,14 @@ MineSweeper::maybe_pause_allocations()
     }
     const std::uint64_t t0 = monotonic_ns();
     {
-        std::unique_lock<std::mutex> g(sweep_mu_);
+        UniqueLock g(sweep_mu_);
         control_waiters_.fetch_add(1, std::memory_order_relaxed);
-        sweep_done_cv_.wait_for(g, std::chrono::seconds(2), [&] {
-            return shutdown_ ||
-                   !pause_flag_.load(std::memory_order_relaxed);
-        });
+        sweep_done_cv_.wait_for(g, std::chrono::seconds(2),
+                                [&]() MSW_REQUIRES(sweep_mu_) {
+                                    return shutdown_ ||
+                                           !pause_flag_.load(
+                                               std::memory_order_relaxed);
+                                });
         control_waiters_.fetch_sub(1, std::memory_order_release);
     }
     pause_ns_.fetch_add(monotonic_ns() - t0, std::memory_order_relaxed);
@@ -578,16 +584,20 @@ void
 MineSweeper::sweeper_loop()
 {
     tls_sweep_context = true;
-    std::unique_lock<std::mutex> l(sweep_mu_);
+    UniqueLock l(sweep_mu_);
     while (!shutdown_) {
-        sweep_cv_.wait(l, [&] { return sweep_requested_ || shutdown_; });
+        sweep_cv_.wait(l, [&]() MSW_REQUIRES(sweep_mu_) {
+            return sweep_requested_ || shutdown_;
+        });
         if (shutdown_)
             break;
         if (failpoint_should_fail(Failpoint::kSweeperStall)) {
             // Play dead: leave the request pending (so the watchdog can
             // see it age) and re-check once the failpoint lets go.
             sweep_cv_.wait_for(l, std::chrono::milliseconds(10),
-                               [&] { return shutdown_; });
+                               [&]() MSW_REQUIRES(sweep_mu_) {
+                                   return shutdown_;
+                               });
             continue;
         }
         bool expected = false;
@@ -662,7 +672,7 @@ void
 MineSweeper::run_sweep()
 {
     {
-        std::lock_guard<SpinLock> g(unmap_lock_);
+        LockGuard g(unmap_lock_);
         sweep_active_.store(true, std::memory_order_release);
     }
     // Test hook: hold the sweep open while armed so tests can exercise
@@ -672,7 +682,7 @@ MineSweeper::run_sweep()
     std::vector<Entry> locked_in;
     quarantine_.lock_in(locked_in);
     if (locked_in.empty()) {
-        std::lock_guard<SpinLock> g(unmap_lock_);
+        LockGuard g(unmap_lock_);
         sweep_active_.store(false, std::memory_order_release);
         drain_pending_unmaps_locked();
         return;
@@ -727,7 +737,7 @@ MineSweeper::run_sweep()
     // affected entry is still quarantined at this point, so this is safe
     // and the pages have already been scanned.
     {
-        std::lock_guard<SpinLock> g(unmap_lock_);
+        LockGuard g(unmap_lock_);
         drain_pending_unmaps_locked();
     }
 
@@ -801,7 +811,7 @@ MineSweeper::run_sweep()
     quarantine_.store_failed(std::move(failed));
 
     {
-        std::lock_guard<SpinLock> g(unmap_lock_);
+        LockGuard g(unmap_lock_);
         sweep_active_.store(false, std::memory_order_release);
         drain_pending_unmaps_locked();
     }
@@ -859,7 +869,7 @@ MineSweeper::force_sweep()
     }
     control_waiters_.fetch_add(1, std::memory_order_relaxed);
     {
-        std::unique_lock<std::mutex> g(sweep_mu_);
+        UniqueLock g(sweep_mu_);
         if (shutdown_) {
             control_waiters_.fetch_sub(1, std::memory_order_release);
             return;
@@ -875,11 +885,12 @@ MineSweeper::force_sweep()
             opts_.watchdog_timeout_ms != 0 ? opts_.watchdog_timeout_ms
                                            : 500);
         for (;;) {
-            const bool done = sweep_done_cv_.wait_for(g, timeout, [&] {
-                return shutdown_ ||
-                       sweeps_done_.load(std::memory_order_relaxed) >=
-                           target;
-            });
+            const bool done = sweep_done_cv_.wait_for(
+                g, timeout, [&]() MSW_REQUIRES(sweep_mu_) {
+                    return shutdown_ ||
+                           sweeps_done_.load(std::memory_order_relaxed) >=
+                               target;
+                });
             if (done)
                 break;
             // Timed out: the sweeper may be stalled or dead. Sweep on
@@ -908,10 +919,11 @@ MineSweeper::flush()
     // Wait out any in-flight or requested sweep.
     control_waiters_.fetch_add(1, std::memory_order_relaxed);
     {
-        std::unique_lock<std::mutex> g(sweep_mu_);
+        UniqueLock g(sweep_mu_);
         for (;;) {
             const bool done = sweep_done_cv_.wait_for(
-                g, std::chrono::milliseconds(500), [&] {
+                g, std::chrono::milliseconds(500),
+                [&]() MSW_REQUIRES(sweep_mu_) {
                     return shutdown_ ||
                            (!sweep_requested_ &&
                             !sweep_in_progress_.load(

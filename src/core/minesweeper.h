@@ -27,7 +27,6 @@
 #include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -36,7 +35,9 @@
 #include "core/options.h"
 #include "util/bits.h"
 #include "util/failpoint.h"
+#include "util/mutex.h"
 #include "util/spin_lock.h"
+#include "util/thread_annotations.h"
 #include "quarantine/quarantine.h"
 #include "sweep/dirty_tracker.h"
 #include "sweep/page_access_map.h"
@@ -157,7 +158,7 @@ class MineSweeper final : public alloc::Allocator
     void quarantine_free(void* ptr, std::uintptr_t base, std::size_t usable,
                          bool is_large);
     [[nodiscard]] bool unmap_entry(std::uintptr_t base, std::size_t usable);
-    void drain_pending_unmaps_locked();
+    void drain_pending_unmaps_locked() MSW_REQUIRES(unmap_lock_);
     void maybe_trigger_sweep();
     void maybe_pause_allocations();
     void run_sweep();
@@ -201,17 +202,20 @@ class MineSweeper final : public alloc::Allocator
     // Deferred page-unmapping while a sweep is scanning (readers must not
     // lose pages mid-scan). Capacity is fixed at construction
     // (opts_.max_pending_unmaps); see ctor.
-    SpinLock unmap_lock_;
+    SpinLock unmap_lock_{util::LockRank::kCoreUnmap};
     std::atomic<bool> sweep_active_{false};
-    std::vector<quarantine::Entry> pending_unmaps_;
+    std::vector<quarantine::Entry> pending_unmaps_
+        MSW_GUARDED_BY(unmap_lock_);
 
-    // Sweeper thread control.
+    // Sweeper thread control. Rank kCoreControl: acquired with nothing
+    // else held; everything the sweep does (quarantine, bins, extents)
+    // ranks higher.
     std::thread sweeper_thread_;
-    std::mutex sweep_mu_;
-    std::condition_variable sweep_cv_;
-    std::condition_variable sweep_done_cv_;
-    bool sweep_requested_ = false;
-    bool shutdown_ = false;
+    mutable Mutex sweep_mu_{util::LockRank::kCoreControl};
+    std::condition_variable_any sweep_cv_;
+    std::condition_variable_any sweep_done_cv_;
+    bool sweep_requested_ MSW_GUARDED_BY(sweep_mu_) = false;
+    bool shutdown_ MSW_GUARDED_BY(sweep_mu_) = false;
     std::atomic<bool> sweep_in_progress_{false};
     std::atomic<bool> pause_flag_{false};
     std::atomic<std::uint64_t> sweeps_done_{0};

@@ -11,7 +11,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 
 #include "util/check.h"
 #include "vm/vm.h"
@@ -59,7 +58,7 @@ RssSampler::loop()
     while (!stop_.load(std::memory_order_relaxed)) {
         const std::size_t rss = vm::current_rss_bytes();
         {
-            std::lock_guard<std::mutex> g(mu_);
+            MutexGuard g(mu_);
             samples_.emplace_back(wall_seconds() - start_, rss);
         }
         struct timespec ts {
@@ -81,7 +80,7 @@ RssSampler::stop()
 std::size_t
 RssSampler::average() const
 {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexGuard g(mu_);
     if (samples_.empty())
         return 0;
     unsigned long long sum = 0;
@@ -93,7 +92,7 @@ RssSampler::average() const
 std::size_t
 RssSampler::peak() const
 {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexGuard g(mu_);
     std::size_t best = 0;
     for (const auto& [t, rss] : samples_)
         best = rss > best ? rss : best;
@@ -103,7 +102,7 @@ RssSampler::peak() const
 std::vector<std::pair<double, std::size_t>>
 RssSampler::series() const
 {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexGuard g(mu_);
     return samples_;
 }
 

@@ -20,10 +20,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace msw::metrics {
 
@@ -80,8 +82,10 @@ class RssSampler
 
     unsigned interval_ms_;
     double start_;
-    mutable std::mutex mu_;
-    std::vector<std::pair<double, std::size_t>> samples_;
+    // Rank kMetrics: leaf lock, never held while calling anything else.
+    mutable Mutex mu_{util::LockRank::kMetrics};
+    std::vector<std::pair<double, std::size_t>> samples_
+        MSW_GUARDED_BY(mu_);
     std::atomic<bool> stop_{false};
     std::thread thread_;
 };

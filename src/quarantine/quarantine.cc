@@ -26,8 +26,8 @@ struct Quarantine::ThreadBuffer {
     }
 };
 
+SpinLock Quarantine::g_buffer_lock{util::LockRank::kQuarantineRegistry};
 Quarantine::ThreadBuffer* Quarantine::g_buffer_head = nullptr;
-SpinLock Quarantine::g_buffer_lock;
 
 // ------------------------------------------------------ chunked storage
 
@@ -76,7 +76,7 @@ Quarantine::~Quarantine()
 {
     flush_thread_buffer();
     {
-        std::lock_guard<SpinLock> g(g_buffer_lock);
+        LockGuard g(g_buffer_lock);
         ThreadBuffer* buf = g_buffer_head;
         while (buf != nullptr) {
             ThreadBuffer* next = buf->reg_next;
@@ -95,8 +95,17 @@ Quarantine::~Quarantine()
         }
     }
     pthread_key_delete(buffer_key_);
-    chunk_free_list(current_);
-    chunk_free_list(failed_);
+    EntryChunk* taken_current = nullptr;
+    EntryChunk* taken_failed = nullptr;
+    {
+        LockGuard g(lock_);
+        taken_current = current_;
+        taken_failed = failed_;
+        current_ = nullptr;
+        failed_ = nullptr;
+    }
+    chunk_free_list(taken_current);
+    chunk_free_list(taken_failed);
 }
 
 Quarantine::ThreadBuffer*
@@ -115,7 +124,7 @@ Quarantine::get_buffer()
     buf->capacity = buffer_capacity_;
     buf->mapped_bytes = bytes;
     {
-        std::lock_guard<SpinLock> g(g_buffer_lock);
+        LockGuard g(g_buffer_lock);
         buf->reg_next = g_buffer_head;
         if (g_buffer_head != nullptr)
             g_buffer_head->reg_prev = buf;
@@ -130,7 +139,7 @@ Quarantine::buffer_destructor(void* arg)
 {
     auto* buf = static_cast<ThreadBuffer*>(arg);
     if (buf->owner.load(std::memory_order_acquire) != nullptr) {
-        std::lock_guard<SpinLock> g(g_buffer_lock);
+        LockGuard g(g_buffer_lock);
         Quarantine* owner = buf->owner.load(std::memory_order_relaxed);
         if (owner != nullptr) {
             if (buf->reg_prev != nullptr)
@@ -139,7 +148,8 @@ Quarantine::buffer_destructor(void* arg)
                 g_buffer_head = buf->reg_next;
             if (buf->reg_next != nullptr)
                 buf->reg_next->reg_prev = buf->reg_prev;
-            std::lock_guard<SpinLock> g2(owner->lock_);
+            // Registry (rank 20) before epoch lock (rank 22).
+            LockGuard g2(owner->lock_);
             owner->flush_buffer_locked(buf);
         }
     }
@@ -168,7 +178,7 @@ Quarantine::insert(const Entry& entry)
     ThreadBuffer* buf = get_buffer();
     buf->entries[buf->count++] = entry;
     if (buf->count == buf->capacity) {
-        std::lock_guard<SpinLock> g(lock_);
+        LockGuard g(lock_);
         flush_buffer_locked(buf);
     }
 }
@@ -179,7 +189,7 @@ Quarantine::flush_thread_buffer()
     auto* buf = static_cast<ThreadBuffer*>(pthread_getspecific(buffer_key_));
     if (buf == nullptr || buf->count == 0)
         return;
-    std::lock_guard<SpinLock> g(lock_);
+    LockGuard g(lock_);
     flush_buffer_locked(buf);
 }
 
@@ -191,7 +201,7 @@ Quarantine::lock_in(std::vector<Entry>& out)
     EntryChunk* taken_current = nullptr;
     EntryChunk* taken_failed = nullptr;
     {
-        std::lock_guard<SpinLock> g(lock_);
+        LockGuard g(lock_);
         taken_current = current_;
         taken_failed = failed_;
         current_ = nullptr;
@@ -261,7 +271,7 @@ Quarantine::store_failed(std::vector<Entry>&& failed)
     }
 
     {
-        std::lock_guard<SpinLock> g(lock_);
+        LockGuard g(lock_);
         // Attach (failed_ is normally empty here: lock_in drained it).
         if (failed_ == nullptr) {
             failed_ = head;

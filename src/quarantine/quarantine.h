@@ -21,10 +21,11 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/spin_lock.h"
+#include "util/thread_annotations.h"
 
 namespace msw::quarantine {
 
@@ -145,20 +146,21 @@ class Quarantine
     };
 
     ThreadBuffer* get_buffer();
-    void flush_buffer_locked(ThreadBuffer* buf);
+    void flush_buffer_locked(ThreadBuffer* buf) MSW_REQUIRES(lock_);
     static void buffer_destructor(void* arg);
 
     static EntryChunk* chunk_alloc();
     static void chunk_free_list(EntryChunk* head);
     /** Append to a chunk list (caller holds lock_). */
-    void append_locked(EntryChunk** head, const Entry& entry);
+    void append_locked(EntryChunk** head, const Entry& entry)
+        MSW_REQUIRES(lock_);
 
     const std::size_t buffer_capacity_;
     pthread_key_t buffer_key_{};
 
-    mutable SpinLock lock_;
-    EntryChunk* current_ = nullptr;
-    EntryChunk* failed_ = nullptr;
+    mutable SpinLock lock_{util::LockRank::kQuarantine};
+    EntryChunk* current_ MSW_GUARDED_BY(lock_) = nullptr;
+    EntryChunk* failed_ MSW_GUARDED_BY(lock_) = nullptr;
 
     std::atomic<std::size_t> pending_bytes_{0};
     std::atomic<std::size_t> unmapped_bytes_{0};
@@ -166,9 +168,10 @@ class Quarantine
     std::atomic<std::uint64_t> entries_added_{0};
 
     // Global registry of thread buffers so the destructor can orphan
-    // buffers of still-running threads.
-    static ThreadBuffer* g_buffer_head;
+    // buffers of still-running threads. Registry lock ranks *before* the
+    // epoch lock: buffer_destructor nests g_buffer_lock -> lock_.
     static SpinLock g_buffer_lock;
+    static ThreadBuffer* g_buffer_head MSW_GUARDED_BY(g_buffer_lock);
 };
 
 }  // namespace msw::quarantine

@@ -53,7 +53,8 @@ class DirtyTracker
      * Inform the tracker that [addr, addr+len) was freshly committed
      * during the epoch; such pages are treated as dirty.
      */
-    virtual void note_committed(std::uintptr_t addr, std::size_t len) {}
+    virtual void note_committed(std::uintptr_t /*addr*/, std::size_t /*len*/)
+    {}
 
     /**
      * End the epoch and append the page ranges dirtied during it (clipped

@@ -5,7 +5,6 @@
 #include <cerrno>
 #include <cstring>
 #include <ctime>
-#include <mutex>
 
 #include "util/bits.h"
 #include "util/check.h"
@@ -98,14 +97,14 @@ RootRegistry::~RootRegistry()
 void
 RootRegistry::add_root(const void* base, std::size_t len)
 {
-    std::lock_guard<SpinLock> g(lock_);
+    LockGuard g(lock_);
     roots_.push_back(Range{to_addr(base), len});
 }
 
 void
 RootRegistry::remove_root(const void* base)
 {
-    std::lock_guard<SpinLock> g(lock_);
+    LockGuard g(lock_);
     for (std::size_t i = 0; i < roots_.size(); ++i) {
         if (roots_[i].base == to_addr(base)) {
             roots_[i] = roots_.back();
@@ -136,7 +135,7 @@ RootRegistry::register_current_thread()
     tls_park.resume_gen = &stw_->resume_gen;
     tls_park.park_count = &stw_->parked;
 
-    std::lock_guard<SpinLock> g(lock_);
+    LockGuard g(lock_);
     threads_.push_back(t);
 }
 
@@ -146,7 +145,7 @@ RootRegistry::unregister_current_thread()
     MutatorThread* t = tls_self;
     MSW_CHECK(t != nullptr);
     {
-        std::lock_guard<SpinLock> g(lock_);
+        LockGuard g(lock_);
         for (std::size_t i = 0; i < threads_.size(); ++i) {
             if (threads_[i] == t) {
                 threads_[i] = threads_.back();
@@ -163,14 +162,14 @@ RootRegistry::unregister_current_thread()
 std::vector<Range>
 RootRegistry::roots() const
 {
-    std::lock_guard<SpinLock> g(lock_);
+    LockGuard g(lock_);
     return roots_;
 }
 
 std::vector<Range>
 RootRegistry::stacks() const
 {
-    std::lock_guard<SpinLock> g(lock_);
+    LockGuard g(lock_);
     std::vector<Range> out;
     out.reserve(threads_.size());
     for (const MutatorThread* t : threads_)
@@ -181,7 +180,7 @@ RootRegistry::stacks() const
 std::size_t
 RootRegistry::num_threads() const
 {
-    std::lock_guard<SpinLock> g(lock_);
+    LockGuard g(lock_);
     return threads_.size();
 }
 

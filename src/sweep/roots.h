@@ -19,7 +19,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/spin_lock.h"
+#include "util/thread_annotations.h"
 
 namespace msw::sweep {
 
@@ -97,26 +99,28 @@ class RootRegistry
     /**
      * Suspend every registered mutator thread except the caller. Parked
      * threads capture their register files, scannable via
-     * parked_registers(). Must be paired with resume_world().
+     * parked_registers(). Must be paired with resume_world(); the registry
+     * lock is held for the whole window (the capability transfers to the
+     * caller).
      */
-    void stop_world();
+    void stop_world() MSW_ACQUIRE(lock_);
 
     /** Resume all threads parked by stop_world(). */
-    void resume_world();
+    void resume_world() MSW_RELEASE(lock_);
 
     /**
      * Register snapshots of parked threads (valid only between
      * stop_world() and resume_world()).
      */
-    std::vector<Range> parked_registers() const;
+    std::vector<Range> parked_registers() const MSW_REQUIRES(lock_);
 
     /**
-     * Lock-free views for use *between* stop_world() and resume_world()
-     * (the stopper holds the registry lock for the whole window, so the
-     * plain accessors would self-deadlock).
+     * Views for use *between* stop_world() and resume_world() (the
+     * stopper holds the registry lock for the whole window, so the plain
+     * accessors would self-deadlock).
      */
-    std::vector<Range> roots_stw() const;
-    std::vector<Range> stacks_stw() const;
+    std::vector<Range> roots_stw() const MSW_REQUIRES(lock_);
+    std::vector<Range> stacks_stw() const MSW_REQUIRES(lock_);
 
   private:
     struct StwState;
@@ -124,13 +128,16 @@ class RootRegistry
     static void park_handler(int sig, siginfo_t* info, void* ucontext);
     static void install_handler();
 
-    mutable SpinLock lock_;
-    std::vector<Range> roots_;
-    std::vector<MutatorThread*> threads_;
+    // Rank kCoreRoots: held across the STW window, during which the
+    // sweeper still dispatches work (kCoreWorkers) and marks through the
+    // allocator (kExtent) — both rank higher.
+    mutable SpinLock lock_{util::LockRank::kCoreRoots};
+    std::vector<Range> roots_ MSW_GUARDED_BY(lock_);
+    std::vector<MutatorThread*> threads_ MSW_GUARDED_BY(lock_);
 
-    StwState* stw_ = nullptr;
-    int stw_expected_ = 0;
-    bool world_stopped_ = false;
+    StwState* stw_ = nullptr;  // Immutable after construction.
+    int stw_expected_ MSW_GUARDED_BY(lock_) = 0;
+    bool world_stopped_ MSW_GUARDED_BY(lock_) = false;
 };
 
 }  // namespace msw::sweep

@@ -35,7 +35,7 @@ SweepWorkers::SweepWorkers(unsigned helpers)
 SweepWorkers::~SweepWorkers()
 {
     {
-        std::lock_guard<std::mutex> g(mu_);
+        MutexGuard g(mu_);
         shutdown_ = true;
     }
     cv_work_.notify_all();
@@ -50,8 +50,8 @@ SweepWorkers::worker_loop(unsigned index)
     for (;;) {
         const std::function<void(unsigned)>* job = nullptr;
         {
-            std::unique_lock<std::mutex> g(mu_);
-            cv_work_.wait(g, [&] {
+            UniqueLock g(mu_);
+            cv_work_.wait(g, [&]() MSW_REQUIRES(mu_) {
                 return shutdown_ || generation_ != seen_generation;
             });
             if (shutdown_)
@@ -64,7 +64,7 @@ SweepWorkers::worker_loop(unsigned index)
         helper_cpu_ns_.fetch_add(thread_cpu_ns() - cpu_before,
                                  std::memory_order_relaxed);
         {
-            std::lock_guard<std::mutex> g(mu_);
+            MutexGuard g(mu_);
             --running_;
         }
         cv_done_.notify_one();
@@ -75,7 +75,7 @@ void
 SweepWorkers::run(const std::function<void(unsigned)>& fn)
 {
     {
-        std::lock_guard<std::mutex> g(mu_);
+        MutexGuard g(mu_);
         MSW_CHECK(running_ == 0);
         job_ = &fn;
         running_ = static_cast<unsigned>(threads_.size());
@@ -83,8 +83,8 @@ SweepWorkers::run(const std::function<void(unsigned)>& fn)
     }
     cv_work_.notify_all();
     fn(0);
-    std::unique_lock<std::mutex> g(mu_);
-    cv_done_.wait(g, [&] { return running_ == 0; });
+    UniqueLock g(mu_);
+    cv_done_.wait(g, [&]() MSW_REQUIRES(mu_) { return running_ == 0; });
     job_ = nullptr;
 }
 
@@ -174,7 +174,11 @@ Marker::scan_chunk(std::uintptr_t lo, std::uintptr_t hi,
     const std::uintptr_t limit = heap_end_;
     std::uint64_t found = 0;
     for (; p != end; ++p) {
-        const std::uint64_t v = *p;
+        // Mutators write the scanned memory concurrently (fully-concurrent
+        // mode tolerates torn/stale words by design, §4.3); the relaxed
+        // atomic load makes that well-defined without changing the
+        // generated code — it is still a single plain load on x86/arm64.
+        const std::uint64_t v = __atomic_load_n(p, __ATOMIC_RELAXED);
         // One subtraction + compare: "does this word point into the heap
         // reservation?" — the entire per-word cost of the linear sweep.
         if (v - base < limit - base) {

@@ -17,9 +17,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 #include "sweep/roots.h"
 #include "sweep/shadow_map.h"
@@ -70,13 +72,17 @@ class SweepWorkers
     void worker_loop(unsigned index);
 
     std::vector<std::thread> threads_;
-    std::mutex mu_;
-    std::condition_variable cv_work_;
-    std::condition_variable cv_done_;
-    const std::function<void(unsigned)>* job_ = nullptr;
-    std::uint64_t generation_ = 0;
-    unsigned running_ = 0;
-    bool shutdown_ = false;
+    // Rank kCoreWorkers: run() is invoked during the STW window, i.e.
+    // while the roots lock (kCoreRoots) is held.
+    Mutex mu_{util::LockRank::kCoreWorkers};
+    // condition_variable_any: the annotated msw::Mutex is not a
+    // std::mutex, which plain std::condition_variable requires.
+    std::condition_variable_any cv_work_;
+    std::condition_variable_any cv_done_;
+    const std::function<void(unsigned)>* job_ MSW_GUARDED_BY(mu_) = nullptr;
+    std::uint64_t generation_ MSW_GUARDED_BY(mu_) = 0;
+    unsigned running_ MSW_GUARDED_BY(mu_) = 0;
+    bool shutdown_ MSW_GUARDED_BY(mu_) = false;
     std::atomic<std::uint64_t> helper_cpu_ns_{0};
 };
 
@@ -103,6 +109,12 @@ class Marker
     MarkStats mark_one(const Range& range);
 
   private:
+    /**
+     * Conservative scan: reads arbitrary resident memory (other threads'
+     * stacks included) that mutators write concurrently, so ASan and
+     * TSan instrumentation are off here.
+     */
+    MSW_NO_SANITIZE_ADDRESS MSW_NO_SANITIZE_THREAD
     void scan_chunk(std::uintptr_t lo, std::uintptr_t hi,
                     MarkStats* stats) const;
 

@@ -46,8 +46,9 @@ void check_failed(const char* cond, const char* file, int line);
     } while (0)
 
 #ifdef NDEBUG
-#define MSW_DCHECK(cond) \
-    do {                 \
+#define MSW_DCHECK(cond)           \
+    do {                           \
+        (void)sizeof((cond) ? 1 : 0); \
     } while (0)
 #else
 #define MSW_DCHECK(cond) MSW_CHECK(cond)

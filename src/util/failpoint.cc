@@ -6,10 +6,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
-#include <mutex>
 
+#include "util/lock_rank.h"
 #include "util/log.h"
+#include "util/mutex.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace msw::util {
 namespace detail {
@@ -36,7 +38,7 @@ FailpointState g_state[kNumFailpoints];
  * *whether* that call fails — acceptable for fault injection, and soak
  * configs arm once at startup anyway.
  */
-std::mutex g_policy_mu;
+Mutex g_policy_mu{LockRank::kMetrics};
 
 std::atomic<std::uint64_t> g_rng_seed{0x5eedfa11};
 
@@ -59,7 +61,7 @@ thread_uniform()
 }
 
 void
-recount_armed_locked()
+recount_armed_locked() MSW_REQUIRES(g_policy_mu)
 {
     std::uint32_t armed = 0;
     for (auto& st : g_state) {
@@ -242,7 +244,7 @@ failpoint_eval_slow(Failpoint fp)
 void
 failpoint_arm(Failpoint fp, const FailpointPolicy& policy)
 {
-    std::lock_guard<std::mutex> lock(detail::g_policy_mu);
+    MutexGuard lock(detail::g_policy_mu);
     auto& st = detail::g_state[static_cast<unsigned>(fp)];
     st.policy = policy;
     st.policy_evals.store(0, std::memory_order_relaxed);
@@ -252,7 +254,7 @@ failpoint_arm(Failpoint fp, const FailpointPolicy& policy)
 void
 failpoint_disarm(Failpoint fp)
 {
-    std::lock_guard<std::mutex> lock(detail::g_policy_mu);
+    MutexGuard lock(detail::g_policy_mu);
     detail::g_state[static_cast<unsigned>(fp)].policy = FailpointPolicy{};
     detail::recount_armed_locked();
 }
@@ -260,7 +262,7 @@ failpoint_disarm(Failpoint fp)
 void
 failpoint_disarm_all()
 {
-    std::lock_guard<std::mutex> lock(detail::g_policy_mu);
+    MutexGuard lock(detail::g_policy_mu);
     for (auto& st : detail::g_state) {
         st.policy = FailpointPolicy{};
     }

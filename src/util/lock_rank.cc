@@ -1,0 +1,141 @@
+#include "util/lock_rank.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace msw::util {
+
+namespace {
+
+/**
+ * Per-thread stack of held ranks. Plain POD thread_local storage: this
+ * code runs inside malloc/free, so it must never allocate. Depth 16 is
+ * far above the deepest real nesting (bin -> extent -> metadata -> vm
+ * hooks is four).
+ */
+constexpr int kMaxHeldLocks = 16;
+
+thread_local LockRank t_held[kMaxHeldLocks];
+thread_local int t_depth = 0;
+
+bool
+initial_enabled()
+{
+    if (const char* env = std::getenv("MSW_LOCK_RANK")) {
+        return env[0] == '1' || env[0] == 'y' || env[0] == 'Y' ||
+               env[0] == 't' || env[0] == 'T';
+    }
+#ifdef NDEBUG
+    return false;
+#else
+    return true;
+#endif
+}
+
+void
+push_rank(LockRank rank)
+{
+    MSW_CHECK(t_depth < kMaxHeldLocks);
+    t_held[t_depth++] = rank;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_lock_rank_enabled{initial_enabled()};
+
+void
+lock_rank_acquire_slow(LockRank rank)
+{
+    if (t_depth > 0) {
+        const LockRank top = t_held[t_depth - 1];
+        if (static_cast<std::uint8_t>(rank) <=
+            static_cast<std::uint8_t>(top)) {
+            panic("lock rank inversion: acquiring %s (%u) while holding "
+                  "%s (%u); the global order is core -> quarantine -> bin "
+                  "-> extent -> vm -> metrics (see DESIGN.md)",
+                  lock_rank_name(rank), static_cast<unsigned>(rank),
+                  lock_rank_name(top), static_cast<unsigned>(top));
+        }
+    }
+    push_rank(rank);
+}
+
+void
+lock_rank_try_acquire_slow(LockRank rank)
+{
+    // try_lock cannot deadlock, so out-of-order attempts are legal; the
+    // acquired rank still joins the stack so blocking acquisitions made
+    // while it is held are validated against it.
+    push_rank(rank);
+}
+
+void
+lock_rank_release_slow(LockRank rank)
+{
+    // Locks are normally released LIFO, but out-of-order release is legal
+    // (e.g. unique_lock juggling): remove the topmost matching entry.
+    for (int i = t_depth - 1; i >= 0; --i) {
+        if (t_held[i] == rank) {
+            for (int j = i; j + 1 < t_depth; ++j)
+                t_held[j] = t_held[j + 1];
+            --t_depth;
+            return;
+        }
+    }
+    // Not found: the lock was acquired while checking was disabled (or on
+    // another thread, which is a plain bug the lock itself will expose).
+    // Tolerate it so flipping the gate mid-run stays safe.
+}
+
+}  // namespace detail
+
+const char*
+lock_rank_name(LockRank rank)
+{
+    switch (rank) {
+    case LockRank::kCoreControl:
+        return "core/control";
+    case LockRank::kCoreRoots:
+        return "core/roots";
+    case LockRank::kCoreWorkers:
+        return "core/workers";
+    case LockRank::kCoreUnmap:
+        return "core/unmap";
+    case LockRank::kQuarantineRegistry:
+        return "quarantine/registry";
+    case LockRank::kQuarantine:
+        return "quarantine";
+    case LockRank::kBinRegistry:
+        return "bin/registry";
+    case LockRank::kBin:
+        return "bin";
+    case LockRank::kExtent:
+        return "extent";
+    case LockRank::kExtentMeta:
+        return "extent/meta";
+    case LockRank::kVm:
+        return "vm";
+    case LockRank::kMetrics:
+        return "metrics";
+    case LockRank::kUnranked:
+        return "unranked";
+    }
+    return "?";
+}
+
+void
+lock_rank_set_enabled(bool enabled)
+{
+    detail::g_lock_rank_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+int
+lock_rank_held_count()
+{
+    return t_depth;
+}
+
+}  // namespace msw::util

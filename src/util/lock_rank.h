@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Runtime lock-rank (lock-order) validation.
+ *
+ * The static thread-safety analysis (util/thread_annotations.h) proves
+ * which lock guards which field, but it cannot see *dynamic* acquisition
+ * order — e.g. a sweeper callback re-entering the allocator. This module
+ * encodes the global locking hierarchy as a total order of ranks and
+ * checks, per thread, that locks are only ever acquired in strictly
+ * increasing rank order. Violations terminate via msw::panic() with a
+ * "lock rank inversion" diagnostic.
+ *
+ * The global order (see DESIGN.md "Locking hierarchy") is
+ *
+ *   core -> quarantine -> bin -> extent -> vm -> metrics
+ *
+ * with sub-ranks inside each band for locks of the same subsystem that
+ * legitimately nest (e.g. the quarantine's buffer registry is taken
+ * before the quarantine epoch lock). Same-rank acquisition while a lock
+ * of that rank is held is an inversion: two bin locks must never nest.
+ *
+ * Cost model: when checking is disabled, every lock/unlock pays one
+ * relaxed atomic load and a predicted branch (same pattern as the
+ * failpoint fast path). Checking defaults to ON in debug builds
+ * (NDEBUG undefined) and OFF otherwise; MSW_LOCK_RANK=0/1 in the
+ * environment overrides, and tests can flip it programmatically.
+ *
+ * try_lock-style acquisitions are exempt from the order check (they
+ * cannot deadlock) but still push their rank so later blocking
+ * acquisitions are validated against them.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace msw::util {
+
+/**
+ * Global acquisition order. Numeric value IS the rank: a thread may only
+ * block on a lock whose rank is strictly greater than every rank it
+ * already holds. Bands are spaced so future locks can slot in.
+ */
+enum class LockRank : std::uint8_t {
+    // -- core band: sweeper control & orchestration --------------------
+    kCoreControl = 10,  ///< Sweeper/marker control mutexes (sweep_mu_).
+    kCoreRoots = 12,    ///< RootRegistry (held across the STW window).
+    kCoreWorkers = 14,  ///< SweepWorkers job dispatch.
+    kCoreUnmap = 16,    ///< Deferred-unmap queues.
+
+    // -- quarantine band ------------------------------------------------
+    kQuarantineRegistry = 20,  ///< Thread-buffer registry (process-wide).
+    kQuarantine = 22,          ///< Quarantine epoch lists.
+
+    // -- bin band --------------------------------------------------------
+    kBinRegistry = 30,  ///< Thread-cache registry (process-wide).
+    kBin = 32,          ///< Slab bins, FFMalloc per-class pools.
+
+    // -- extent band -----------------------------------------------------
+    kExtent = 40,      ///< Extent allocator / FFMalloc frontier.
+    kExtentMeta = 42,  ///< Out-of-line metadata pool.
+
+    // -- vm band ---------------------------------------------------------
+    kVm = 50,  ///< Reserved for VM-layer locks (currently lock-free).
+
+    // -- metrics band (leaf) ---------------------------------------------
+    kMetrics = 60,  ///< Samplers, failpoint policy table, diagnostics.
+
+    /** Opted out of rank checking (workload/test-local locks). */
+    kUnranked = 255,
+};
+
+/** Human-readable band name for diagnostics ("bin", "extent", ...). */
+const char* lock_rank_name(LockRank rank);
+
+/** Enable/disable checking at runtime (overrides the build default). */
+void lock_rank_set_enabled(bool enabled);
+
+/** Number of ranked locks the calling thread currently holds (tests). */
+int lock_rank_held_count();
+
+namespace detail {
+
+extern std::atomic<bool> g_lock_rank_enabled;
+
+void lock_rank_acquire_slow(LockRank rank);
+void lock_rank_try_acquire_slow(LockRank rank);
+void lock_rank_release_slow(LockRank rank);
+
+}  // namespace detail
+
+/** True if rank checking is currently active. */
+inline bool
+lock_rank_checks_enabled()
+{
+    return detail::g_lock_rank_enabled.load(std::memory_order_relaxed);
+}
+
+/**
+ * Record a blocking acquisition of @p rank; panics on out-of-order
+ * acquisition. Call *before* blocking on the lock so inversions are
+ * reported instead of deadlocking.
+ */
+inline void
+lock_rank_acquire(LockRank rank)
+{
+    if (__builtin_expect(rank != LockRank::kUnranked &&
+                             lock_rank_checks_enabled(),
+                         0)) {
+        detail::lock_rank_acquire_slow(rank);
+    }
+}
+
+/** Record a successful try_lock of @p rank (no order check). */
+inline void
+lock_rank_try_acquire(LockRank rank)
+{
+    if (__builtin_expect(rank != LockRank::kUnranked &&
+                             lock_rank_checks_enabled(),
+                         0)) {
+        detail::lock_rank_try_acquire_slow(rank);
+    }
+}
+
+/** Record the release of @p rank. */
+inline void
+lock_rank_release(LockRank rank)
+{
+    if (__builtin_expect(rank != LockRank::kUnranked &&
+                             lock_rank_checks_enabled(),
+                         0)) {
+        detail::lock_rank_release_slow(rank);
+    }
+}
+
+}  // namespace msw::util

@@ -4,11 +4,18 @@
  * test-and-test-and-set spin lock with exponential pause backoff is used for
  * short critical sections (bin operations, quarantine buffer flushes); it
  * satisfies the Lockable named requirement so it composes with
- * std::lock_guard / std::scoped_lock.
+ * std::lock_guard / std::scoped_lock — but prefer msw::LockGuard
+ * (util/mutex.h), which the Clang thread-safety analysis understands.
+ *
+ * SpinLock is a capability for that analysis and participates in runtime
+ * lock-rank validation when constructed with a LockRank (util/lock_rank.h).
  */
 #pragma once
 
 #include <atomic>
+
+#include "util/lock_rank.h"
+#include "util/thread_annotations.h"
 
 #if defined(__x86_64__)
 #include <immintrin.h>
@@ -28,16 +35,23 @@ cpu_relax()
 }
 
 /** TTAS spin lock with bounded exponential backoff. */
-class SpinLock
+class MSW_CAPABILITY("mutex") SpinLock
 {
   public:
-    SpinLock() = default;
+    constexpr SpinLock() = default;
+
+    /** A lock participating in lock-rank validation (util/lock_rank.h). */
+    constexpr explicit SpinLock(util::LockRank rank) : rank_(rank) {}
+
     SpinLock(const SpinLock&) = delete;
     SpinLock& operator=(const SpinLock&) = delete;
 
     void
-    lock()
+    lock() MSW_ACQUIRE()
     {
+        // Validate the rank before blocking so inversions are reported
+        // instead of deadlocking.
+        util::lock_rank_acquire(rank_);
         int spins = 1;
         for (;;) {
             if (!locked_.exchange(true, std::memory_order_acquire))
@@ -52,20 +66,26 @@ class SpinLock
     }
 
     bool
-    try_lock()
+    try_lock() MSW_TRY_ACQUIRE(true)
     {
-        return !locked_.load(std::memory_order_relaxed) &&
-               !locked_.exchange(true, std::memory_order_acquire);
+        if (!locked_.load(std::memory_order_relaxed) &&
+            !locked_.exchange(true, std::memory_order_acquire)) {
+            util::lock_rank_try_acquire(rank_);
+            return true;
+        }
+        return false;
     }
 
     void
-    unlock()
+    unlock() MSW_RELEASE()
     {
+        util::lock_rank_release(rank_);
         locked_.store(false, std::memory_order_release);
     }
 
   private:
     std::atomic<bool> locked_{false};
+    util::LockRank rank_ = util::LockRank::kUnranked;
 };
 
 }  // namespace msw

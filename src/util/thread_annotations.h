@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Clang thread-safety (capability) analysis macros.
+ *
+ * MineSweeper's value proposition rests on a *mostly-concurrent* sweep
+ * racing malloc/free across bin, extent, quarantine and sweeper locks.
+ * These macros let Clang prove, at compile time, that every access to a
+ * lock-protected field happens under the right lock and that functions
+ * document the locks they require. Under GCC (no capability analysis)
+ * every macro expands to nothing.
+ *
+ * Build with `-DMSW_THREAD_SAFETY=ON` (Clang only) to turn the analysis
+ * into hard errors: `-Wthread-safety -Wthread-safety-beta
+ * -Werror=thread-safety`.
+ *
+ * Usage pattern (see util/spin_lock.h and util/mutex.h):
+ *
+ *   class MSW_CAPABILITY("mutex") SpinLock { ... };
+ *   SpinLock lock_;
+ *   int value_ MSW_GUARDED_BY(lock_);
+ *   void refill() MSW_REQUIRES(lock_);
+ *
+ * std::lock_guard / std::unique_lock are *not* annotation-aware; use
+ * msw::LockGuard / msw::UniqueLock (util/mutex.h) instead.
+ */
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define MSW_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MSW_THREAD_ANNOTATION(x)  // no-op: GCC has no capability analysis
+#endif
+
+/** Marks a class as a lockable capability (e.g. "mutex"). */
+#define MSW_CAPABILITY(x) MSW_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII class that acquires a capability for its lifetime. */
+#define MSW_SCOPED_CAPABILITY MSW_THREAD_ANNOTATION(scoped_lockable)
+
+/** Field is protected by capability @p x; access requires holding it. */
+#define MSW_GUARDED_BY(x) MSW_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointed-to data is protected by capability @p x. */
+#define MSW_PT_GUARDED_BY(x) MSW_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** This capability must be acquired before the listed ones. */
+#define MSW_ACQUIRED_BEFORE(...) \
+    MSW_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+/** This capability must be acquired after the listed ones. */
+#define MSW_ACQUIRED_AFTER(...) \
+    MSW_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/** Function requires the listed capabilities held (and does not release). */
+#define MSW_REQUIRES(...) \
+    MSW_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function requires the listed capabilities held in shared mode. */
+#define MSW_REQUIRES_SHARED(...) \
+    MSW_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/** Function acquires the listed capabilities (held on return). */
+#define MSW_ACQUIRE(...) \
+    MSW_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function acquires the listed capabilities in shared mode. */
+#define MSW_ACQUIRE_SHARED(...) \
+    MSW_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/** Function releases the listed capabilities (must be held on entry). */
+#define MSW_RELEASE(...) \
+    MSW_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function releases shared capabilities. */
+#define MSW_RELEASE_SHARED(...) \
+    MSW_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/**
+ * Function attempts acquisition; holds the capability iff it returned
+ * @p success (usually `true` as the first argument).
+ */
+#define MSW_TRY_ACQUIRE(...) \
+    MSW_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define MSW_TRY_ACQUIRE_SHARED(...) \
+    MSW_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the listed capabilities (non-reentrancy). */
+#define MSW_EXCLUDES(...) MSW_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Assert (at runtime, for the analysis) that the capability is held. */
+#define MSW_ASSERT_CAPABILITY(x) \
+    MSW_THREAD_ANNOTATION(assert_capability(x))
+
+/** Function returns a reference to the given capability. */
+#define MSW_RETURN_CAPABILITY(x) MSW_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: disable the analysis for one function. */
+#define MSW_NO_THREAD_SAFETY_ANALYSIS \
+    MSW_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/**
+ * Exempt a function from AddressSanitizer instrumentation. For the
+ * conservative scanner only: it deliberately reads whole resident stack
+ * and heap ranges, including redzones and dead frames of *other*
+ * threads, which is exactly what ASan exists to flag.
+ */
+#if defined(__clang__) || defined(__GNUC__)
+#define MSW_NO_SANITIZE_ADDRESS __attribute__((no_sanitize_address))
+#else
+#define MSW_NO_SANITIZE_ADDRESS
+#endif
+
+/**
+ * Exempt a function from ThreadSanitizer instrumentation. Same audience
+ * as MSW_NO_SANITIZE_ADDRESS: the conservative scanner's reads race
+ * mutator writes *by design* (fully-concurrent marking tolerates torn
+ * and stale words, paper §4.3), and TSan reports the pair even when the
+ * scanner side uses relaxed atomic loads.
+ */
+#if defined(__clang__) || defined(__GNUC__)
+#define MSW_NO_SANITIZE_THREAD __attribute__((no_sanitize_thread))
+#else
+#define MSW_NO_SANITIZE_THREAD
+#endif

@@ -1,0 +1,151 @@
+// Concurrent malloc/free-vs-sweep stress: mutator threads hammer the
+// allocator with mixed lifetimes while their quarantine flushes race the
+// background sweeper and its helpers. Exists primarily for the tsan ctest
+// label (MSW_SANITIZE=thread) and the debug lock-rank build, where it
+// drives every lock nesting in the stack: tcache -> bin -> extent,
+// quarantine registry -> epoch lists, sweep control -> roots -> workers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/minesweeper.h"
+#include "util/rng.h"
+
+namespace msw {
+namespace {
+
+core::Options
+stress_options()
+{
+    core::Options opts;
+    opts.mode = core::Mode::kFullyConcurrent;
+    // Sweep eagerly so the background sweeper runs many passes during the
+    // test instead of one at the end.
+    opts.min_sweep_bytes = 64 * 1024;
+    opts.sweep_threshold = 0.05;
+    opts.helper_threads = 2;
+    opts.tl_buffer_entries = 16;  // frequent flushes into the epoch lists
+    return opts;
+}
+
+void
+mutator(core::MineSweeper* msw, unsigned seed, std::atomic<bool>* stop,
+        std::atomic<std::uint64_t>* allocs)
+{
+    msw->register_mutator_thread();
+    Rng rng(seed);
+
+    // Mixed lifetimes: a slot table of surviving objects plus a stream of
+    // short-lived ones, sizes spanning small classes and large spans.
+    // Iterations are bounded so the test terminates deterministically
+    // even under TSan's slowdown; `stop` only ends it early.
+    constexpr int kSlots = 256;
+    constexpr int kMaxIters = 50'000;
+    struct Slot {
+        void* p = nullptr;
+        std::size_t n = 0;
+    };
+    std::vector<Slot> slots(kSlots);
+
+    for (int iter = 0;
+         iter < kMaxIters && !stop->load(std::memory_order_relaxed);
+         ++iter) {
+        const int i = static_cast<int>(rng.next_u64() % kSlots);
+        Slot& s = slots[i];
+        if (s.p != nullptr) {
+            // Touch the object first: surviving objects must never have
+            // been recycled out from under us.
+            ASSERT_EQ(std::memcmp(s.p, &s.n, sizeof(s.n)), 0)
+                << "live object clobbered";
+            msw->free(s.p);
+            s.p = nullptr;
+            continue;
+        }
+        std::size_t size = 16u << (rng.next_u64() % 8);  // 16 B .. 2 KiB
+        if (rng.next_u64() % 64 == 0)
+            size = 64 * 1024;  // occasional large allocation
+        void* p = msw->alloc(size);
+        ASSERT_NE(p, nullptr);
+        s.n = size;
+        std::memcpy(p, &s.n, sizeof(s.n));
+        s.p = p;
+        allocs->fetch_add(1, std::memory_order_relaxed);
+    }
+
+    for (Slot& s : slots) {
+        if (s.p != nullptr)
+            msw->free(s.p);
+    }
+    msw->unregister_mutator_thread();
+}
+
+TEST(ConcurrentStress, MutatorsRaceQuarantineFlushesAndSweeps)
+{
+    core::MineSweeper msw(stress_options());
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> allocs{0};
+
+    constexpr int kMutators = 4;
+    std::vector<std::thread> threads;
+    threads.reserve(kMutators);
+    for (int t = 0; t < kMutators; ++t) {
+        threads.emplace_back(mutator, &msw, 0x5eed + t, &stop, &allocs);
+    }
+
+    // Interleave control-path calls with the mutators: force_sweep and
+    // flush take the sweep control mutex and wait on the sweeper, racing
+    // the threshold-triggered background sweeps.
+    for (int round = 0; round < 5; ++round) {
+        msw.force_sweep();
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    msw.flush();
+
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& th : threads)
+        th.join();
+    msw.flush();
+
+    const core::SweepStats stats = msw.sweep_stats();
+    EXPECT_GE(stats.sweeps, 5u);
+    EXPECT_GT(allocs.load(), 0u);
+    EXPECT_GT(stats.entries_released, 0u);
+}
+
+TEST(ConcurrentStress, ForceSweepStormFromManyThreads)
+{
+    core::Options opts = stress_options();
+    core::MineSweeper msw(opts);
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> allocs{0};
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back(mutator, &msw, 0xfeed + t, &stop, &allocs);
+    }
+    // Competing control threads: concurrent force_sweep/flush exercise the
+    // single-sweeper CAS and the done-CV broadcast paths.
+    std::vector<std::thread> controllers;
+    for (int t = 0; t < 2; ++t) {
+        controllers.emplace_back([&msw] {
+            for (int i = 0; i < 3; ++i) {
+                msw.force_sweep();
+                msw.flush();
+            }
+        });
+    }
+    for (auto& th : controllers)
+        th.join();
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& th : threads)
+        th.join();
+
+    EXPECT_GE(msw.sweep_stats().sweeps, 3u);
+}
+
+}  // namespace
+}  // namespace msw

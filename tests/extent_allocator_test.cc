@@ -147,7 +147,8 @@ TEST_F(ExtentAllocTest, ForEachActiveExtentSeesAllActive)
 
     std::size_t total = 0;
     int count = 0;
-    ea.for_each_active_extent([&](std::uintptr_t base, std::size_t bytes) {
+    ea.for_each_active_extent([&](std::uintptr_t /*base*/,
+                                  std::size_t bytes) {
         total += bytes;
         ++count;
     });

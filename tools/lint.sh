@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy) over the src/ tree and fail on any
+# finding. Builds compile_commands.json first if missing.
+#
+# Usage: tools/lint.sh [build-dir] [-- extra clang-tidy args]
+#   build-dir defaults to build/ (created if needed).
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "lint.sh: clang-tidy not found on PATH; skipping (not a failure)." >&2
+    echo "lint.sh: install clang-tidy to run the static-analysis pass." >&2
+    exit 0
+fi
+
+# compile_commands.json is exported unconditionally (CMakeLists.txt sets
+# CMAKE_EXPORT_COMPILE_COMMANDS); configure if this build dir has none.
+if [ ! -f "$build/compile_commands.json" ]; then
+    cmake -B "$build" -S "$repo" >/dev/null
+fi
+
+if [ $# -gt 0 ]; then shift; fi
+if [ "${1:-}" = "--" ]; then shift; fi
+
+mapfile -t sources < <(find "$repo/src" -name '*.cc' | sort)
+
+if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p "$build" -quiet "$@" "${sources[@]}"
+else
+    status=0
+    for f in "${sources[@]}"; do
+        clang-tidy -p "$build" --quiet "$@" "$f" || status=1
+    done
+    exit $status
+fi
