@@ -82,7 +82,7 @@ FFMalloc::grab_span(std::size_t bytes, std::size_t align_bytes)
         page_sealed_[page_index(p)].store(kDecommitted,
                                           std::memory_order_relaxed);
     frontier_ = addr + bytes;
-    committed_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    stats_.add(core::Stat::kCommittedBytes, bytes);
     return addr;
 }
 
@@ -103,8 +103,7 @@ FFMalloc::seal_and_maybe_decommit(std::uintptr_t page_addr)
             // On transient decommit failure the page stays physically
             // committed (bounded leak: its VA is retired and it is never
             // touched again), so the accounting must not drop it.
-            committed_bytes_.fetch_sub(vm::kPageSize,
-                                       std::memory_order_relaxed);
+            stats_.sub(core::Stat::kCommittedBytes, vm::kPageSize);
         }
     }
 }
@@ -127,8 +126,7 @@ FFMalloc::on_object_freed(std::uintptr_t base, std::size_t usable)
             if (page_sealed_[idx].compare_exchange_strong(
                     expected, kDecommitted, std::memory_order_acq_rel) &&
                 space_.decommit(p, vm::kPageSize) == vm::VmStatus::kOk) {
-                committed_bytes_.fetch_sub(vm::kPageSize,
-                                           std::memory_order_relaxed);
+                stats_.sub(core::Stat::kCommittedBytes, vm::kPageSize);
             }
         }
     }
@@ -159,7 +157,7 @@ FFMalloc::refill_pool(unsigned cls)
 void*
 FFMalloc::alloc(std::size_t size)
 {
-    alloc_calls_.fetch_add(1, std::memory_order_relaxed);
+    stats_.add(core::Stat::kAllocCalls);
     if (size == 0)
         size = 1;
 
@@ -174,7 +172,7 @@ FFMalloc::alloc(std::size_t size)
         for (std::size_t i = 1; i < pages; ++i)
             page_info_[first + i] = kLargeInterior;
         page_live_[first].fetch_add(1, std::memory_order_relaxed);
-        live_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+        stats_.add(core::Stat::kLiveBytes, bytes);
         return to_ptr(addr);
     }
 
@@ -204,7 +202,7 @@ FFMalloc::alloc(std::size_t size)
         for (std::uintptr_t p = first; p < sealed_limit; p += vm::kPageSize)
             seal_and_maybe_decommit(p);
     }
-    live_bytes_.fetch_add(csize, std::memory_order_relaxed);
+    stats_.add(core::Stat::kLiveBytes, csize);
     return to_ptr(addr);
 }
 
@@ -214,7 +212,7 @@ FFMalloc::alloc_aligned(std::size_t alignment, std::size_t size)
     if (alignment <= alloc::kGranule)
         return alloc(size);
     MSW_CHECK(is_pow2(alignment));
-    alloc_calls_.fetch_add(1, std::memory_order_relaxed);
+    stats_.add(core::Stat::kAllocCalls);
     if (size == 0)
         size = 1;
     const std::size_t bytes = align_up(size, vm::kPageSize);
@@ -229,7 +227,7 @@ FFMalloc::alloc_aligned(std::size_t alignment, std::size_t size)
     for (std::size_t i = 1; i < pages; ++i)
         page_info_[first + i] = kLargeInterior;
     page_live_[first].fetch_add(1, std::memory_order_relaxed);
-    live_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    stats_.add(core::Stat::kLiveBytes, bytes);
     return to_ptr(addr);
 }
 
@@ -238,7 +236,7 @@ FFMalloc::free(void* ptr)
 {
     if (ptr == nullptr)
         return;
-    free_calls_.fetch_add(1, std::memory_order_relaxed);
+    stats_.add(core::Stat::kFreeCalls);
     const std::uintptr_t addr = to_addr(ptr);
     MSW_CHECK(space_.contains(addr));
     const std::uint32_t info = page_info_[page_index(addr)];
@@ -250,7 +248,7 @@ FFMalloc::free(void* ptr)
         MSW_CHECK(is_aligned(addr, vm::kPageSize));
         const std::size_t pages = info & ~kLargeStart;
         const std::size_t bytes = pages << vm::kPageShift;
-        live_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+        stats_.sub(core::Stat::kLiveBytes, bytes);
         // The whole span dies at once: decommit it and retire the VA.
         const std::size_t first = page_index(addr);
         page_live_[first].fetch_sub(1, std::memory_order_relaxed);
@@ -260,14 +258,14 @@ FFMalloc::free(void* ptr)
                                           std::memory_order_relaxed);
         }
         if (space_.decommit(addr, bytes) == vm::VmStatus::kOk)
-            committed_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+            stats_.sub(core::Stat::kCommittedBytes, bytes);
         return;
     }
 
     const unsigned cls = info - 1;
     MSW_CHECK(cls < num_classes_);
     const std::size_t csize = class_size(cls);
-    live_bytes_.fetch_sub(csize, std::memory_order_relaxed);
+    stats_.sub(core::Stat::kLiveBytes, csize);
     on_object_freed(addr, csize);
 }
 
@@ -287,11 +285,11 @@ alloc::AllocatorStats
 FFMalloc::stats() const
 {
     alloc::AllocatorStats s;
-    s.live_bytes = live_bytes_.load(std::memory_order_relaxed);
-    s.committed_bytes = committed_bytes_.load(std::memory_order_relaxed);
+    s.live_bytes = stats_.read(core::Stat::kLiveBytes);
+    s.committed_bytes = stats_.read(core::Stat::kCommittedBytes);
     s.metadata_bytes = info_space_.size() + live_space_.size();
-    s.alloc_calls = alloc_calls_.load(std::memory_order_relaxed);
-    s.free_calls = free_calls_.load(std::memory_order_relaxed);
+    s.alloc_calls = stats_.read(core::Stat::kAllocCalls);
+    s.free_calls = stats_.read(core::Stat::kFreeCalls);
     return s;
 }
 

@@ -30,8 +30,8 @@
 #include <cstddef>
 #include <cstdint>
 
-#include "alloc/allocator.h"
 #include "alloc/size_classes.h"
+#include "core/runtime_base.h"
 #include "util/lock_rank.h"
 #include "util/spin_lock.h"
 #include "util/thread_annotations.h"
@@ -39,7 +39,7 @@
 
 namespace msw::baseline {
 
-class FFMalloc final : public alloc::Allocator
+class FFMalloc final : public core::RuntimeBase
 {
   public:
     struct Options {
@@ -124,11 +124,8 @@ class FFMalloc final : public alloc::Allocator
     Pool* pools_ = nullptr;  // [num_size_classes()]
     unsigned num_classes_;
 
-    std::atomic<std::size_t> live_bytes_{0};
-    std::atomic<std::size_t> committed_bytes_{0};
-    std::atomic<std::uint64_t> alloc_calls_{0};
-    std::atomic<std::uint64_t> free_calls_{0};
-    std::atomic<std::uint64_t> double_frees_{0};
+    // Counters (including the live/committed gauges, via add/sub) live in
+    // RuntimeBase's sharded StatCells.
 };
 
 }  // namespace msw::baseline

@@ -1,105 +1,47 @@
 #include "baselines/markus.h"
 
-#include <cstring>
-
-#include "alloc/extent.h"
 #include "sweep/sweeper.h"
-#include "alloc/size_classes.h"
 #include "util/bits.h"
-#include "util/check.h"
 #include "util/log.h"
 
 namespace msw::baseline {
 
-using alloc::ExtentKind;
-using alloc::ExtentMeta;
+using core::Stat;
 using quarantine::Entry;
 using sweep::Range;
 
-/** Hooks identical in role to MineSweeper's: exact committed-page map. */
-class MarkUs::Hooks final : public alloc::ExtentHooks
+core::QuarantineRuntime::Config
+MarkUs::make_config(const Options& opts)
 {
-  public:
-    Hooks(MarkUs* owner, const vm::Reservation* heap)
-        : alloc::ExtentHooks(heap), owner_(owner)
-    {}
-
-    [[nodiscard]] bool
-    commit(std::uintptr_t addr, std::size_t len) override
-    {
-        if (heap_->protect_rw(addr, len) != vm::VmStatus::kOk)
-            return false;
-        owner_->access_map_.set_range(addr, len);
-        if (owner_->tracker_ != nullptr &&
-            owner_->mark_active_.load(std::memory_order_acquire)) {
-            owner_->tracker_->note_committed(addr, len);
-        }
-        return true;
-    }
-
-    [[nodiscard]] bool
-    purge(std::uintptr_t addr, std::size_t len) override
-    {
-        if (heap_->decommit(addr, len) != vm::VmStatus::kOk)
-            return false;
-        owner_->access_map_.clear_range(addr, len);
-        return true;
-    }
-
-  private:
-    MarkUs* owner_;
-};
+    Config c;
+    c.jade = opts.jade;
+    c.reclaim.unmapping = opts.unmapping;
+    // MarkUs does *not* zero freed data — reachability through the
+    // quarantine is resolved by the transitive marking pass instead.
+    c.reclaim.zeroing = false;
+    c.control.background = opts.concurrent;
+    c.make_tracker = true;
+    return c;
+}
 
 MarkUs::MarkUs(const Options& opts)
-    : opts_([&] {
-          Options o = opts;
-          o.jade.decay_ms = 0;  // purging synchronised with marking passes
-          return o;
-      }()),
-      jade_(opts_.jade),
-      mark_bits_(jade_.reservation().base(), jade_.reservation().size()),
-      quarantine_bitmap_(jade_.reservation().base(),
-                         jade_.reservation().size()),
-      access_map_(jade_.reservation().base(), jade_.reservation().size()),
-      quarantine_(64)
+    : QuarantineRuntime(make_config(opts), [this] { run_mark(); }),
+      opts_(opts)
 {
-    hooks_ = std::make_unique<Hooks>(this, &jade_.reservation());
-    jade_.extents().set_hooks(hooks_.get());
-    // Fixed capacity: push_back under unmap_lock_ must never reallocate
-    // (see MineSweeper; same self-hosting hazard).
-    {
-        LockGuard g(unmap_lock_);
-        pending_unmaps_.reserve(4096);
-    }
-    tracker_ = sweep::make_dirty_tracker(&jade_.reservation());
-    if (auto* mp = dynamic_cast<sweep::MprotectTracker*>(tracker_.get())) {
-        mp->set_committed_filter(
-            [](std::uintptr_t addr, void* arg) {
-                return static_cast<sweep::PageAccessMap*>(arg)->test(addr);
-            },
-            &access_map_);
-    }
-    if (opts_.concurrent)
-        marker_thread_ = std::thread([this] { marker_loop(); });
+    controller_.start();
 }
 
 MarkUs::~MarkUs()
 {
-    if (marker_thread_.joinable()) {
-        {
-            MutexGuard g(mark_mu_);
-            shutdown_ = true;
-        }
-        mark_cv_.notify_all();
-        marker_thread_.join();
-    }
-    jade_.extents().set_hooks(nullptr);
+    // Before our members die: the mark function runs on the controller's
+    // thread and calls back into this (derived) object.
+    controller_.shutdown();
 }
 
 void*
 MarkUs::alloc(std::size_t size)
 {
-    alloc_calls_.fetch_add(1, std::memory_order_relaxed);
+    stats_.add(Stat::kAllocCalls);
     void* p = jade_.alloc(size + 1);  // end-pointer slack, as MineSweeper
     if (__builtin_expect(p != nullptr, 1))
         return p;
@@ -109,7 +51,7 @@ MarkUs::alloc(std::size_t size)
 void*
 MarkUs::alloc_aligned(std::size_t alignment, std::size_t size)
 {
-    alloc_calls_.fetch_add(1, std::memory_order_relaxed);
+    stats_.add(Stat::kAllocCalls);
     void* p = jade_.alloc_aligned(alignment, size + 1);
     if (__builtin_expect(p != nullptr, 1))
         return p;
@@ -137,65 +79,19 @@ MarkUs::alloc_slow(std::size_t request, std::size_t alignment)
     return nullptr;
 }
 
-std::size_t
-MarkUs::usable_size(const void* ptr) const
-{
-    return jade_.usable_size(ptr) - 1;
-}
-
 void
 MarkUs::free(void* ptr)
 {
     if (ptr == nullptr)
         return;
-    free_calls_.fetch_add(1, std::memory_order_relaxed);
-    const std::uintptr_t addr = to_addr(ptr);
-    MSW_CHECK(jade_.contains(addr));
+    stats_.add(Stat::kFreeCalls);
+    const FreeTarget t = classify(to_addr(ptr));
 
-    ExtentMeta* meta = jade_.extents().lookup_live(addr);
-    std::uintptr_t base;
-    std::size_t usable;
-    bool is_large;
-    if (meta->kind == ExtentKind::kLarge) {
-        base = meta->base;
-        usable = meta->bytes();
-        is_large = true;
-    } else {
-        const std::size_t obj = alloc::class_size(meta->cls);
-        base = meta->base + ((addr - meta->base) / obj) * obj;
-        usable = obj;
-        is_large = false;
-    }
-    MSW_CHECK(base == addr);
-
-    if (quarantine_bitmap_.test_and_set(base)) {
-        double_frees_.fetch_add(1, std::memory_order_relaxed);
+    if (absorb_double_free(ptr, t.base))
         return;
-    }
 
-    Entry entry = Entry::make(base, usable, false);
-    if (opts_.unmapping && is_large) {
-        entry = Entry::make(base, usable, true);
-        LockGuard g(unmap_lock_);
-        if (mark_active_.load(std::memory_order_relaxed)) {
-            if (pending_unmaps_.size() < pending_unmaps_.capacity()) {
-                pending_unmaps_.push_back(entry);
-            } else {
-                entry = Entry::make(base, usable, false);
-            }
-        } else if (jade_.reservation().decommit(base, usable) ==
-                   vm::VmStatus::kOk) {
-            access_map_.clear_range(base, usable);
-        } else {
-            // Transient decommit failure: forgo the unmap optimisation,
-            // quarantine the block mapped (safe, just no memory win).
-            entry = Entry::make(base, usable, false);
-        }
-    }
-    // Note: MarkUs does *not* zero freed data — reachability through the
-    // quarantine is resolved by the transitive marking pass instead.
-
-    quarantine_.insert(entry);
+    quarantine_.insert(
+        reclaimer_.quarantine_prepare(ptr, t.base, t.usable, t.is_large));
     maybe_trigger_mark();
 }
 
@@ -214,42 +110,7 @@ MarkUs::maybe_trigger_mark()
         opts_.quarantine_threshold * static_cast<double>(heap)) {
         return;
     }
-
-    if (!opts_.concurrent) {
-        bool expected = false;
-        if (mark_in_progress_.compare_exchange_strong(expected, true)) {
-            run_mark();
-            marks_done_.fetch_add(1, std::memory_order_relaxed);
-            mark_in_progress_.store(false, std::memory_order_release);
-        }
-        return;
-    }
-    {
-        MutexGuard g(mark_mu_);
-        mark_requested_ = true;
-    }
-    mark_cv_.notify_all();
-}
-
-void
-MarkUs::marker_loop()
-{
-    UniqueLock l(mark_mu_);
-    while (!shutdown_) {
-        mark_cv_.wait(l, [&]() MSW_REQUIRES(mark_mu_) {
-            return mark_requested_ || shutdown_;
-        });
-        if (shutdown_)
-            break;
-        mark_requested_ = false;
-        mark_in_progress_.store(true, std::memory_order_release);
-        l.unlock();
-        run_mark();
-        l.lock();
-        mark_in_progress_.store(false, std::memory_order_release);
-        marks_done_.fetch_add(1, std::memory_order_relaxed);
-        mark_done_cv_.notify_all();
-    }
+    controller_.request_sweep(/*pause_allocations=*/false);
 }
 
 void
@@ -263,8 +124,9 @@ MarkUs::scan_for_objects(std::uintptr_t base, std::size_t len,
     //
     // Ranges that lie inside the heap may have been derived from racy
     // metadata (lookup_relaxed), so inaccessible pages are skipped; this
-    // is stable during a mark because decommits are deferred while
-    // mark_active_ is set and commits only ever add accessibility.
+    // is stable during a mark because decommits are deferred while the
+    // reclaimer's scan epoch is open and commits only ever add
+    // accessibility.
     std::uintptr_t lo = align_up(base, sizeof(std::uint64_t));
     const std::uintptr_t hi = align_down(base + len, sizeof(std::uint64_t));
     const std::uintptr_t heap_base = jade_.reservation().base();
@@ -312,23 +174,11 @@ MarkUs::drain_worklist(std::vector<Range>* worklist)
 void
 MarkUs::run_mark()
 {
-    {
-        LockGuard g(unmap_lock_);
-        mark_active_.store(true, std::memory_order_release);
-    }
+    reclaimer_.begin_scan();
     std::vector<Entry> locked_in;
     quarantine_.lock_in(locked_in);
     if (locked_in.empty()) {
-        LockGuard g(unmap_lock_);
-        mark_active_.store(false, std::memory_order_release);
-        for (const Entry& e : pending_unmaps_) {
-            if (quarantine_bitmap_.test(e.real_base()) &&
-                jade_.reservation().decommit(e.real_base(), e.usable) ==
-                    vm::VmStatus::kOk) {
-                access_map_.clear_range(e.real_base(), e.usable);
-            }
-        }
-        pending_unmaps_.clear();
+        reclaimer_.end_scan();
         return;
     }
 
@@ -366,18 +216,8 @@ MarkUs::run_mark()
     roots_.resume_world();
 
     // Deferred unmaps before release: every affected entry is still
-    // quarantined here.
-    {
-        LockGuard g(unmap_lock_);
-        for (const Entry& e : pending_unmaps_) {
-            if (quarantine_bitmap_.test(e.real_base()) &&
-                jade_.reservation().decommit(e.real_base(), e.usable) ==
-                    vm::VmStatus::kOk) {
-                access_map_.clear_range(e.real_base(), e.usable);
-            }
-        }
-        pending_unmaps_.clear();
-    }
+    // quarantined here and its pages have been scanned.
+    reclaimer_.drain_pending();
 
     // Phase 3: release unmarked quarantined allocations.
     std::vector<Entry> failed;
@@ -386,133 +226,31 @@ MarkUs::run_mark()
             failed.push_back(e);
             continue;
         }
-        if (e.unmapped) {
-            if (jade_.reservation().protect_rw(e.real_base(), e.usable) !=
-                vm::VmStatus::kOk) {
-                // Cannot restore accessibility; keep the entry quarantined
-                // and retry on the next pass rather than hand out an
-                // inaccessible block.
-                failed.push_back(e);
-                continue;
-            }
-            access_map_.set_range(e.real_base(), e.usable);
+        if (!reclaimer_.release_entry(e)) {
+            // Cannot restore accessibility; keep the entry quarantined
+            // and retry on the next pass rather than hand out an
+            // inaccessible block.
+            failed.push_back(e);
+            continue;
         }
-        quarantine_bitmap_.clear(e.real_base());
-        jade_.free_direct(to_ptr(e.real_base()));
     }
     mark_bits_.clear_marks();
     quarantine_.store_failed(std::move(failed));
 
-    {
-        LockGuard g(unmap_lock_);
-        mark_active_.store(false, std::memory_order_release);
-        for (const Entry& e : pending_unmaps_) {
-            if (quarantine_bitmap_.test(e.real_base()) &&
-                jade_.reservation().decommit(e.real_base(), e.usable) ==
-                    vm::VmStatus::kOk) {
-                access_map_.clear_range(e.real_base(), e.usable);
-            }
-        }
-        pending_unmaps_.clear();
-    }
+    reclaimer_.end_scan();
 
     // MarkUs aggressively reclaims allocator free structures after a
     // marking pass (the paper notes this need for large quarantines).
     jade_.purge_all();
 
-    mark_cpu_ns_.fetch_add(sweep::thread_cpu_ns() - cpu0,
-                           std::memory_order_relaxed);
+    stats_.add(Stat::kSweepCpuNs, sweep::thread_cpu_ns() - cpu0);
 }
 
 void
 MarkUs::force_mark()
 {
     quarantine_.flush_thread_buffer();
-    if (!opts_.concurrent) {
-        bool expected = false;
-        if (mark_in_progress_.compare_exchange_strong(expected, true)) {
-            run_mark();
-            marks_done_.fetch_add(1, std::memory_order_relaxed);
-            mark_in_progress_.store(false, std::memory_order_release);
-        }
-        return;
-    }
-    UniqueLock g(mark_mu_);
-    const std::uint64_t target =
-        marks_done_.load(std::memory_order_relaxed) + 1;
-    mark_requested_ = true;
-    mark_cv_.notify_all();
-    mark_done_cv_.wait(g, [&]() MSW_REQUIRES(mark_mu_) {
-        return marks_done_.load(std::memory_order_relaxed) >= target;
-    });
-}
-
-void
-MarkUs::flush()
-{
-    quarantine_.flush_thread_buffer();
-    jade_.flush();
-    if (!opts_.concurrent)
-        return;
-    UniqueLock g(mark_mu_);
-    mark_done_cv_.wait(g, [&]() MSW_REQUIRES(mark_mu_) {
-        return !mark_requested_ &&
-               !mark_in_progress_.load(std::memory_order_relaxed);
-    });
-}
-
-void
-MarkUs::add_root(const void* base, std::size_t len)
-{
-    roots_.add_root(base, len);
-}
-
-void
-MarkUs::remove_root(const void* base)
-{
-    roots_.remove_root(base);
-}
-
-void
-MarkUs::register_mutator_thread()
-{
-    roots_.register_current_thread();
-}
-
-void
-MarkUs::unregister_mutator_thread()
-{
-    quarantine_.flush_thread_buffer();
-    jade_.flush();
-    roots_.unregister_current_thread();
-    // As in MineSweeper: an in-flight marking pass may have snapshotted
-    // this thread's stack before removal; wait it out before the thread
-    // exits and its stack can be recycled.
-    while (mark_in_progress_.load(std::memory_order_acquire)) {
-        struct timespec ts {
-            0, 1000000
-        };
-        ::nanosleep(&ts, nullptr);
-    }
-}
-
-alloc::AllocatorStats
-MarkUs::stats() const
-{
-    const quarantine::QuarantineStats qs = quarantine_.stats();
-    alloc::AllocatorStats s;
-    const std::size_t jade_live = jade_.live_bytes();
-    const std::size_t quarantined =
-        qs.pending_bytes + qs.failed_bytes + qs.unmapped_bytes;
-    s.live_bytes = jade_live > quarantined ? jade_live - quarantined : 0;
-    s.committed_bytes = access_map_.committed_bytes();
-    s.metadata_bytes =
-        jade_.stats().metadata_bytes + mark_bits_.shadow_bytes() * 2;
-    s.quarantine_bytes = quarantined;
-    s.sweeps = marks_done_.load(std::memory_order_relaxed);
-    s.alloc_calls = alloc_calls_.load(std::memory_order_relaxed);
-    s.free_calls = free_calls_.load(std::memory_order_relaxed);
-    return s;
+    controller_.force_sweep();
 }
 
 }  // namespace msw::baseline

@@ -13,6 +13,12 @@
  * per-word allocation lookups and mark-stack traffic — exactly the costs
  * MineSweeper's linear sweep eliminates (paper §4.1, §6.6).
  *
+ * All plumbing shared with MineSweeper — extent hooks, quarantine epochs,
+ * double-free bitmap, root/thread registration, marker-thread lifecycle,
+ * deferred unmaps — lives in core::QuarantineRuntime; this class keeps
+ * only what makes MarkUs MarkUs: the transitive mark and the 25 %
+ * trigger.
+ *
  * Fidelity notes:
  *  - 25 % quarantine threshold (the paper's MarkUs configuration, §3.2);
  *  - no zeroing on free (MarkUs does not zero);
@@ -24,25 +30,13 @@
  */
 #pragma once
 
-#include <condition_variable>
-#include <memory>
-#include <thread>
 #include <vector>
 
-#include "alloc/allocator.h"
-#include "alloc/jade_allocator.h"
-#include "quarantine/quarantine.h"
-#include "sweep/dirty_tracker.h"
-#include "sweep/page_access_map.h"
-#include "sweep/roots.h"
-#include "sweep/shadow_map.h"
-#include "util/mutex.h"
-#include "util/spin_lock.h"
-#include "util/thread_annotations.h"
+#include "core/runtime_base.h"
 
 namespace msw::baseline {
 
-class MarkUs final : public alloc::Allocator
+class MarkUs final : public core::QuarantineRuntime
 {
   public:
     struct Options {
@@ -65,42 +59,26 @@ class MarkUs final : public alloc::Allocator
 
     void* alloc(std::size_t size) override;
     void free(void* ptr) override;
-    std::size_t usable_size(const void* ptr) const override;
     void* alloc_aligned(std::size_t alignment, std::size_t size) override;
-    alloc::AllocatorStats stats() const override;
     const char* name() const override { return "markus"; }
-    void flush() override;
-
-    void add_root(const void* base, std::size_t len);
-    void remove_root(const void* base);
-    void register_mutator_thread();
-    void unregister_mutator_thread();
 
     /** Run a full marking pass now and wait for it. */
     void force_mark();
-
-    bool
-    in_quarantine(const void* ptr) const
-    {
-        return quarantine_bitmap_.test(to_addr(ptr));
-    }
 
     /** Marking-pass count (the analogue of MineSweeper's sweep count). */
     std::uint64_t
     marks_done() const
     {
-        return marks_done_.load(std::memory_order_relaxed);
+        return controller_.sweeps_done();
     }
 
     std::uint64_t
     mark_cpu_ns() const
     {
-        return mark_cpu_ns_.load(std::memory_order_relaxed);
+        return stats_.read(core::Stat::kSweepCpuNs);
     }
 
   private:
-    class Hooks;
-
     void maybe_trigger_mark();
     /** Substrate-exhaustion path: forced marking passes, then nullptr. */
     void* alloc_slow(std::size_t request, std::size_t alignment);
@@ -114,38 +92,10 @@ class MarkUs final : public alloc::Allocator
     void scan_for_objects(std::uintptr_t base, std::size_t len,
                           std::vector<sweep::Range>* worklist);
     void drain_worklist(std::vector<sweep::Range>* worklist);
-    void marker_loop();
+
+    static Config make_config(const Options& opts);
 
     Options opts_;
-    alloc::JadeAllocator jade_;
-    std::unique_ptr<Hooks> hooks_;
-    sweep::ShadowMap mark_bits_;         ///< Object-granularity mark bits.
-    sweep::ShadowMap quarantine_bitmap_; ///< Double-free de-dup.
-    sweep::PageAccessMap access_map_;
-    sweep::RootRegistry roots_;
-    quarantine::Quarantine quarantine_;
-    std::unique_ptr<sweep::DirtyTracker> tracker_;
-
-    SpinLock unmap_lock_{util::LockRank::kCoreUnmap};
-    std::atomic<bool> mark_active_{false};
-    std::vector<quarantine::Entry> pending_unmaps_
-        MSW_GUARDED_BY(unmap_lock_);
-
-    std::thread marker_thread_;
-    // Same control-band rank as MineSweeper's sweep_mu_ (the two never
-    // coexist on one thread's lock stack).
-    Mutex mark_mu_{util::LockRank::kCoreControl};
-    std::condition_variable_any mark_cv_;
-    std::condition_variable_any mark_done_cv_;
-    bool mark_requested_ MSW_GUARDED_BY(mark_mu_) = false;
-    bool shutdown_ MSW_GUARDED_BY(mark_mu_) = false;
-    std::atomic<bool> mark_in_progress_{false};
-    std::atomic<std::uint64_t> marks_done_{0};
-
-    std::atomic<std::uint64_t> mark_cpu_ns_{0};
-    std::atomic<std::uint64_t> double_frees_{0};
-    std::atomic<std::uint64_t> alloc_calls_{0};
-    std::atomic<std::uint64_t> free_calls_{0};
 };
 
 }  // namespace msw::baseline

@@ -4,182 +4,58 @@
 
 #include <cstring>
 
-#include "alloc/extent.h"
-#include "alloc/size_classes.h"
 #include "util/bits.h"
-#include "util/check.h"
 #include "util/log.h"
 
 namespace msw::core {
 
-using alloc::ExtentKind;
-using alloc::ExtentMeta;
 using quarantine::Entry;
 using sweep::MarkStats;
 using sweep::Range;
 using util::Failpoint;
 using util::failpoint_should_fail;
 
-namespace {
-
-/**
- * True on threads executing sweep machinery (the sweeper thread and
- * helpers running release jobs). In the self-hosted deployment their
- * internal allocations arrive through the interposed malloc; they must
- * never block in the allocation-pausing backpressure they themselves are
- * responsible for clearing.
- */
-thread_local bool tls_sweep_context = false;
-
-std::uint64_t
-monotonic_ns()
+QuarantineRuntime::Config
+MineSweeper::make_config(const Options& opts)
 {
-    struct timespec ts;
-    ::clock_gettime(CLOCK_MONOTONIC, &ts);
-    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
-           static_cast<std::uint64_t>(ts.tv_nsec);
+    Config c;
+    c.jade = opts.jade;
+    c.tl_buffer_entries = opts.tl_buffer_entries;
+    c.reclaim.unmapping = opts.unmapping;
+    c.reclaim.zeroing = opts.zeroing;
+    c.reclaim.max_pending_unmaps = opts.max_pending_unmaps;
+    c.control.background = opts.mode != Mode::kSynchronous;
+    c.control.watchdog_timeout_ms = opts.watchdog_timeout_ms;
+    c.make_tracker = opts.mode == Mode::kMostlyConcurrent;
+    c.report_double_frees = opts.report_double_frees;
+    return c;
 }
 
-}  // namespace
-
-/**
- * Extent hooks that keep the committed-page map exact: this is how sweeps
- * know which pages exist, and how purged pages are excluded from scanning
- * instead of being faulted back in (paper §4.5).
- */
-class MineSweeper::Hooks final : public alloc::ExtentHooks
-{
-  public:
-    Hooks(MineSweeper* msw, const vm::Reservation* heap)
-        : alloc::ExtentHooks(heap), msw_(msw)
-    {}
-
-    [[nodiscard]] bool
-    commit(std::uintptr_t addr, std::size_t len) override
-    {
-        if (heap_->protect_rw(addr, len) != vm::VmStatus::kOk) {
-            return false;
-        }
-        msw_->access_map_.set_range(addr, len);
-        // Pages appearing mid-epoch must be treated as dirty.
-        if (msw_->tracker_ != nullptr &&
-            msw_->sweep_active_.load(std::memory_order_acquire)) {
-            msw_->tracker_->note_committed(addr, len);
-        }
-        return true;
-    }
-
-    [[nodiscard]] bool
-    purge(std::uintptr_t addr, std::size_t len) override
-    {
-        // True decommit (discard + PROT_NONE), not jemalloc's
-        // keep-accessible purge: sweeps skip these pages entirely.
-        if (heap_->decommit(addr, len) != vm::VmStatus::kOk) {
-            // Pages keep their backing and stay in the access map; the
-            // extent stays accounted committed and is re-purged later.
-            return false;
-        }
-        msw_->access_map_.clear_range(addr, len);
-        return true;
-    }
-
-  private:
-    MineSweeper* msw_;
-};
-
 MineSweeper::MineSweeper(const Options& opts)
-    : opts_([&] {
+    : QuarantineRuntime(make_config(opts), [this] { run_sweep(); }),
+      opts_([&] {
           Options o = opts;
-          // MineSweeper replaces decay purging with the post-sweep full
-          // purge (§4.5); leaving decay on would purge behind the page
-          //-access map's back from unhooked call sites.
+          // Mirror the base's decay override (§4.5) so options() reports
+          // the configuration actually in effect.
           o.jade.decay_ms = 0;
           return o;
       }()),
-      jade_(opts_.jade),
-      shadow_(jade_.reservation().base(), jade_.reservation().size()),
-      quarantine_bitmap_(jade_.reservation().base(),
-                         jade_.reservation().size()),
-      access_map_(jade_.reservation().base(), jade_.reservation().size()),
-      quarantine_(opts_.tl_buffer_entries),
-      marker_(&shadow_, jade_.reservation().base(),
+      marker_(&mark_bits_, jade_.reservation().base(),
               jade_.reservation().end())
 {
-    hooks_ = std::make_unique<Hooks>(this, &jade_.reservation());
-    jade_.extents().set_hooks(hooks_.get());
-
-    // Fixed capacity so push_back under unmap_lock_ never reallocates: a
-    // reallocation's free() of the old buffer would re-enter
-    // quarantine_free() and self-deadlock on the lock in the self-hosted
-    // deployment. Overflowing entries simply skip the unmap optimisation.
-    {
-        LockGuard g(unmap_lock_);
-        pending_unmaps_.reserve(opts_.max_pending_unmaps);
-    }
-
     if (opts_.helper_threads > 0)
         workers_ = std::make_unique<sweep::SweepWorkers>(
             opts_.helper_threads);
 
-    if (opts_.mode == Mode::kMostlyConcurrent) {
-        tracker_ = sweep::make_dirty_tracker(&jade_.reservation());
-        if (auto* mp =
-                dynamic_cast<sweep::MprotectTracker*>(tracker_.get())) {
-            mp->set_committed_filter(
-                [](std::uintptr_t addr, void* arg) {
-                    return static_cast<sweep::PageAccessMap*>(arg)->test(
-                        addr);
-                },
-                &access_map_);
-        }
-    }
-
-    if (opts_.mode != Mode::kSynchronous)
-        sweeper_thread_ = std::thread([this] { sweeper_loop(); });
+    controller_.start();
 }
 
 MineSweeper::~MineSweeper()
 {
-    {
-        MutexGuard g(sweep_mu_);
-        shutdown_ = true;
-    }
-    // Wake everything: the sweeper (to exit) and any force_sweep()/
-    // flush()/pause waiters (their predicates include shutdown_).
-    sweep_cv_.notify_all();
-    sweep_done_cv_.notify_all();
-    if (sweeper_thread_.joinable())
-        sweeper_thread_.join();
-
-    // Claim the sweep token permanently: a watchdog-fallback or
-    // synchronous sweep that won the CAS before shutdown finishes first
-    // (members are still alive here); any later attempt fails the CAS and
-    // returns without sweeping.
-    bool expected = false;
-    while (!sweep_in_progress_.compare_exchange_weak(
-        expected, true, std::memory_order_acquire)) {
-        expected = false;
-        struct timespec ts {
-            0, 1000000
-        };
-        ::nanosleep(&ts, nullptr);
-    }
-    sweep_done_cv_.notify_all();
-
-    // Drain control-path waiters that entered before shutdown was
-    // visible, so no thread is left blocked on members we destroy.
-    while (control_waiters_.load(std::memory_order_acquire) != 0) {
-        sweep_done_cv_.notify_all();
-        struct timespec ts {
-            0, 1000000
-        };
-        ::nanosleep(&ts, nullptr);
-    }
-
+    // Before our members die: the sweep function touches marker_ and
+    // workers_, which are gone by the time the base destructor runs.
+    controller_.shutdown();
     workers_.reset();
-    // Restore default hooks before jade_ (a member) is destroyed, so any
-    // destructor-time extent operations do not touch freed state.
-    jade_.extents().set_hooks(nullptr);
 }
 
 // ----------------------------------------------------------------- alloc
@@ -187,8 +63,8 @@ MineSweeper::~MineSweeper()
 void*
 MineSweeper::alloc(std::size_t size)
 {
-    alloc_calls_.fetch_add(1, std::memory_order_relaxed);
-    maybe_pause_allocations();
+    stats_.add(Stat::kAllocCalls);
+    controller_.maybe_pause();
     // +1 byte so one-past-the-end pointers stay inside the allocation
     // (paper §3.2); size classes are 16 B-granular so this usually costs
     // nothing.
@@ -201,8 +77,8 @@ MineSweeper::alloc(std::size_t size)
 void*
 MineSweeper::alloc_aligned(std::size_t alignment, std::size_t size)
 {
-    alloc_calls_.fetch_add(1, std::memory_order_relaxed);
-    maybe_pause_allocations();
+    stats_.add(Stat::kAllocCalls);
+    controller_.maybe_pause();
     void* p = jade_.alloc_aligned(alignment, size + 1);
     if (__builtin_expect(p != nullptr, 1))
         return p;
@@ -229,13 +105,13 @@ MineSweeper::alloc_slow(std::size_t request, std::size_t alignment)
             ::usleep(backoff_us);
             backoff_us *= 2;
         }
-        commit_retries_.fetch_add(1, std::memory_order_relaxed);
+        stats_.add(Stat::kCommitRetries);
         void* p = alignment > 0 ? jade_.alloc_aligned(alignment, request)
                                 : jade_.alloc(request);
         if (p != nullptr)
             return p;
     }
-    oom_returns_.fetch_add(1, std::memory_order_relaxed);
+    stats_.add(Stat::kOomReturns);
     MSW_LOG_WARN("alloc of %zu bytes failed after %u attempts with "
                  "emergency sweeps; returning nullptr",
                  request, opts_.alloc_retry_attempts);
@@ -245,35 +121,18 @@ MineSweeper::alloc_slow(std::size_t request, std::size_t alignment)
 void
 MineSweeper::emergency_reclaim()
 {
-    emergency_sweeps_.fetch_add(1, std::memory_order_relaxed);
-    if (!tls_sweep_context) {
+    stats_.add(Stat::kEmergencySweeps);
+    if (!SweepController::in_sweep_context()) {
         quarantine_.flush_thread_buffer();
-        if (!run_sweep_now()) {
+        if (!controller_.run_sweep_now()) {
             // Another thread owns the sweep; give it a moment to finish
             // so the purge below sees its released extents.
-            UniqueLock g(sweep_mu_);
-            control_waiters_.fetch_add(1, std::memory_order_relaxed);
-            sweep_done_cv_.wait_for(
-                g, std::chrono::milliseconds(100),
-                [&]() MSW_REQUIRES(sweep_mu_) {
-                    return shutdown_ ||
-                           !sweep_in_progress_.load(
-                               std::memory_order_relaxed);
-                });
-            control_waiters_.fetch_sub(1, std::memory_order_release);
+            controller_.wait_for_sweep_completion(100);
         }
     }
     // Return every free extent's pages to the OS so the next commit can
     // succeed even when the kernel is the constraint.
     jade_.purge_all();
-}
-
-std::size_t
-MineSweeper::usable_size(const void* ptr) const
-{
-    // One byte of the underlying allocation is reserved for the
-    // end-pointer guarantee; never report it as usable.
-    return jade_.usable_size(ptr) - 1;
 }
 
 void*
@@ -304,60 +163,39 @@ MineSweeper::free(void* ptr)
 {
     if (ptr == nullptr)
         return;
-    free_calls_.fetch_add(1, std::memory_order_relaxed);
-    const std::uintptr_t addr = to_addr(ptr);
-    MSW_CHECK(jade_.contains(addr));
-
-    ExtentMeta* meta = jade_.extents().lookup_live(addr);
-    std::uintptr_t base;
-    std::size_t usable;
-    bool is_large;
-    if (meta->kind == ExtentKind::kLarge) {
-        base = meta->base;
-        usable = meta->bytes();
-        is_large = true;
-    } else {
-        const std::size_t obj = alloc::class_size(meta->cls);
-        base = meta->base + ((addr - meta->base) / obj) * obj;
-        usable = obj;
-        is_large = false;
-    }
-    MSW_CHECK(base == addr);
+    stats_.add(Stat::kFreeCalls);
+    const FreeTarget t = classify(to_addr(ptr));
 
     // Double-free de-duplication (paper §3): while the allocation is in
     // quarantine, further frees are idempotent.
-    if (quarantine_bitmap_.test_and_set(base)) {
-        double_frees_.fetch_add(1, std::memory_order_relaxed);
-        if (opts_.report_double_frees)
-            MSW_LOG_WARN("double free of %p absorbed", ptr);
+    if (absorb_double_free(ptr, t.base))
         return;
-    }
 
     if (!opts_.quarantine_enabled) {
         // Partial versions 1-2 (§5.5): apply unmap/zero side effects, then
         // forward straight to the allocator.
-        if (opts_.unmapping && is_large) {
-            if (jade_.reservation().decommit(base, usable) ==
+        if (opts_.unmapping && t.is_large) {
+            if (jade_.reservation().decommit(t.base, t.usable) ==
                 vm::VmStatus::kOk) {
-                if (!protect_rw_with_retry(base, usable)) {
+                if (!reclaimer_.protect_rw_with_retry(t.base, t.usable)) {
                     // Pages stuck inaccessible: handing them back for
                     // reuse would fault the program. Keep the block
                     // quarantined (bounded leak) instead of crashing.
-                    quarantine_.insert(Entry::make(base, usable, true));
+                    quarantine_.insert(Entry::make(t.base, t.usable, true));
                     return;
                 }
             } else if (opts_.zeroing) {
-                std::memset(ptr, 0, usable);
+                std::memset(ptr, 0, t.usable);
             }
         } else if (opts_.zeroing) {
-            std::memset(ptr, 0, usable);
+            std::memset(ptr, 0, t.usable);
         }
-        quarantine_bitmap_.clear(base);
+        quarantine_bitmap_.clear(t.base);
         jade_.free(ptr);
         return;
     }
 
-    quarantine_free(ptr, base, usable, is_large);
+    quarantine_free(ptr, t.base, t.usable, t.is_large);
     maybe_trigger_sweep();
 }
 
@@ -365,71 +203,8 @@ void
 MineSweeper::quarantine_free(void* ptr, std::uintptr_t base,
                              std::size_t usable, bool is_large)
 {
-    Entry entry = Entry::make(base, usable, false);
-
-    if (opts_.unmapping && is_large) {
-        // Large allocations span exclusively-owned pages: release the
-        // physical memory immediately (§4.2). If a sweep is scanning,
-        // defer the decommit so concurrent marking never faults.
-        entry = Entry::make(base, usable, true);
-        LockGuard g(unmap_lock_);
-        if (sweep_active_.load(std::memory_order_relaxed)) {
-            if (pending_unmaps_.size() < opts_.max_pending_unmaps) {
-                pending_unmaps_.push_back(entry);
-                unmapped_entries_.fetch_add(1, std::memory_order_relaxed);
-            } else {
-                // Queue full: forgo the unmap for this entry (safe; it
-                // just stays mapped while quarantined).
-                entry = Entry::make(base, usable, false);
-                if (opts_.zeroing)
-                    std::memset(ptr, 0, usable);
-            }
-        } else if (unmap_entry(base, usable)) {
-            unmapped_entries_.fetch_add(1, std::memory_order_relaxed);
-        } else {
-            // Decommit refused under pressure: same safe downgrade as a
-            // full queue — the entry stays mapped while quarantined.
-            entry = Entry::make(base, usable, false);
-            if (opts_.zeroing)
-                std::memset(ptr, 0, usable);
-        }
-    } else if (opts_.zeroing) {
-        // Zeroing removes dangling pointers *from* quarantined data,
-        // flattening the reference graph and breaking cycles (§4.1).
-        std::memset(ptr, 0, usable);
-    }
-
-    quarantine_.insert(entry);
-}
-
-bool
-MineSweeper::unmap_entry(std::uintptr_t base, std::size_t usable)
-{
-    if (jade_.reservation().decommit(base, usable) != vm::VmStatus::kOk) {
-        return false;
-    }
-    access_map_.clear_range(base, usable);
-    return true;
-}
-
-void
-MineSweeper::drain_pending_unmaps_locked()
-{
-    for (const Entry& e : pending_unmaps_) {
-        // Entries released meanwhile must not be unmapped: their memory
-        // may already be reallocated. Release clears the quarantine bit.
-        if (quarantine_bitmap_.test(e.real_base())) {
-            if (!unmap_entry(e.real_base(), e.usable)) {
-                // Transient decommit failure: the entry simply keeps its
-                // pages while quarantined. release_entry()'s protect_rw
-                // and access-map restore are idempotent, so the stale
-                // unmapped flag is harmless.
-                MSW_LOG_DEBUG("deferred unmap of %zu bytes skipped",
-                              e.usable);
-            }
-        }
-    }
-    pending_unmaps_.clear();
+    quarantine_.insert(
+        reclaimer_.quarantine_prepare(ptr, base, usable, is_large));
 }
 
 // ------------------------------------------------------------- triggering
@@ -468,178 +243,19 @@ MineSweeper::maybe_trigger_sweep()
     if (!trigger)
         return;
 
-    if (opts_.mode == Mode::kSynchronous) {
-        run_sweep_now();
-        return;
-    }
-
-    {
-        MutexGuard g(sweep_mu_);
-        sweep_requested_ = true;
-        // Watchdog heartbeat: stamp the oldest unserved request (the
-        // sweeper clears this when it picks the request up).
-        if (sweep_request_ns_.load(std::memory_order_relaxed) == 0)
-            sweep_request_ns_.store(monotonic_ns(),
-                                    std::memory_order_relaxed);
-        // Backpressure (§5.7): if the quarantine has grown far past the
-        // heap while a sweep is running, pause this allocating thread
-        // until the sweep completes.
-        if (opts_.pause_factor > 0 &&
-            static_cast<double>(pending) >
-                opts_.pause_factor *
-                    static_cast<double>(
-                        heap > pending ? heap - pending : pending)) {
-            pause_flag_.store(true, std::memory_order_relaxed);
-        }
-    }
-    sweep_cv_.notify_all();
-    check_sweeper_watchdog();
-}
-
-bool
-MineSweeper::run_sweep_now()
-{
-    bool expected = false;
-    if (!sweep_in_progress_.compare_exchange_strong(
-            expected, true, std::memory_order_acquire)) {
-        return false;
-    }
-    {
-        MutexGuard g(sweep_mu_);
-        if (shutdown_) {
-            // Do not start new sweeps during teardown; the destructor is
-            // waiting to claim this token.
-            sweep_in_progress_.store(false, std::memory_order_release);
-            return false;
-        }
-        sweep_requested_ = false;
-        sweep_request_ns_.store(0, std::memory_order_relaxed);
-    }
-    run_sweep();
-    {
-        MutexGuard g(sweep_mu_);
-        sweeps_done_.fetch_add(1, std::memory_order_relaxed);
-        pause_flag_.store(false, std::memory_order_relaxed);
-        sweep_in_progress_.store(false, std::memory_order_release);
-    }
-    sweep_done_cv_.notify_all();
-    return true;
-}
-
-void
-MineSweeper::check_sweeper_watchdog()
-{
-    if (opts_.watchdog_timeout_ms == 0 || tls_sweep_context ||
-        opts_.mode == Mode::kSynchronous) {
-        return;
-    }
-    const std::uint64_t req =
-        sweep_request_ns_.load(std::memory_order_relaxed);
-    if (req == 0 || sweep_in_progress_.load(std::memory_order_acquire))
-        return;
-    const bool overdue =
-        watchdog_tripped_.load(std::memory_order_relaxed) ||
-        monotonic_ns() - req >=
-            opts_.watchdog_timeout_ms * 1'000'000ull;
-    if (!overdue)
-        return;
-    if (!watchdog_tripped_.exchange(true, std::memory_order_relaxed)) {
-        MSW_LOG_WARN("sweeper watchdog: request unserved for %llu ms; "
-                     "falling back to synchronous sweeps",
-                     static_cast<unsigned long long>(
-                         opts_.watchdog_timeout_ms));
-    }
-    if (run_sweep_now())
-        watchdog_fallbacks_.fetch_add(1, std::memory_order_relaxed);
-}
-
-void
-MineSweeper::maybe_pause_allocations()
-{
-    if (tls_sweep_context ||
-        !pause_flag_.load(std::memory_order_relaxed)) {
-        return;
-    }
-    const std::uint64_t t0 = monotonic_ns();
-    {
-        UniqueLock g(sweep_mu_);
-        control_waiters_.fetch_add(1, std::memory_order_relaxed);
-        sweep_done_cv_.wait_for(g, std::chrono::seconds(2),
-                                [&]() MSW_REQUIRES(sweep_mu_) {
-                                    return shutdown_ ||
-                                           !pause_flag_.load(
-                                               std::memory_order_relaxed);
-                                });
-        control_waiters_.fetch_sub(1, std::memory_order_release);
-    }
-    pause_ns_.fetch_add(monotonic_ns() - t0, std::memory_order_relaxed);
-    // A stalled sweeper never clears the pause flag — make sure progress
-    // is still possible before returning to the allocation path.
-    check_sweeper_watchdog();
+    // Backpressure (§5.7): if the quarantine has grown far past the heap
+    // while a sweep is running, pause this allocating thread until the
+    // sweep completes.
+    const bool pause =
+        opts_.pause_factor > 0 &&
+        static_cast<double>(pending) >
+            opts_.pause_factor *
+                static_cast<double>(heap > pending ? heap - pending
+                                                   : pending);
+    controller_.request_sweep(pause);
 }
 
 // ---------------------------------------------------------------- sweeps
-
-void
-MineSweeper::sweeper_loop()
-{
-    tls_sweep_context = true;
-    UniqueLock l(sweep_mu_);
-    while (!shutdown_) {
-        sweep_cv_.wait(l, [&]() MSW_REQUIRES(sweep_mu_) {
-            return sweep_requested_ || shutdown_;
-        });
-        if (shutdown_)
-            break;
-        if (failpoint_should_fail(Failpoint::kSweeperStall)) {
-            // Play dead: leave the request pending (so the watchdog can
-            // see it age) and re-check once the failpoint lets go.
-            sweep_cv_.wait_for(l, std::chrono::milliseconds(10),
-                               [&]() MSW_REQUIRES(sweep_mu_) {
-                                   return shutdown_;
-                               });
-            continue;
-        }
-        bool expected = false;
-        if (!sweep_in_progress_.compare_exchange_strong(
-                expected, true, std::memory_order_acquire)) {
-            // A watchdog fallback owns the sweep; it clears the request
-            // and notifies when done.
-            sweep_done_cv_.wait_for(l, std::chrono::milliseconds(1));
-            continue;
-        }
-        sweep_requested_ = false;
-        // Heartbeat: the request is being served, so the sweeper is
-        // alive again — clear the stall latch.
-        sweep_request_ns_.store(0, std::memory_order_relaxed);
-        watchdog_tripped_.store(false, std::memory_order_relaxed);
-        l.unlock();
-        run_sweep();
-        l.lock();
-        sweep_in_progress_.store(false, std::memory_order_release);
-        pause_flag_.store(false, std::memory_order_relaxed);
-        sweeps_done_.fetch_add(1, std::memory_order_relaxed);
-        sweep_done_cv_.notify_all();
-    }
-}
-
-std::vector<Range>
-MineSweeper::internal_regions() const
-{
-    std::vector<Range> out;
-    const auto add = [&out](const vm::Reservation& r) {
-        if (r.size() != 0)
-            out.push_back(Range{r.base(), r.size()});
-    };
-    add(jade_.extents().meta_reservation());
-    add(jade_.extents().page_map_reservation());
-    add(shadow_.storage());
-    add(shadow_.chunk_storage());
-    add(quarantine_bitmap_.storage());
-    add(quarantine_bitmap_.chunk_storage());
-    add(access_map_.storage());
-    return out;
-}
 
 std::vector<Range>
 MineSweeper::scan_ranges() const
@@ -651,9 +267,16 @@ MineSweeper::scan_ranges() const
     // all-zero and cannot hold pointers.
     for (const Range& r : roots_.stacks())
         sweep::append_resident_subranges(r, &ranges);
-    if (extra_roots_provider_) {
+    // Copy the provider under its lock: the shim may swap it while this
+    // sweep is already running.
+    std::function<std::vector<Range>()> provider;
+    {
+        LockGuard g(extra_roots_lock_);
+        provider = extra_roots_provider_;
+    }
+    if (provider) {
         const std::vector<Range> internal = internal_regions();
-        for (const Range& r : extra_roots_provider_()) {
+        for (const Range& r : provider()) {
             bool overlaps_internal = false;
             for (const Range& i : internal) {
                 if (r.base < i.end() && i.base < r.end()) {
@@ -669,12 +292,17 @@ MineSweeper::scan_ranges() const
 }
 
 void
+MineSweeper::set_extra_roots_provider(
+    std::function<std::vector<sweep::Range>()> provider)
+{
+    LockGuard g(extra_roots_lock_);
+    extra_roots_provider_ = std::move(provider);
+}
+
+void
 MineSweeper::run_sweep()
 {
-    {
-        LockGuard g(unmap_lock_);
-        sweep_active_.store(true, std::memory_order_release);
-    }
+    reclaimer_.begin_scan();
     // Test hook: hold the sweep open while armed so tests can exercise
     // the concurrent free()/deferred-unmap machinery deterministically.
     while (failpoint_should_fail(Failpoint::kSweepDelay))
@@ -682,9 +310,7 @@ MineSweeper::run_sweep()
     std::vector<Entry> locked_in;
     quarantine_.lock_in(locked_in);
     if (locked_in.empty()) {
-        LockGuard g(unmap_lock_);
-        sweep_active_.store(false, std::memory_order_release);
-        drain_pending_unmaps_locked();
+        reclaimer_.end_scan();
         return;
     }
 
@@ -705,8 +331,7 @@ MineSweeper::run_sweep()
         }
         const MarkStats ms = marker_.mark_ranges(scan_ranges(),
                                                  workers_.get());
-        bytes_scanned_.fetch_add(ms.bytes_scanned,
-                                 std::memory_order_relaxed);
+        stats_.add(Stat::kBytesScanned, ms.bytes_scanned);
 
         if (track) {
             // Phase 2 (mostly-concurrent only): brief stop-the-world
@@ -726,20 +351,15 @@ MineSweeper::run_sweep()
             const MarkStats ms2 = marker_.mark_ranges(rescan,
                                                       workers_.get());
             roots_.resume_world();
-            bytes_scanned_.fetch_add(ms2.bytes_scanned,
-                                     std::memory_order_relaxed);
-            stw_ns_.fetch_add(monotonic_ns() - t0,
-                              std::memory_order_relaxed);
+            stats_.add(Stat::kBytesScanned, ms2.bytes_scanned);
+            stats_.add(Stat::kStwNs, monotonic_ns() - t0);
         }
     }
 
     // Perform deferred page-unmaps now that marking is done: every
     // affected entry is still quarantined at this point, so this is safe
     // and the pages have already been scanned.
-    {
-        LockGuard g(unmap_lock_);
-        drain_pending_unmaps_locked();
-    }
+    reclaimer_.drain_pending();
 
     // Phase 3: walk the locked-in quarantine; release unmarked entries.
     std::vector<Entry> failed;
@@ -752,12 +372,10 @@ MineSweeper::run_sweep()
     std::atomic<std::uint64_t> failed_count{0};
 
     auto release_job = [&](unsigned index) {
-        // Restore on exit: index 0 runs on the *calling* thread, which for
-        // emergency and watchdog-fallback sweeps is a mutator. Leaving the
-        // flag set would permanently disable that thread's watchdog checks
-        // and emergency reclaims.
-        const bool saved_sweep_context = tls_sweep_context;
-        tls_sweep_context = true;
+        // Sweep context with restore on exit: index 0 runs on the
+        // *calling* thread, which for emergency and watchdog-fallback
+        // sweeps is a mutator whose own watchdog checks must survive.
+        SweepController::ScopedSweepContext scoped;
         constexpr std::size_t kBatch = 64;
         for (;;) {
             const std::size_t start =
@@ -770,7 +388,7 @@ MineSweeper::run_sweep()
                 const Entry& e = locked_in[i];
                 const bool marked =
                     opts_.sweep_enabled &&
-                    shadow_.test_range(e.real_base(), e.usable);
+                    mark_bits_.test_range(e.real_base(), e.usable);
                 if (marked) {
                     failed_count.fetch_add(1, std::memory_order_relaxed);
                     if (opts_.keep_failed) {
@@ -778,7 +396,7 @@ MineSweeper::run_sweep()
                         continue;
                     }
                 }
-                if (!release_entry(e)) {
+                if (!reclaimer_.release_entry(e)) {
                     // Could not restore access under pressure: keep the
                     // entry quarantined; a later sweep retries.
                     failed_count.fetch_add(1, std::memory_order_relaxed);
@@ -790,7 +408,6 @@ MineSweeper::run_sweep()
                                          std::memory_order_relaxed);
             }
         }
-        tls_sweep_context = saved_sweep_context;
     };
     if (workers_ != nullptr)
         workers_->run(release_job);
@@ -800,21 +417,16 @@ MineSweeper::run_sweep()
     for (auto& fv : failed_per_worker)
         failed.insert(failed.end(), fv.begin(), fv.end());
 
-    entries_released_.fetch_add(
-        released_count.load(std::memory_order_relaxed),
-        std::memory_order_relaxed);
-    bytes_released_.fetch_add(released_bytes.load(std::memory_order_relaxed),
-                              std::memory_order_relaxed);
-    failed_frees_.fetch_add(failed_count.load(std::memory_order_relaxed),
-                            std::memory_order_relaxed);
-    shadow_.clear_marks();
+    stats_.add(Stat::kEntriesReleased,
+               released_count.load(std::memory_order_relaxed));
+    stats_.add(Stat::kBytesReleased,
+               released_bytes.load(std::memory_order_relaxed));
+    stats_.add(Stat::kFailedFrees,
+               failed_count.load(std::memory_order_relaxed));
+    mark_bits_.clear_marks();
     quarantine_.store_failed(std::move(failed));
 
-    {
-        LockGuard g(unmap_lock_);
-        sweep_active_.store(false, std::memory_order_release);
-        drain_pending_unmaps_locked();
-    }
+    reclaimer_.end_scan();
 
     // §4.5: full allocator purge synchronised with the end of the sweep.
     if (opts_.purging)
@@ -822,39 +434,8 @@ MineSweeper::run_sweep()
 
     const std::uint64_t helpers1 =
         workers_ != nullptr ? workers_->helper_cpu_ns() : 0;
-    sweep_cpu_ns_.fetch_add(
-        (sweep::thread_cpu_ns() - cpu0) + (helpers1 - helpers0),
-        std::memory_order_relaxed);
-}
-
-bool
-MineSweeper::release_entry(const Entry& entry)
-{
-    if (entry.unmapped) {
-        // Restore access before handing the range back; physical pages
-        // refault as zeros, so the memory win persists until reuse.
-        if (!protect_rw_with_retry(entry.real_base(), entry.usable))
-            return false;
-        access_map_.set_range(entry.real_base(), entry.usable);
-    }
-    quarantine_bitmap_.clear(entry.real_base());
-    jade_.free_direct(to_ptr(entry.real_base()));
-    return true;
-}
-
-bool
-MineSweeper::protect_rw_with_retry(std::uintptr_t base, std::size_t len)
-{
-    constexpr int kAttempts = 10;
-    unsigned backoff_us = 50;
-    for (int i = 0; i < kAttempts; ++i) {
-        if (jade_.reservation().protect_rw(base, len) == vm::VmStatus::kOk)
-            return true;
-        ::usleep(backoff_us);
-        if (backoff_us < 10'000)
-            backoff_us *= 2;
-    }
-    return false;
+    stats_.add(Stat::kSweepCpuNs, (sweep::thread_cpu_ns() - cpu0) +
+                                      (helpers1 - helpers0));
 }
 
 // ----------------------------------------------------------------- misc
@@ -863,157 +444,30 @@ void
 MineSweeper::force_sweep()
 {
     quarantine_.flush_thread_buffer();
-    if (opts_.mode == Mode::kSynchronous) {
-        run_sweep_now();
-        return;
-    }
-    control_waiters_.fetch_add(1, std::memory_order_relaxed);
-    {
-        UniqueLock g(sweep_mu_);
-        if (shutdown_) {
-            control_waiters_.fetch_sub(1, std::memory_order_release);
-            return;
-        }
-        const std::uint64_t target =
-            sweeps_done_.load(std::memory_order_relaxed) + 1;
-        sweep_requested_ = true;
-        if (sweep_request_ns_.load(std::memory_order_relaxed) == 0)
-            sweep_request_ns_.store(monotonic_ns(),
-                                    std::memory_order_relaxed);
-        sweep_cv_.notify_all();
-        const auto timeout = std::chrono::milliseconds(
-            opts_.watchdog_timeout_ms != 0 ? opts_.watchdog_timeout_ms
-                                           : 500);
-        for (;;) {
-            const bool done = sweep_done_cv_.wait_for(
-                g, timeout, [&]() MSW_REQUIRES(sweep_mu_) {
-                    return shutdown_ ||
-                           sweeps_done_.load(std::memory_order_relaxed) >=
-                               target;
-                });
-            if (done)
-                break;
-            // Timed out: the sweeper may be stalled or dead. Sweep on
-            // this thread instead of hanging the caller.
-            g.unlock();
-            if (run_sweep_now())
-                watchdog_fallbacks_.fetch_add(1,
-                                              std::memory_order_relaxed);
-            g.lock();
-            if (shutdown_ ||
-                sweeps_done_.load(std::memory_order_relaxed) >= target) {
-                break;
-            }
-        }
-    }
-    control_waiters_.fetch_sub(1, std::memory_order_release);
-}
-
-void
-MineSweeper::flush()
-{
-    quarantine_.flush_thread_buffer();
-    jade_.flush();
-    if (opts_.mode == Mode::kSynchronous)
-        return;
-    // Wait out any in-flight or requested sweep.
-    control_waiters_.fetch_add(1, std::memory_order_relaxed);
-    {
-        UniqueLock g(sweep_mu_);
-        for (;;) {
-            const bool done = sweep_done_cv_.wait_for(
-                g, std::chrono::milliseconds(500),
-                [&]() MSW_REQUIRES(sweep_mu_) {
-                    return shutdown_ ||
-                           (!sweep_requested_ &&
-                            !sweep_in_progress_.load(
-                                std::memory_order_relaxed));
-                });
-            if (done)
-                break;
-            // A stalled sweeper would leave the request pending forever;
-            // serve it here so flush() keeps its completion guarantee.
-            g.unlock();
-            run_sweep_now();
-            g.lock();
-        }
-    }
-    control_waiters_.fetch_sub(1, std::memory_order_release);
-}
-
-void
-MineSweeper::add_root(const void* base, std::size_t len)
-{
-    roots_.add_root(base, len);
-}
-
-void
-MineSweeper::remove_root(const void* base)
-{
-    roots_.remove_root(base);
-}
-
-void
-MineSweeper::register_mutator_thread()
-{
-    roots_.register_current_thread();
-}
-
-void
-MineSweeper::unregister_mutator_thread()
-{
-    quarantine_.flush_thread_buffer();
-    jade_.flush();
-    roots_.unregister_current_thread();
-    // A sweep that snapshotted the stack list before the removal may
-    // still be scanning this thread's stack; the thread must not exit
-    // (and its stack must not be unmapped) until that sweep drains.
-    while (sweep_in_progress_.load(std::memory_order_acquire)) {
-        struct timespec ts {
-            0, 1000000
-        };
-        ::nanosleep(&ts, nullptr);
-    }
-}
-
-alloc::AllocatorStats
-MineSweeper::stats() const
-{
-    const quarantine::QuarantineStats qs = quarantine_.stats();
-    alloc::AllocatorStats s;
-    const std::size_t jade_live = jade_.live_bytes();
-    const std::size_t quarantined =
-        qs.pending_bytes + qs.failed_bytes + qs.unmapped_bytes;
-    s.live_bytes = jade_live > quarantined ? jade_live - quarantined : 0;
-    s.committed_bytes = access_map_.committed_bytes();
-    s.metadata_bytes = jade_.stats().metadata_bytes +
-                       shadow_.shadow_bytes() * 2;
-    s.quarantine_bytes = quarantined;
-    s.sweeps = sweeps_done_.load(std::memory_order_relaxed);
-    s.alloc_calls = alloc_calls_.load(std::memory_order_relaxed);
-    s.free_calls = free_calls_.load(std::memory_order_relaxed);
-    return s;
+    controller_.force_sweep();
 }
 
 SweepStats
 MineSweeper::sweep_stats() const
 {
+    std::uint64_t v[kStatCount];
+    stats_.read_all(v);
     SweepStats s;
-    s.sweeps = sweeps_done_.load(std::memory_order_relaxed);
-    s.entries_released = entries_released_.load(std::memory_order_relaxed);
-    s.bytes_released = bytes_released_.load(std::memory_order_relaxed);
-    s.failed_frees = failed_frees_.load(std::memory_order_relaxed);
-    s.double_frees = double_frees_.load(std::memory_order_relaxed);
-    s.bytes_scanned = bytes_scanned_.load(std::memory_order_relaxed);
-    s.sweep_cpu_ns = sweep_cpu_ns_.load(std::memory_order_relaxed);
-    s.stw_ns = stw_ns_.load(std::memory_order_relaxed);
-    s.pause_ns = pause_ns_.load(std::memory_order_relaxed);
-    s.unmapped_entries = unmapped_entries_.load(std::memory_order_relaxed);
-    s.emergency_sweeps = emergency_sweeps_.load(std::memory_order_relaxed);
-    s.commit_retries = commit_retries_.load(std::memory_order_relaxed);
+    s.sweeps = controller_.sweeps_done();
+    s.entries_released = v[static_cast<unsigned>(Stat::kEntriesReleased)];
+    s.bytes_released = v[static_cast<unsigned>(Stat::kBytesReleased)];
+    s.failed_frees = v[static_cast<unsigned>(Stat::kFailedFrees)];
+    s.double_frees = v[static_cast<unsigned>(Stat::kDoubleFrees)];
+    s.bytes_scanned = v[static_cast<unsigned>(Stat::kBytesScanned)];
+    s.sweep_cpu_ns = v[static_cast<unsigned>(Stat::kSweepCpuNs)];
+    s.stw_ns = v[static_cast<unsigned>(Stat::kStwNs)];
+    s.pause_ns = v[static_cast<unsigned>(Stat::kPauseNs)];
+    s.unmapped_entries = v[static_cast<unsigned>(Stat::kUnmappedEntries)];
+    s.emergency_sweeps = v[static_cast<unsigned>(Stat::kEmergencySweeps)];
+    s.commit_retries = v[static_cast<unsigned>(Stat::kCommitRetries)];
     s.watchdog_fallbacks =
-        watchdog_fallbacks_.load(std::memory_order_relaxed);
-    s.oom_returns = oom_returns_.load(std::memory_order_relaxed);
+        v[static_cast<unsigned>(Stat::kWatchdogFallbacks)];
+    s.oom_returns = v[static_cast<unsigned>(Stat::kOomReturns)];
     for (unsigned i = 0; i < util::kNumFailpoints; ++i)
         s.failpoint_hits[i] =
             util::failpoint_hits(static_cast<util::Failpoint>(i));

@@ -21,29 +21,25 @@
  *    scheme, they merely fall outside the guarantee);
  *  - every allocation is served with at least one byte of slack so
  *    one-past-the-end pointers keep their object quarantined.
+ *
+ * The mechanism layers live in the QuarantineRuntime base (see
+ * runtime_base.h): SweepController decides *when* a sweep runs, Reclaimer
+ * decides *how* quarantined memory comes back, StatCells counts the fast
+ * path without cache-line contention. This class keeps the policy: the
+ * linear mark (sweep::Marker), the trigger thresholds and the allocation
+ * degradation ladder.
  */
 #pragma once
 
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <thread>
 #include <vector>
 
-#include "alloc/allocator.h"
-#include "alloc/jade_allocator.h"
 #include "core/options.h"
-#include "util/bits.h"
-#include "util/failpoint.h"
-#include "util/mutex.h"
-#include "util/spin_lock.h"
-#include "util/thread_annotations.h"
-#include "quarantine/quarantine.h"
-#include "sweep/dirty_tracker.h"
-#include "sweep/page_access_map.h"
-#include "sweep/roots.h"
-#include "sweep/shadow_map.h"
+#include "core/runtime_base.h"
 #include "sweep/sweeper.h"
+#include "util/failpoint.h"
+#include "util/spin_lock.h"
 
 namespace msw::core {
 
@@ -70,7 +66,7 @@ struct SweepStats {
     std::uint64_t failpoint_hits[util::kNumFailpoints] = {};
 };
 
-class MineSweeper final : public alloc::Allocator
+class MineSweeper final : public QuarantineRuntime
 {
   public:
     explicit MineSweeper(const Options& opts = {});
@@ -82,55 +78,22 @@ class MineSweeper final : public alloc::Allocator
     // ------------------------------------------------------- Allocator
     void* alloc(std::size_t size) override;
     void free(void* ptr) override;
-    std::size_t usable_size(const void* ptr) const override;
     void* alloc_aligned(std::size_t alignment, std::size_t size) override;
-    alloc::AllocatorStats stats() const override;
     const char* name() const override { return "minesweeper"; }
 
     /** realloc with quarantine-correct free of the old block. */
     void* realloc(void* ptr, std::size_t new_size) override;
-
-    /** Complete any in-flight sweep and flush quarantine buffers. */
-    void flush() override;
-
-    // ------------------------------------------------------ Roots/threads
-
-    /** Register a root range to be scanned by sweeps (globals, tables). */
-    void add_root(const void* base, std::size_t len);
-
-    /** Remove a registered root range. */
-    void remove_root(const void* base);
-
-    /**
-     * Register the calling thread: its stack is scanned by sweeps and it
-     * participates in stop-the-world phases (mostly-concurrent mode).
-     */
-    void register_mutator_thread();
-
-    /** Unregister the calling thread (required before it exits). */
-    void unregister_mutator_thread();
 
     /**
      * Install a callback producing *additional* root ranges, re-evaluated
      * at the start of every sweep. The LD_PRELOAD shim uses this to
      * rescan /proc/self/maps so globals and late-created regions are
      * covered without explicit registration. Ranges overlapping this
-     * instance's internal_regions() are excluded automatically.
+     * instance's internal_regions() are excluded automatically. Safe
+     * against a concurrently running sweep.
      */
-    void
-    set_extra_roots_provider(
-        std::function<std::vector<sweep::Range>()> provider)
-    {
-        extra_roots_provider_ = std::move(provider);
-    }
-
-    /**
-     * Memory regions owned by this instance's machinery (shadow maps,
-     * allocator metadata, page maps). Conservative root scans must skip
-     * them: their contents are bit-patterns and metadata, not program
-     * pointers.
-     */
-    std::vector<sweep::Range> internal_regions() const;
+    void set_extra_roots_provider(
+        std::function<std::vector<sweep::Range>()> provider);
 
     // ---------------------------------------------------------- Control
 
@@ -141,29 +104,11 @@ class MineSweeper final : public alloc::Allocator
 
     const Options& options() const { return opts_; }
 
-    /** The substrate allocator (tests and benchmarks introspect it). */
-    alloc::JadeAllocator& substrate() { return jade_; }
-    const alloc::JadeAllocator& substrate() const { return jade_; }
-
-    /** True while an allocation with this base is quarantined. */
-    bool
-    in_quarantine(const void* ptr) const
-    {
-        return quarantine_bitmap_.test(to_addr(ptr));
-    }
-
   private:
-    class Hooks;
-
     void quarantine_free(void* ptr, std::uintptr_t base, std::size_t usable,
                          bool is_large);
-    [[nodiscard]] bool unmap_entry(std::uintptr_t base, std::size_t usable);
-    void drain_pending_unmaps_locked() MSW_REQUIRES(unmap_lock_);
     void maybe_trigger_sweep();
-    void maybe_pause_allocations();
     void run_sweep();
-    [[nodiscard]] bool release_entry(const quarantine::Entry& entry);
-    void sweeper_loop();
     std::vector<sweep::Range> scan_ranges() const;
 
     /** Slow path once the substrate returns nullptr: retry with backoff,
@@ -173,80 +118,18 @@ class MineSweeper final : public alloc::Allocator
     /** Synchronous sweep + full purge to free memory *now*. */
     void emergency_reclaim();
 
-    /**
-     * Run one sweep on the calling thread if no sweep is in flight
-     * (single-sweeper invariant via CAS on sweep_in_progress_). Returns
-     * false if another thread holds the sweep or shutdown has begun.
-     */
-    bool run_sweep_now();
-
-    /** Mutator-side stall detection; falls back to a synchronous sweep. */
-    void check_sweeper_watchdog();
-
-    /** protect_rw with bounded retry; false once attempts are exhausted. */
-    bool protect_rw_with_retry(std::uintptr_t base, std::size_t len);
+    static Config make_config(const Options& opts);
 
     Options opts_;
-    alloc::JadeAllocator jade_;
-    std::function<std::vector<sweep::Range>()> extra_roots_provider_;
-    std::unique_ptr<Hooks> hooks_;
-    sweep::ShadowMap shadow_;
-    sweep::ShadowMap quarantine_bitmap_;
-    sweep::PageAccessMap access_map_;
-    sweep::RootRegistry roots_;
-    quarantine::Quarantine quarantine_;
     sweep::Marker marker_;
     std::unique_ptr<sweep::SweepWorkers> workers_;
-    std::unique_ptr<sweep::DirtyTracker> tracker_;
 
-    // Deferred page-unmapping while a sweep is scanning (readers must not
-    // lose pages mid-scan). Capacity is fixed at construction
-    // (opts_.max_pending_unmaps); see ctor.
-    SpinLock unmap_lock_{util::LockRank::kCoreUnmap};
-    std::atomic<bool> sweep_active_{false};
-    std::vector<quarantine::Entry> pending_unmaps_
-        MSW_GUARDED_BY(unmap_lock_);
-
-    // Sweeper thread control. Rank kCoreControl: acquired with nothing
-    // else held; everything the sweep does (quarantine, bins, extents)
-    // ranks higher.
-    std::thread sweeper_thread_;
-    mutable Mutex sweep_mu_{util::LockRank::kCoreControl};
-    std::condition_variable_any sweep_cv_;
-    std::condition_variable_any sweep_done_cv_;
-    bool sweep_requested_ MSW_GUARDED_BY(sweep_mu_) = false;
-    bool shutdown_ MSW_GUARDED_BY(sweep_mu_) = false;
-    std::atomic<bool> sweep_in_progress_{false};
-    std::atomic<bool> pause_flag_{false};
-    std::atomic<std::uint64_t> sweeps_done_{0};
-
-    // Watchdog: timestamp of the oldest unserved sweep request (0 = none)
-    // and a sticky "sweeper considered stalled" latch, cleared when the
-    // background sweeper resumes serving requests.
-    std::atomic<std::uint64_t> sweep_request_ns_{0};
-    std::atomic<bool> watchdog_tripped_{false};
-
-    // Threads blocked in force_sweep()/flush()/pause waits. The destructor
-    // drains these before tearing members down, so control-path calls that
-    // raced shutdown return safely instead of touching freed state.
-    std::atomic<int> control_waiters_{0};
-
-    // Statistics.
-    std::atomic<std::uint64_t> entries_released_{0};
-    std::atomic<std::uint64_t> bytes_released_{0};
-    std::atomic<std::uint64_t> failed_frees_{0};
-    std::atomic<std::uint64_t> double_frees_{0};
-    std::atomic<std::uint64_t> bytes_scanned_{0};
-    std::atomic<std::uint64_t> sweep_cpu_ns_{0};
-    std::atomic<std::uint64_t> stw_ns_{0};
-    std::atomic<std::uint64_t> pause_ns_{0};
-    std::atomic<std::uint64_t> unmapped_entries_{0};
-    std::atomic<std::uint64_t> alloc_calls_{0};
-    std::atomic<std::uint64_t> free_calls_{0};
-    std::atomic<std::uint64_t> emergency_sweeps_{0};
-    std::atomic<std::uint64_t> commit_retries_{0};
-    std::atomic<std::uint64_t> watchdog_fallbacks_{0};
-    std::atomic<std::uint64_t> oom_returns_{0};
+    // The provider is installed from the shim while the sweeper may be
+    // mid-scan; scan_ranges() copies it under this lock before invoking.
+    // Rank kCoreConfig: leaf, held only around the std::function copy.
+    mutable SpinLock extra_roots_lock_{util::LockRank::kCoreConfig};
+    std::function<std::vector<sweep::Range>()> extra_roots_provider_
+        MSW_GUARDED_BY(extra_roots_lock_);
 };
 
 }  // namespace msw::core

@@ -1,0 +1,150 @@
+#include "core/reclaimer.h"
+
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/bits.h"
+#include "util/log.h"
+
+namespace msw::core {
+
+using quarantine::Entry;
+
+Reclaimer::Reclaimer(const Config& config, alloc::JadeAllocator* jade,
+                     sweep::PageAccessMap* access_map,
+                     sweep::ShadowMap* quarantine_bitmap, StatCells* stats)
+    : config_(config),
+      jade_(jade),
+      access_map_(access_map),
+      quarantine_bitmap_(quarantine_bitmap),
+      stats_(stats)
+{
+    LockGuard g(unmap_lock_);
+    pending_unmaps_.reserve(config_.max_pending_unmaps);
+}
+
+Entry
+Reclaimer::quarantine_prepare(void* ptr, std::uintptr_t base,
+                              std::size_t usable, bool is_large)
+{
+    Entry entry = Entry::make(base, usable, false);
+
+    if (config_.unmapping && is_large) {
+        // Large allocations span exclusively-owned pages: release the
+        // physical memory immediately (§4.2). If a sweep is scanning,
+        // defer the decommit so concurrent marking never faults.
+        entry = Entry::make(base, usable, true);
+        LockGuard g(unmap_lock_);
+        if (scan_active_.load(std::memory_order_relaxed)) {
+            if (pending_unmaps_.size() < config_.max_pending_unmaps) {
+                pending_unmaps_.push_back(entry);
+                stats_->add(Stat::kUnmappedEntries);
+            } else {
+                // Queue full: forgo the unmap for this entry (safe; it
+                // just stays mapped while quarantined).
+                entry = Entry::make(base, usable, false);
+                if (config_.zeroing)
+                    std::memset(ptr, 0, usable);
+            }
+        } else if (unmap_entry(base, usable)) {
+            stats_->add(Stat::kUnmappedEntries);
+        } else {
+            // Decommit refused under pressure: same safe downgrade as a
+            // full queue — the entry stays mapped while quarantined.
+            entry = Entry::make(base, usable, false);
+            if (config_.zeroing)
+                std::memset(ptr, 0, usable);
+        }
+    } else if (config_.zeroing) {
+        // Zeroing removes dangling pointers *from* quarantined data,
+        // flattening the reference graph and breaking cycles (§4.1).
+        std::memset(ptr, 0, usable);
+    }
+
+    return entry;
+}
+
+bool
+Reclaimer::unmap_entry(std::uintptr_t base, std::size_t usable)
+{
+    if (jade_->reservation().decommit(base, usable) != vm::VmStatus::kOk) {
+        return false;
+    }
+    access_map_->clear_range(base, usable);
+    return true;
+}
+
+void
+Reclaimer::drain_pending_locked()
+{
+    for (const Entry& e : pending_unmaps_) {
+        // Entries released meanwhile must not be unmapped: their memory
+        // may already be reallocated. Release clears the quarantine bit.
+        if (quarantine_bitmap_->test(e.real_base())) {
+            if (!unmap_entry(e.real_base(), e.usable)) {
+                // Transient decommit failure: the entry simply keeps its
+                // pages while quarantined. release_entry()'s protect_rw
+                // and access-map restore are idempotent, so the stale
+                // unmapped flag is harmless.
+                MSW_LOG_DEBUG("deferred unmap of %zu bytes skipped",
+                              e.usable);
+            }
+        }
+    }
+    pending_unmaps_.clear();
+}
+
+void
+Reclaimer::begin_scan()
+{
+    LockGuard g(unmap_lock_);
+    scan_active_.store(true, std::memory_order_release);
+}
+
+void
+Reclaimer::drain_pending()
+{
+    LockGuard g(unmap_lock_);
+    drain_pending_locked();
+}
+
+void
+Reclaimer::end_scan()
+{
+    LockGuard g(unmap_lock_);
+    scan_active_.store(false, std::memory_order_release);
+    drain_pending_locked();
+}
+
+bool
+Reclaimer::release_entry(const Entry& entry)
+{
+    if (entry.unmapped) {
+        // Restore access before handing the range back; physical pages
+        // refault as zeros, so the memory win persists until reuse.
+        if (!protect_rw_with_retry(entry.real_base(), entry.usable))
+            return false;
+        access_map_->set_range(entry.real_base(), entry.usable);
+    }
+    quarantine_bitmap_->clear(entry.real_base());
+    jade_->free_direct(to_ptr(entry.real_base()));
+    return true;
+}
+
+bool
+Reclaimer::protect_rw_with_retry(std::uintptr_t base, std::size_t len)
+{
+    constexpr int kAttempts = 10;
+    unsigned backoff_us = 50;
+    for (int i = 0; i < kAttempts; ++i) {
+        if (jade_->reservation().protect_rw(base, len) == vm::VmStatus::kOk)
+            return true;
+        ::usleep(backoff_us);
+        if (backoff_us < 10'000)
+            backoff_us *= 2;
+    }
+    return false;
+}
+
+}  // namespace msw::core

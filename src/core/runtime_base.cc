@@ -1,0 +1,233 @@
+#include "core/runtime_base.h"
+
+#include <ctime>
+
+#include "alloc/extent.h"
+#include "alloc/size_classes.h"
+#include "util/bits.h"
+#include "util/check.h"
+#include "util/log.h"
+
+namespace msw::core {
+
+using alloc::ExtentKind;
+using alloc::ExtentMeta;
+using sweep::Range;
+
+/**
+ * Extent hooks that keep the committed-page map exact: this is how sweeps
+ * know which pages exist, and how purged pages are excluded from scanning
+ * instead of being faulted back in (paper §4.5).
+ */
+class QuarantineRuntime::Hooks final : public alloc::ExtentHooks
+{
+  public:
+    Hooks(QuarantineRuntime* owner, const vm::Reservation* heap)
+        : alloc::ExtentHooks(heap), owner_(owner)
+    {}
+
+    [[nodiscard]] bool
+    commit(std::uintptr_t addr, std::size_t len) override
+    {
+        if (heap_->protect_rw(addr, len) != vm::VmStatus::kOk) {
+            return false;
+        }
+        owner_->access_map_.set_range(addr, len);
+        // Pages appearing mid-epoch must be treated as dirty.
+        if (owner_->tracker_ != nullptr &&
+            owner_->reclaimer_.scan_active()) {
+            owner_->tracker_->note_committed(addr, len);
+        }
+        return true;
+    }
+
+    [[nodiscard]] bool
+    purge(std::uintptr_t addr, std::size_t len) override
+    {
+        // True decommit (discard + PROT_NONE), not jemalloc's
+        // keep-accessible purge: sweeps skip these pages entirely.
+        if (heap_->decommit(addr, len) != vm::VmStatus::kOk) {
+            // Pages keep their backing and stay in the access map; the
+            // extent stays accounted committed and is re-purged later.
+            return false;
+        }
+        owner_->access_map_.clear_range(addr, len);
+        return true;
+    }
+
+  private:
+    QuarantineRuntime* owner_;
+};
+
+QuarantineRuntime::QuarantineRuntime(const Config& config,
+                                     std::function<void()> sweep_fn)
+    : config_([&] {
+          Config c = config;
+          // Quarantine runtimes replace decay purging with the post-sweep
+          // full purge (§4.5); leaving decay on would purge behind the
+          // page-access map's back from unhooked call sites.
+          c.jade.decay_ms = 0;
+          return c;
+      }()),
+      jade_(config_.jade),
+      mark_bits_(jade_.reservation().base(), jade_.reservation().size()),
+      quarantine_bitmap_(jade_.reservation().base(),
+                         jade_.reservation().size()),
+      access_map_(jade_.reservation().base(), jade_.reservation().size()),
+      quarantine_(config_.tl_buffer_entries),
+      reclaimer_(config_.reclaim, &jade_, &access_map_, &quarantine_bitmap_,
+                 &stats_),
+      controller_(config_.control, std::move(sweep_fn), &stats_)
+{
+    hooks_ = std::make_unique<Hooks>(this, &jade_.reservation());
+    jade_.extents().set_hooks(hooks_.get());
+
+    if (config_.make_tracker) {
+        tracker_ = sweep::make_dirty_tracker(&jade_.reservation());
+        if (auto* mp =
+                dynamic_cast<sweep::MprotectTracker*>(tracker_.get())) {
+            mp->set_committed_filter(
+                [](std::uintptr_t addr, void* arg) {
+                    return static_cast<sweep::PageAccessMap*>(arg)->test(
+                        addr);
+                },
+                &access_map_);
+        }
+    }
+    // The derived constructor calls controller_.start() once every member
+    // its sweep function touches exists.
+}
+
+QuarantineRuntime::~QuarantineRuntime()
+{
+    // The derived destructor already called controller_.shutdown() (it
+    // must: the sweep function touches derived members). Idempotent here,
+    // covering runtimes whose sweep function only touches base members.
+    controller_.shutdown();
+    // Restore default hooks before jade_ (a member) is destroyed, so any
+    // destructor-time extent operations do not touch freed state.
+    jade_.extents().set_hooks(nullptr);
+}
+
+QuarantineRuntime::FreeTarget
+QuarantineRuntime::classify(std::uintptr_t addr) const
+{
+    MSW_CHECK(jade_.contains(addr));
+    ExtentMeta* meta = jade_.extents().lookup_live(addr);
+    FreeTarget t;
+    if (meta->kind == ExtentKind::kLarge) {
+        t.base = meta->base;
+        t.usable = meta->bytes();
+        t.is_large = true;
+    } else {
+        const std::size_t obj = alloc::class_size(meta->cls);
+        t.base = meta->base + ((addr - meta->base) / obj) * obj;
+        t.usable = obj;
+        t.is_large = false;
+    }
+    MSW_CHECK(t.base == addr);
+    return t;
+}
+
+bool
+QuarantineRuntime::absorb_double_free(void* ptr, std::uintptr_t base)
+{
+    if (!quarantine_bitmap_.test_and_set(base))
+        return false;
+    stats_.add(Stat::kDoubleFrees);
+    if (config_.report_double_frees)
+        MSW_LOG_WARN("double free of %p absorbed", ptr);
+    return true;
+}
+
+std::size_t
+QuarantineRuntime::usable_size(const void* ptr) const
+{
+    // One byte of the underlying allocation is reserved for the
+    // end-pointer guarantee; never report it as usable.
+    return jade_.usable_size(ptr) - 1;
+}
+
+void
+QuarantineRuntime::flush()
+{
+    quarantine_.flush_thread_buffer();
+    jade_.flush();
+    // Wait out any in-flight or requested sweep (no-op in synchronous
+    // mode; serves stalled requests on this thread otherwise).
+    controller_.wait_idle();
+}
+
+void
+QuarantineRuntime::add_root(const void* base, std::size_t len)
+{
+    roots_.add_root(base, len);
+}
+
+void
+QuarantineRuntime::remove_root(const void* base)
+{
+    roots_.remove_root(base);
+}
+
+void
+QuarantineRuntime::register_mutator_thread()
+{
+    roots_.register_current_thread();
+}
+
+void
+QuarantineRuntime::unregister_mutator_thread()
+{
+    quarantine_.flush_thread_buffer();
+    jade_.flush();
+    roots_.unregister_current_thread();
+    // A sweep that snapshotted the stack list before the removal may
+    // still be scanning this thread's stack; the thread must not exit
+    // (and its stack must not be unmapped) until that sweep drains.
+    while (controller_.sweep_in_progress()) {
+        struct timespec ts {
+            0, 1000000
+        };
+        ::nanosleep(&ts, nullptr);
+    }
+}
+
+std::vector<Range>
+QuarantineRuntime::internal_regions() const
+{
+    std::vector<Range> out;
+    const auto add = [&out](const vm::Reservation& r) {
+        if (r.size() != 0)
+            out.push_back(Range{r.base(), r.size()});
+    };
+    add(jade_.extents().meta_reservation());
+    add(jade_.extents().page_map_reservation());
+    add(mark_bits_.storage());
+    add(mark_bits_.chunk_storage());
+    add(quarantine_bitmap_.storage());
+    add(quarantine_bitmap_.chunk_storage());
+    add(access_map_.storage());
+    return out;
+}
+
+alloc::AllocatorStats
+QuarantineRuntime::stats() const
+{
+    const quarantine::QuarantineStats qs = quarantine_.stats();
+    alloc::AllocatorStats s;
+    const std::size_t jade_live = jade_.live_bytes();
+    const std::size_t quarantined =
+        qs.pending_bytes + qs.failed_bytes + qs.unmapped_bytes;
+    s.live_bytes = jade_live > quarantined ? jade_live - quarantined : 0;
+    s.committed_bytes = access_map_.committed_bytes();
+    s.metadata_bytes =
+        jade_.stats().metadata_bytes + mark_bits_.shadow_bytes() * 2;
+    s.quarantine_bytes = quarantined;
+    s.sweeps = controller_.sweeps_done();
+    s.alloc_calls = stats_.read(Stat::kAllocCalls);
+    s.free_calls = stats_.read(Stat::kFreeCalls);
+    return s;
+}
+
+}  // namespace msw::core

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The layered UAF-runtime base classes.
+ *
+ * Every system under evaluation used to re-implement the same plumbing by
+ * hand (MarkUs duplicated MineSweeper's hooks, epochs, root registration
+ * and stats surface almost line for line). The hierarchy now is:
+ *
+ *   alloc::Allocator                    the drop-in malloc interface
+ *     └─ RuntimeBase                    sharded statistics surface
+ *          ├─ FFMalloc                  (one-time allocator; no quarantine)
+ *          └─ QuarantineRuntime         jade substrate + quarantine epochs
+ *               │                       + committed-page hooks + roots
+ *               │                       + reclaimer + sweep controller
+ *               ├─ MineSweeper          linear sweep (paper §3–§4)
+ *               └─ MarkUs               transitive conservative marking
+ *
+ * QuarantineRuntime owns the *mechanism* layers extracted from the old
+ * god-object — SweepController (when sweeps run), Reclaimer (how memory
+ * comes back) and StatCells (how the fast path counts) — while the
+ * derived classes keep only their *policy*: what a sweep/mark pass
+ * actually does and when to trigger one.
+ */
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "alloc/jade_allocator.h"
+#include "core/reclaimer.h"
+#include "core/stat_cells.h"
+#include "core/sweep_controller.h"
+#include "quarantine/quarantine.h"
+#include "sweep/dirty_tracker.h"
+#include "sweep/page_access_map.h"
+#include "sweep/roots.h"
+#include "sweep/shadow_map.h"
+
+namespace msw::core {
+
+/**
+ * Statistics surface shared by every UAF runtime: a sharded counter block
+ * replacing the per-class contended atomics.
+ */
+class RuntimeBase : public alloc::Allocator
+{
+  public:
+    /** The sharded counter block (tests and benchmarks introspect it). */
+    StatCells& stat_cells() { return stats_; }
+    const StatCells& stat_cells() const { return stats_; }
+
+  protected:
+    RuntimeBase() = default;
+
+    mutable StatCells stats_;
+};
+
+/**
+ * Shared plumbing for quarantine-based runtimes sitting on the JadeHeap
+ * substrate: the committed-page hooks, the quarantine epochs and
+ * double-free bitmap, root/thread registration, the reclaimer and the
+ * sweep controller. Derived classes provide the sweep function and the
+ * trigger policy.
+ */
+class QuarantineRuntime : public RuntimeBase
+{
+  public:
+    struct Config {
+        alloc::JadeAllocator::Options jade{};
+        std::size_t tl_buffer_entries = 64;
+        Reclaimer::Config reclaim{};
+        SweepController::Config control{};
+        /** Create a dirty tracker (mostly-concurrent marking). */
+        bool make_tracker = false;
+        /** Report absorbed double frees to stderr (debug mode, §3). */
+        bool report_double_frees = false;
+    };
+
+    ~QuarantineRuntime() override;
+
+    // ------------------------------------------------------ Roots/threads
+
+    /** Register a root range to be scanned by sweeps (globals, tables). */
+    void add_root(const void* base, std::size_t len);
+
+    /** Remove a registered root range. */
+    void remove_root(const void* base);
+
+    /**
+     * Register the calling thread: its stack is scanned by sweeps and it
+     * participates in stop-the-world phases (mostly-concurrent mode).
+     */
+    void register_mutator_thread();
+
+    /** Unregister the calling thread (required before it exits). */
+    void unregister_mutator_thread();
+
+    // ---------------------------------------------------------- Surface
+
+    std::size_t usable_size(const void* ptr) const override;
+    alloc::AllocatorStats stats() const override;
+
+    /** Complete any in-flight sweep and flush quarantine buffers. */
+    void flush() override;
+
+    /** True while an allocation with this base is quarantined. */
+    bool
+    in_quarantine(const void* ptr) const
+    {
+        return quarantine_bitmap_.test(to_addr(ptr));
+    }
+
+    /** The substrate allocator (tests and benchmarks introspect it). */
+    alloc::JadeAllocator& substrate() { return jade_; }
+    const alloc::JadeAllocator& substrate() const { return jade_; }
+
+    /**
+     * Memory regions owned by this instance's machinery (shadow maps,
+     * allocator metadata, page maps). Conservative root scans must skip
+     * them: their contents are bit-patterns and metadata, not program
+     * pointers.
+     */
+    std::vector<sweep::Range> internal_regions() const;
+
+  protected:
+    /**
+     * @param sweep_fn One full sweep/mark pass; stored, not invoked — the
+     *        derived constructor calls controller_.start() once every
+     *        member the pass touches exists.
+     */
+    QuarantineRuntime(const Config& config,
+                      std::function<void()> sweep_fn);
+
+    /** A freed pointer resolved against the substrate's metadata. */
+    struct FreeTarget {
+        std::uintptr_t base;
+        std::size_t usable;
+        bool is_large;
+    };
+
+    /** Resolve @p addr to its allocation; checks base==addr (invalid or
+        interior frees are programming errors, as in the paper). */
+    FreeTarget classify(std::uintptr_t addr) const;
+
+    /**
+     * Double-free de-duplication (paper §3): returns true (and counts)
+     * if @p base is already quarantined — the free is idempotent.
+     */
+    bool absorb_double_free(void* ptr, std::uintptr_t base);
+
+    Config config_;
+    alloc::JadeAllocator jade_;
+    sweep::ShadowMap mark_bits_;         ///< Per-sweep mark bits.
+    sweep::ShadowMap quarantine_bitmap_; ///< Double-free de-dup.
+    sweep::PageAccessMap access_map_;
+    sweep::RootRegistry roots_;
+    quarantine::Quarantine quarantine_;
+    std::unique_ptr<sweep::DirtyTracker> tracker_;
+    Reclaimer reclaimer_;
+    SweepController controller_;
+
+  private:
+    class Hooks;
+
+    std::unique_ptr<Hooks> hooks_;
+};
+
+}  // namespace msw::core

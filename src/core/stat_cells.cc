@@ -1,0 +1,33 @@
+#include "core/stat_cells.h"
+
+namespace msw::core {
+
+unsigned
+StatCells::next_shard()
+{
+    static std::atomic<unsigned> next{0};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t
+StatCells::read(Stat stat) const
+{
+    std::uint64_t sum = 0;
+    for (const Shard& s : shards_)
+        sum += s.v[static_cast<unsigned>(stat)].load(
+            std::memory_order_relaxed);
+    return sum;
+}
+
+void
+StatCells::read_all(std::uint64_t (&out)[kStatCount]) const
+{
+    for (unsigned i = 0; i < kStatCount; ++i)
+        out[i] = 0;
+    for (const Shard& s : shards_) {
+        for (unsigned i = 0; i < kStatCount; ++i)
+            out[i] += s.v[i].load(std::memory_order_relaxed);
+    }
+}
+
+}  // namespace msw::core

@@ -1,0 +1,346 @@
+#include "core/sweep_controller.h"
+
+#include <ctime>
+
+#include "util/failpoint.h"
+#include "util/log.h"
+
+namespace msw::core {
+
+using util::Failpoint;
+using util::failpoint_should_fail;
+
+namespace {
+
+thread_local bool tls_sweep_context = false;
+
+void
+sleep_ms(long ms)
+{
+    struct timespec ts {
+        0, ms * 1000000
+    };
+    ::nanosleep(&ts, nullptr);
+}
+
+}  // namespace
+
+std::uint64_t
+monotonic_ns()
+{
+    struct timespec ts;
+    ::clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+bool
+SweepController::in_sweep_context()
+{
+    return tls_sweep_context;
+}
+
+SweepController::ScopedSweepContext::ScopedSweepContext()
+    : saved_(tls_sweep_context)
+{
+    tls_sweep_context = true;
+}
+
+SweepController::ScopedSweepContext::~ScopedSweepContext()
+{
+    tls_sweep_context = saved_;
+}
+
+SweepController::SweepController(const Config& config,
+                                 std::function<void()> sweep_fn,
+                                 StatCells* stats)
+    : config_(config), sweep_fn_(std::move(sweep_fn)), stats_(stats)
+{}
+
+SweepController::~SweepController()
+{
+    shutdown();
+}
+
+void
+SweepController::start()
+{
+    if (config_.background)
+        sweeper_thread_ = std::thread([this] { sweeper_loop(); });
+}
+
+void
+SweepController::shutdown()
+{
+    if (stopped_.exchange(true, std::memory_order_acq_rel))
+        return;
+    {
+        MutexGuard g(sweep_mu_);
+        shutdown_ = true;
+    }
+    // Wake everything: the sweeper (to exit) and any force_sweep()/
+    // wait_idle()/pause waiters (their predicates include shutdown_).
+    sweep_cv_.notify_all();
+    sweep_done_cv_.notify_all();
+    if (sweeper_thread_.joinable())
+        sweeper_thread_.join();
+
+    // Claim the sweep token permanently: a watchdog-fallback or
+    // synchronous sweep that won the CAS before shutdown finishes first
+    // (the owner's members are still alive here); any later attempt fails
+    // the CAS and returns without sweeping.
+    bool expected = false;
+    while (!sweep_in_progress_.compare_exchange_weak(
+        expected, true, std::memory_order_acquire)) {
+        expected = false;
+        sleep_ms(1);
+    }
+    sweep_done_cv_.notify_all();
+
+    // Drain control-path waiters that entered before shutdown was
+    // visible, so no thread is left blocked on state the owner destroys.
+    while (control_waiters_.load(std::memory_order_acquire) != 0) {
+        sweep_done_cv_.notify_all();
+        sleep_ms(1);
+    }
+}
+
+void
+SweepController::request_sweep(bool pause_allocations)
+{
+    if (!config_.background) {
+        run_sweep_now();
+        return;
+    }
+    {
+        MutexGuard g(sweep_mu_);
+        sweep_requested_ = true;
+        // Watchdog heartbeat: stamp the oldest unserved request (the
+        // sweeper clears this when it picks the request up).
+        if (sweep_request_ns_.load(std::memory_order_relaxed) == 0)
+            sweep_request_ns_.store(monotonic_ns(),
+                                    std::memory_order_relaxed);
+        if (pause_allocations)
+            pause_flag_.store(true, std::memory_order_relaxed);
+    }
+    sweep_cv_.notify_all();
+    check_watchdog();
+}
+
+bool
+SweepController::run_sweep_now()
+{
+    bool expected = false;
+    if (!sweep_in_progress_.compare_exchange_strong(
+            expected, true, std::memory_order_acquire)) {
+        return false;
+    }
+    {
+        MutexGuard g(sweep_mu_);
+        if (shutdown_) {
+            // Do not start new sweeps during teardown; shutdown() is
+            // waiting to claim this token.
+            sweep_in_progress_.store(false, std::memory_order_release);
+            return false;
+        }
+        sweep_requested_ = false;
+        sweep_request_ns_.store(0, std::memory_order_relaxed);
+    }
+    sweep_fn_();
+    {
+        MutexGuard g(sweep_mu_);
+        sweeps_done_.fetch_add(1, std::memory_order_relaxed);
+        pause_flag_.store(false, std::memory_order_relaxed);
+        sweep_in_progress_.store(false, std::memory_order_release);
+    }
+    sweep_done_cv_.notify_all();
+    return true;
+}
+
+void
+SweepController::check_watchdog()
+{
+    if (config_.watchdog_timeout_ms == 0 || tls_sweep_context ||
+        !config_.background) {
+        return;
+    }
+    const std::uint64_t req =
+        sweep_request_ns_.load(std::memory_order_relaxed);
+    if (req == 0 || sweep_in_progress_.load(std::memory_order_acquire))
+        return;
+    const bool overdue =
+        watchdog_tripped_.load(std::memory_order_relaxed) ||
+        monotonic_ns() - req >=
+            config_.watchdog_timeout_ms * 1'000'000ull;
+    if (!overdue)
+        return;
+    if (!watchdog_tripped_.exchange(true, std::memory_order_relaxed)) {
+        MSW_LOG_WARN("sweeper watchdog: request unserved for %llu ms; "
+                     "falling back to synchronous sweeps",
+                     static_cast<unsigned long long>(
+                         config_.watchdog_timeout_ms));
+    }
+    if (run_sweep_now())
+        stats_->add(Stat::kWatchdogFallbacks);
+}
+
+void
+SweepController::maybe_pause()
+{
+    if (tls_sweep_context ||
+        !pause_flag_.load(std::memory_order_relaxed)) {
+        return;
+    }
+    const std::uint64_t t0 = monotonic_ns();
+    {
+        UniqueLock g(sweep_mu_);
+        control_waiters_.fetch_add(1, std::memory_order_relaxed);
+        sweep_done_cv_.wait_for(g, std::chrono::seconds(2),
+                                [&]() MSW_REQUIRES(sweep_mu_) {
+                                    return shutdown_ ||
+                                           !pause_flag_.load(
+                                               std::memory_order_relaxed);
+                                });
+        control_waiters_.fetch_sub(1, std::memory_order_release);
+    }
+    stats_->add(Stat::kPauseNs, monotonic_ns() - t0);
+    // A stalled sweeper never clears the pause flag — make sure progress
+    // is still possible before returning to the allocation path.
+    check_watchdog();
+}
+
+void
+SweepController::wait_for_sweep_completion(std::uint64_t timeout_ms)
+{
+    UniqueLock g(sweep_mu_);
+    control_waiters_.fetch_add(1, std::memory_order_relaxed);
+    sweep_done_cv_.wait_for(
+        g, std::chrono::milliseconds(timeout_ms),
+        [&]() MSW_REQUIRES(sweep_mu_) {
+            return shutdown_ ||
+                   !sweep_in_progress_.load(std::memory_order_relaxed);
+        });
+    control_waiters_.fetch_sub(1, std::memory_order_release);
+}
+
+void
+SweepController::force_sweep()
+{
+    if (!config_.background) {
+        run_sweep_now();
+        return;
+    }
+    control_waiters_.fetch_add(1, std::memory_order_relaxed);
+    {
+        UniqueLock g(sweep_mu_);
+        if (shutdown_) {
+            control_waiters_.fetch_sub(1, std::memory_order_release);
+            return;
+        }
+        const std::uint64_t target =
+            sweeps_done_.load(std::memory_order_relaxed) + 1;
+        sweep_requested_ = true;
+        if (sweep_request_ns_.load(std::memory_order_relaxed) == 0)
+            sweep_request_ns_.store(monotonic_ns(),
+                                    std::memory_order_relaxed);
+        sweep_cv_.notify_all();
+        const auto timeout = std::chrono::milliseconds(
+            config_.watchdog_timeout_ms != 0 ? config_.watchdog_timeout_ms
+                                             : config_.wait_poll_ms);
+        for (;;) {
+            const bool done = sweep_done_cv_.wait_for(
+                g, timeout, [&]() MSW_REQUIRES(sweep_mu_) {
+                    return shutdown_ ||
+                           sweeps_done_.load(std::memory_order_relaxed) >=
+                               target;
+                });
+            if (done)
+                break;
+            // Timed out: the sweeper may be stalled or dead. Sweep on
+            // this thread instead of hanging the caller.
+            g.unlock();
+            if (run_sweep_now())
+                stats_->add(Stat::kWatchdogFallbacks);
+            g.lock();
+            if (shutdown_ ||
+                sweeps_done_.load(std::memory_order_relaxed) >= target) {
+                break;
+            }
+        }
+    }
+    control_waiters_.fetch_sub(1, std::memory_order_release);
+}
+
+void
+SweepController::wait_idle()
+{
+    if (!config_.background)
+        return;
+    control_waiters_.fetch_add(1, std::memory_order_relaxed);
+    {
+        UniqueLock g(sweep_mu_);
+        for (;;) {
+            const bool done = sweep_done_cv_.wait_for(
+                g, std::chrono::milliseconds(config_.wait_poll_ms),
+                [&]() MSW_REQUIRES(sweep_mu_) {
+                    return shutdown_ ||
+                           (!sweep_requested_ &&
+                            !sweep_in_progress_.load(
+                                std::memory_order_relaxed));
+                });
+            if (done)
+                break;
+            // A stalled sweeper would leave the request pending forever;
+            // serve it here so flush() keeps its completion guarantee.
+            g.unlock();
+            run_sweep_now();
+            g.lock();
+        }
+    }
+    control_waiters_.fetch_sub(1, std::memory_order_release);
+}
+
+void
+SweepController::sweeper_loop()
+{
+    tls_sweep_context = true;
+    UniqueLock l(sweep_mu_);
+    while (!shutdown_) {
+        sweep_cv_.wait(l, [&]() MSW_REQUIRES(sweep_mu_) {
+            return sweep_requested_ || shutdown_;
+        });
+        if (shutdown_)
+            break;
+        if (failpoint_should_fail(Failpoint::kSweeperStall)) {
+            // Play dead: leave the request pending (so the watchdog can
+            // see it age) and re-check once the failpoint lets go.
+            sweep_cv_.wait_for(l, std::chrono::milliseconds(10),
+                               [&]() MSW_REQUIRES(sweep_mu_) {
+                                   return shutdown_;
+                               });
+            continue;
+        }
+        bool expected = false;
+        if (!sweep_in_progress_.compare_exchange_strong(
+                expected, true, std::memory_order_acquire)) {
+            // A watchdog fallback owns the sweep; it clears the request
+            // and notifies when done.
+            sweep_done_cv_.wait_for(l, std::chrono::milliseconds(1));
+            continue;
+        }
+        sweep_requested_ = false;
+        // Heartbeat: the request is being served, so the sweeper is
+        // alive again — clear the stall latch.
+        sweep_request_ns_.store(0, std::memory_order_relaxed);
+        watchdog_tripped_.store(false, std::memory_order_relaxed);
+        l.unlock();
+        sweep_fn_();
+        l.lock();
+        sweep_in_progress_.store(false, std::memory_order_release);
+        pause_flag_.store(false, std::memory_order_relaxed);
+        sweeps_done_.fetch_add(1, std::memory_order_relaxed);
+        sweep_done_cv_.notify_all();
+    }
+}
+
+}  // namespace msw::core

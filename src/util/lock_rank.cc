@@ -104,6 +104,8 @@ lock_rank_name(LockRank rank)
         return "core/workers";
     case LockRank::kCoreUnmap:
         return "core/unmap";
+    case LockRank::kCoreConfig:
+        return "core/config";
     case LockRank::kQuarantineRegistry:
         return "quarantine/registry";
     case LockRank::kQuarantine:

@@ -47,6 +47,7 @@ enum class LockRank : std::uint8_t {
     kCoreRoots = 12,    ///< RootRegistry (held across the STW window).
     kCoreWorkers = 14,  ///< SweepWorkers job dispatch.
     kCoreUnmap = 16,    ///< Deferred-unmap queues.
+    kCoreConfig = 18,   ///< Runtime configuration (extra-roots provider).
 
     // -- quarantine band ------------------------------------------------
     kQuarantineRegistry = 20,  ///< Thread-buffer registry (process-wide).
