@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "util/bits.h"
+
 namespace msw::alloc {
 
 MetaPool::MetaPool(std::size_t capacity_bytes)
@@ -33,7 +35,7 @@ MetaPool::alloc()
         space_.commit_must(committed_end, new_end - committed_end);
         committed_ = new_end - space_.base();
     }
-    auto* m = reinterpret_cast<ExtentMeta*>(bump_);
+    auto* m = to_ptr_of<ExtentMeta>(bump_);
     bump_ += sz;
     std::memset(static_cast<void*>(m), 0, sizeof(ExtentMeta));
     return m;

@@ -34,7 +34,7 @@ ExtentAllocator::ExtentAllocator(std::size_t heap_bytes,
         vm::Reservation::reserve(heap_pages * sizeof(ExtentMeta*));
     page_map_space_.commit_must(page_map_space_.base(),
                                 page_map_space_.size());
-    page_map_ = reinterpret_cast<ExtentMeta**>(page_map_space_.base());
+    page_map_ = to_ptr_of<ExtentMeta*>(page_map_space_.base());
     bump_ = heap_.base();
 }
 

@@ -28,14 +28,13 @@ FFMalloc::FFMalloc(const Options& opts)
     const std::size_t pages = space_.size() >> vm::kPageShift;
     info_space_ = vm::Reservation::reserve(pages * sizeof(std::uint32_t));
     info_space_.commit_must(info_space_.base(), info_space_.size());
-    page_info_ = reinterpret_cast<std::uint32_t*>(info_space_.base());
+    page_info_ = to_ptr_of<std::uint32_t>(info_space_.base());
 
     live_space_ = vm::Reservation::reserve(
         pages * (sizeof(std::uint16_t) + sizeof(std::uint8_t)));
     live_space_.commit_must(live_space_.base(), live_space_.size());
-    page_live_ = reinterpret_cast<std::atomic<std::uint16_t>*>(
-        live_space_.base());
-    page_sealed_ = reinterpret_cast<std::atomic<std::uint8_t>*>(
+    page_live_ = to_ptr_of<std::atomic<std::uint16_t>>(live_space_.base());
+    page_sealed_ = to_ptr_of<std::atomic<std::uint8_t>>(
         live_space_.base() + pages * sizeof(std::uint16_t));
 
     {

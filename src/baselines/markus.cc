@@ -147,7 +147,7 @@ MarkUs::scan_for_objects(std::uintptr_t base, std::size_t len,
         // Relaxed atomic: mutators write scanned memory concurrently and
         // the conservative mark tolerates torn/stale words by design.
         const std::uint64_t v = __atomic_load_n(
-            reinterpret_cast<const std::uint64_t*>(lo), __ATOMIC_RELAXED);
+            to_ptr_of<const std::uint64_t>(lo), __ATOMIC_RELAXED);
         if (v - heap_base >= heap_end - heap_base)
             continue;
         alloc::JadeAllocator::AllocationInfo info;

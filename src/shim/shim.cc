@@ -231,8 +231,12 @@ posix_memalign(void** out, std::size_t alignment, std::size_t size)
     if (alignment < sizeof(void*) || !msw::is_pow2(alignment))
         return EINVAL;
     MineSweeper* ms = engine();
+    // posix_memalign reports failure via its return value and must leave
+    // errno untouched even though the engine issues syscalls internally.
+    const int saved_errno = errno;
     *out = ms == nullptr ? boot_alloc(size, alignment)
                          : ms->alloc_aligned(alignment, size);
+    errno = saved_errno;
     return *out != nullptr ? 0 : ENOMEM;
 }
 
@@ -272,7 +276,12 @@ malloc_usable_size(void* ptr)
     if (is_boot_pointer(ptr))
         return 0;  // unknown; boot objects are never queried in practice
     MineSweeper* ms = engine();
-    return ms == nullptr ? 0 : ms->usable_size(ptr);
+    // Pure query, but engine() may boot the runtime (mmap etc.) on the
+    // first call; never let that leak into the caller's errno.
+    const int saved_errno = errno;
+    const std::size_t size = ms == nullptr ? 0 : ms->usable_size(ptr);
+    errno = saved_errno;
+    return size;
 }
 
 }  // extern "C"

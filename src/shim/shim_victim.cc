@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "util/bits.h"
+
 namespace {
 
 /** The "program bug": a global dangling pointer. */
@@ -100,7 +102,7 @@ main()
     // Aligned allocation.
     void* aligned = nullptr;
     if (posix_memalign(&aligned, 4096, 10000) != 0 ||
-        (reinterpret_cast<std::uintptr_t>(aligned) & 4095) != 0) {
+        (msw::to_addr(aligned) & 4095) != 0) {
         std::printf("VICTIM FAIL: posix_memalign\n");
         return 1;
     }

@@ -7,11 +7,11 @@
 
 #include <cstring>
 #include <cstdio>
-#include <mutex>
 
 #include "util/bits.h"
 #include "util/check.h"
 #include "util/log.h"
+#include "util/mutex.h"
 #include "util/spin_lock.h"
 
 namespace msw::sweep {
@@ -157,7 +157,7 @@ struct sigaction g_prev_segv;
 void
 segv_handler(int sig, siginfo_t* info, void* ucontext)
 {
-    const auto addr = reinterpret_cast<std::uintptr_t>(info->si_addr);
+    const auto addr = to_addr(info->si_addr);
     for (int i = 0; i < kMaxActiveTrackers; ++i) {
         MprotectTracker* tracker =
             __atomic_load_n(&g_active_trackers[i], __ATOMIC_ACQUIRE);
@@ -228,12 +228,12 @@ MprotectTracker::MprotectTracker(const vm::Reservation* heap) : heap_(heap)
     num_pages_ = heap_->size() >> vm::kPageShift;
     state_ = vm::Reservation::reserve(num_pages_);
     state_.commit_must(state_.base(), state_.size());
-    page_state_ = reinterpret_cast<unsigned char*>(state_.base());
+    page_state_ = to_ptr_of<unsigned char>(state_.base());
     install_segv_handler();
     // Register for the tracker's whole lifetime (not per epoch): a write
     // fault raised during an epoch can reach the handler *after* the
     // epoch ended, and must still be recognised and recovered.
-    std::lock_guard<SpinLock> g(g_tracker_lock);
+    LockGuard g(g_tracker_lock);
     bool placed = false;
     for (auto& slot : g_active_trackers) {
         if (slot == nullptr) {
@@ -247,7 +247,7 @@ MprotectTracker::MprotectTracker(const vm::Reservation* heap) : heap_(heap)
 
 MprotectTracker::~MprotectTracker()
 {
-    std::lock_guard<SpinLock> g(g_tracker_lock);
+    LockGuard g(g_tracker_lock);
     for (auto& slot : g_active_trackers) {
         if (slot == this)
             __atomic_store_n(&slot, static_cast<MprotectTracker*>(nullptr),

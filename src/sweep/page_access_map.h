@@ -30,7 +30,7 @@ class PageAccessMap
         space_ = vm::Reservation::reserve(ceil_div(num_pages_, 64) *
                                           sizeof(std::uint64_t));
         space_.commit_must(space_.base(), space_.size());
-        words_ = reinterpret_cast<std::atomic<std::uint64_t>*>(space_.base());
+        words_ = to_ptr_of<std::atomic<std::uint64_t>>(space_.base());
     }
 
     PageAccessMap(const PageAccessMap&) = delete;

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "util/bits.h"
 #include "util/check.h"
 
 namespace msw::sweep {
@@ -15,15 +16,14 @@ ShadowMap::ShadowMap(std::uintptr_t heap_base, std::size_t heap_bytes)
     num_words_ = ceil_div(granules, 64);
     space_ = vm::Reservation::reserve(num_words_ * sizeof(std::uint64_t));
     space_.commit_must(space_.base(), space_.size());
-    words_ = reinterpret_cast<std::atomic<std::uint64_t>*>(space_.base());
+    words_ = to_ptr_of<std::atomic<std::uint64_t>>(space_.base());
 
     const std::size_t shadow_bytes = num_words_ * sizeof(std::uint64_t);
     num_chunks_ = ceil_div(shadow_bytes, kChunkBytes);
     chunk_space_ = vm::Reservation::reserve(
         ceil_div(num_chunks_, 64) * sizeof(std::uint64_t));
     chunk_space_.commit_must(chunk_space_.base(), chunk_space_.size());
-    chunk_dirty_ =
-        reinterpret_cast<std::atomic<std::uint64_t>*>(chunk_space_.base());
+    chunk_dirty_ = to_ptr_of<std::atomic<std::uint64_t>>(chunk_space_.base());
 }
 
 bool
@@ -77,7 +77,7 @@ ShadowMap::clear_marks()
                 byte_off + kChunkBytes <= num_words_ * sizeof(std::uint64_t)
                     ? kChunkBytes
                     : num_words_ * sizeof(std::uint64_t) - byte_off;
-            std::memset(reinterpret_cast<char*>(space_.base()) + byte_off, 0,
+            std::memset(to_ptr_of<char>(space_.base()) + byte_off, 0,
                         bytes);
         }
     }

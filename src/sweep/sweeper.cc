@@ -168,8 +168,8 @@ Marker::scan_chunk(std::uintptr_t lo, std::uintptr_t hi,
     hi = align_down(hi, sizeof(std::uint64_t));
     if (lo >= hi)
         return;
-    const auto* p = reinterpret_cast<const std::uint64_t*>(lo);
-    const auto* end = reinterpret_cast<const std::uint64_t*>(hi);
+    const auto* p = to_ptr_of<const std::uint64_t>(lo);
+    const auto* end = to_ptr_of<const std::uint64_t>(hi);
     const std::uintptr_t base = heap_base_;
     const std::uintptr_t limit = heap_end_;
     std::uint64_t found = 0;

@@ -82,4 +82,17 @@ to_ptr(std::uintptr_t a)
     return reinterpret_cast<void*>(a);
 }
 
+/**
+ * Typed view of an address. The only sanctioned integer->pointer
+ * conversion outside the VM layer: keeping every such cast behind this
+ * helper (enforced by msw-analyze rule MSW-UB-PTR-CAST) confines the
+ * provenance-laundering spots to one grep-able place.
+ */
+template <typename T>
+inline T*
+to_ptr_of(std::uintptr_t a)
+{
+    return reinterpret_cast<T*>(a);
+}
+
 }  // namespace msw

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <ctime>
 
+#include "util/bits.h"
 #include "util/lock_rank.h"
 #include "util/log.h"
 #include "util/mutex.h"
@@ -52,11 +53,9 @@ thread_uniform()
 {
     // Per-thread engine so evaluations never contend; mixed with the
     // thread id so equal seeds still decorrelate across threads.
-    thread_local Rng rng(
-        g_rng_seed.load(std::memory_order_relaxed) +
-        0x9e3779b97f4a7c15ull *
-            static_cast<std::uint64_t>(
-                reinterpret_cast<std::uintptr_t>(&rng)));
+    thread_local Rng rng(g_rng_seed.load(std::memory_order_relaxed) +
+                         0x9e3779b97f4a7c15ull *
+                             static_cast<std::uint64_t>(to_addr(&rng)));
     return rng.next_double();
 }
 
@@ -190,7 +189,8 @@ parse_clause(const char* clause, std::size_t len)
 
 /** Arm failpoints from MSW_FAILPOINTS once, before main() runs. */
 const bool g_env_configured = [] {
-    const char* spec = std::getenv("MSW_FAILPOINTS");
+    // Static initialisation, before any second thread can exist.
+    const char* spec = std::getenv("MSW_FAILPOINTS");  // NOLINT(concurrency-mt-unsafe)
     if (spec != nullptr && *spec != '\0') {
         if (!failpoint_configure(spec)) {
             MSW_LOG_WARN("failpoint: malformed MSW_FAILPOINTS \"%s\"",

@@ -12,7 +12,9 @@ namespace {
 int
 initial_level()
 {
-    const char* env = std::getenv("MSW_LOG");
+    // Runs once under the static-local guard in log_level_ref(); nothing
+    // in this process writes the environment concurrently.
+    const char* env = std::getenv("MSW_LOG");  // NOLINT(concurrency-mt-unsafe)
     if (env == nullptr)
         return static_cast<int>(LogLevel::kWarn);
     if (std::strcmp(env, "error") == 0)

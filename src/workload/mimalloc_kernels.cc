@@ -4,9 +4,9 @@
 #include <condition_variable>
 #include <cstring>
 #include <deque>
-#include <mutex>
 #include <thread>
 
+#include "util/mutex.h"
 #include "util/rng.h"
 
 namespace msw::workload {
@@ -256,7 +256,7 @@ WorkloadResult
 mstress(System& sys, double scale)
 {
     struct Queue {
-        std::mutex mu;
+        Mutex mu;
         std::deque<std::vector<void*>> batches;
         bool done = false;
     };
@@ -280,13 +280,13 @@ mstress(System& sys, double scale)
                 r.bytes_allocated += size;
             }
             {
-                std::lock_guard<std::mutex> g(out.mu);
+                LockGuard g(out.mu);
                 out.batches.push_back(std::move(batch));
             }
             // Drain whatever has arrived for us.
             std::deque<std::vector<void*>> mine;
             {
-                std::lock_guard<std::mutex> g(in.mu);
+                LockGuard g(in.mu);
                 mine.swap(in.batches);
             }
             for (auto& b : mine) {
@@ -412,7 +412,7 @@ WorkloadResult
 sh8bench(System& sys, double scale)
 {
     struct Handoff {
-        std::mutex mu;
+        Mutex mu;
         std::deque<std::vector<void*>> batches;
     };
     std::vector<Handoff> handoffs(kThreads);
@@ -433,12 +433,12 @@ sh8bench(System& sys, double scale)
                 r.bytes_allocated += size;
             }
             {
-                std::lock_guard<std::mutex> g(out.mu);
+                LockGuard g(out.mu);
                 out.batches.push_back(std::move(batch));
             }
             std::deque<std::vector<void*>> mine;
             {
-                std::lock_guard<std::mutex> g(in.mu);
+                LockGuard g(in.mu);
                 mine.swap(in.batches);
             }
             for (auto& b : mine) {
@@ -469,8 +469,8 @@ WorkloadResult
 xmalloc_test(System& sys, double scale)
 {
     struct Shared {
-        std::mutex mu;
-        std::condition_variable cv;
+        Mutex mu;
+        std::condition_variable_any cv;
         std::deque<void*> queue;
         int producers_left = 2;
     };
@@ -488,11 +488,11 @@ xmalloc_test(System& sys, double scale)
                 void* p = sys.allocator->alloc(size);
                 ++r.allocs;
                 r.bytes_allocated += size;
-                std::lock_guard<std::mutex> g(shared.mu);
+                LockGuard g(shared.mu);
                 shared.queue.push_back(p);
                 shared.cv.notify_one();
             }
-            std::lock_guard<std::mutex> g(shared.mu);
+            LockGuard g(shared.mu);
             shared.producers_left -= 1;
             shared.cv.notify_all();
         } else {
@@ -500,7 +500,7 @@ xmalloc_test(System& sys, double scale)
             for (;;) {
                 void* p = nullptr;
                 {
-                    std::unique_lock<std::mutex> g(shared.mu);
+                    UniqueLock g(shared.mu);
                     shared.cv.wait(g, [&] {
                         return !shared.queue.empty() ||
                                shared.producers_left == 0;

@@ -1,0 +1,8 @@
+// Fixture: kBeta has an injection site but no test reference.
+#include "util/failpoint.h"
+
+int
+main()
+{
+    return static_cast<int>(msw::util::Failpoint::kAlpha);
+}

@@ -1,0 +1,13 @@
+#pragma once
+
+namespace msw::util {
+
+enum class Failpoint : unsigned {
+    kAlpha = 0,  ///< "alpha".
+    kBeta,       ///< "beta".
+    kCount,
+};
+
+bool failpoint_should_fail(Failpoint fp);
+
+}  // namespace msw::util

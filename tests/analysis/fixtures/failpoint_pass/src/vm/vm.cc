@@ -1,0 +1,17 @@
+#include "util/failpoint.h"
+
+namespace msw::vm {
+
+bool
+poke_alpha()
+{
+    return util::failpoint_should_fail(util::Failpoint::kAlpha);
+}
+
+bool
+poke_beta()
+{
+    return util::failpoint_should_fail(util::Failpoint::kBeta);
+}
+
+}  // namespace msw::vm

@@ -1,0 +1,8 @@
+#include "util/failpoint.h"
+
+int
+main()
+{
+    return static_cast<int>(msw::util::Failpoint::kAlpha) +
+           static_cast<int>(msw::util::Failpoint::kBeta);
+}

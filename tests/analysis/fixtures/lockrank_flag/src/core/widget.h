@@ -1,0 +1,19 @@
+#pragma once
+
+#include "util/mutex.h"
+
+namespace msw::core {
+
+class Widget
+{
+  private:
+    Mutex mu_{util::LockRank::kAlpha};
+};
+
+class Gadget
+{
+  private:
+    Mutex mu_{util::LockRank::kBeta};
+};
+
+}  // namespace msw::core

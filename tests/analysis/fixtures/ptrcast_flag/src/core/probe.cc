@@ -1,0 +1,13 @@
+// Fixture: pointer->integer reinterpret_cast outside src/util|src/vm
+// must flag MSW-UB-PTR-CAST (use msw::to_addr).
+#include <cstdint>
+
+namespace msw::core {
+
+std::uintptr_t
+probe_addr(const void* p)
+{
+    return reinterpret_cast<std::uintptr_t>(p);
+}
+
+}  // namespace msw::core

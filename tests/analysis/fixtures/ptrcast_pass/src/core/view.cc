@@ -1,0 +1,11 @@
+// Fixture: pointer->pointer reinterpret_cast (typed view of a byte
+// buffer) carries provenance and is allowed.
+namespace msw::core {
+
+char*
+as_bytes(void* p)
+{
+    return reinterpret_cast<char*>(p);
+}
+
+}  // namespace msw::core

@@ -1,0 +1,18 @@
+// Fixture: the VM layer is where pointer<->integer conversion lives.
+#include <cstdint>
+
+namespace msw::vm {
+
+std::uintptr_t
+map_addr(const void* p)
+{
+    return reinterpret_cast<std::uintptr_t>(p);
+}
+
+void*
+map_ptr(std::uintptr_t a)
+{
+    return reinterpret_cast<void*>(a);
+}
+
+}  // namespace msw::vm

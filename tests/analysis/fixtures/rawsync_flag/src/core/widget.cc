@@ -1,0 +1,24 @@
+// Fixture: raw std::mutex / std::lock_guard outside src/util must flag
+// MSW-RAW-SYNC (invisible to annotations and lock-rank checking).
+#include <mutex>
+
+namespace msw::core {
+
+class Widget
+{
+  public:
+    void poke();
+
+  private:
+    std::mutex mu_;
+};
+
+void
+poke_widget(Widget& w)
+{
+    (void)w;
+    static std::mutex g_mu;
+    std::lock_guard<std::mutex> g(g_mu);
+}
+
+}  // namespace msw::core

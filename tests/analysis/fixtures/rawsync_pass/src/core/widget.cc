@@ -1,0 +1,12 @@
+// Fixture: the ranked wrappers and std::condition_variable_any are the
+// sanctioned spellings outside src/util.
+#include <condition_variable>
+
+namespace msw::core {
+
+struct Widget {
+    int guarded_value = 0;
+    std::condition_variable_any cv;
+};
+
+}  // namespace msw::core

@@ -1,0 +1,12 @@
+// Fixture: src/util is the one place raw primitives may live (this is
+// where the annotated wrappers themselves are implemented).
+#pragma once
+#include <mutex>
+
+namespace msw::util {
+
+struct LegacyHolder {
+    std::mutex raw_mu;
+};
+
+}  // namespace msw::util

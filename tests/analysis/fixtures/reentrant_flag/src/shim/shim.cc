@@ -1,0 +1,24 @@
+// Fixture: std::vector growth reachable from a malloc entry point must
+// flag MSW-REENTRANT-ALLOC (LD_PRELOAD would recurse into this shim).
+#include <cerrno>
+#include <vector>
+
+void*
+grow_with_vector(unsigned long size)
+{
+    std::vector<char> scratch(size);
+    return scratch.data();
+}
+
+extern "C" {
+
+void*
+malloc(unsigned long size)
+{
+    const int saved_errno = errno;
+    void* p = grow_with_vector(size);
+    errno = saved_errno;
+    return p;
+}
+
+}  // extern "C"

@@ -1,0 +1,34 @@
+// Fixture: placement new on static storage is the sanctioned bootstrap
+// pattern, and allocating helpers that are NOT reachable from an entry
+// point (address-taken callbacks) are allowed.
+#include <cerrno>
+#include <new>
+#include <string>
+
+alignas(16) char g_storage[64];
+
+void*
+boot_object()
+{
+    return new (g_storage) int{0};
+}
+
+std::string
+debug_string()
+{
+    return std::string("not reachable from any entry point");
+}
+
+extern "C" {
+
+void*
+malloc(unsigned long size)
+{
+    (void)size;
+    const int saved_errno = errno;
+    void* p = boot_object();
+    errno = saved_errno;
+    return p;
+}
+
+}  // extern "C"

@@ -1,0 +1,22 @@
+// Fixture: an entry point that neither delegates nor saves/restores
+// errno must flag MSW-SHIM-ERRNO.
+static char g_arena[4096];
+static unsigned long g_cursor = 0;
+
+void*
+engine_alloc(unsigned long size)
+{
+    void* p = g_arena + g_cursor;
+    g_cursor += size;
+    return p;
+}
+
+extern "C" {
+
+void*
+malloc(unsigned long size)
+{
+    return engine_alloc(size);
+}
+
+}  // extern "C"

@@ -1,0 +1,33 @@
+// Fixture: errno save/restore and delegation to another entry point are
+// both hygienic.
+#include <cerrno>
+
+static char g_arena[4096];
+static unsigned long g_cursor = 0;
+
+void*
+engine_alloc(unsigned long size)
+{
+    void* p = g_arena + g_cursor;
+    g_cursor += size;
+    return p;
+}
+
+extern "C" {
+
+void*
+malloc(unsigned long size)
+{
+    const int saved_errno = errno;
+    void* p = engine_alloc(size);
+    errno = saved_errno;
+    return p;
+}
+
+void*
+valloc(unsigned long size)
+{
+    return malloc(size);
+}
+
+}  // extern "C"

@@ -1,0 +1,15 @@
+// Fixture: a fresh atomic counter member in the runtime layers must be
+// routed through core::StatCells instead.
+#pragma once
+#include <atomic>
+#include <cstdint>
+
+namespace msw::core {
+
+class Cache
+{
+  private:
+    std::atomic<std::uint64_t> hit_count_{0};
+};
+
+}  // namespace msw::core

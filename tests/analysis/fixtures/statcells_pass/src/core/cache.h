@@ -1,0 +1,16 @@
+// Fixture: state flags and timestamps are not statistics; and counters
+// outside src/core|src/alloc (e.g. src/metrics) are out of scope.
+#pragma once
+#include <atomic>
+#include <cstdint>
+
+namespace msw::core {
+
+class Cache
+{
+  private:
+    std::atomic<bool> enabled_{false};
+    std::atomic<std::uint64_t> last_epoch_ns_{0};
+};
+
+}  // namespace msw::core

@@ -1,0 +1,13 @@
+#pragma once
+#include <atomic>
+#include <cstdint>
+
+namespace msw::metrics {
+
+class Sampler
+{
+  private:
+    std::atomic<std::uint64_t> sample_count_{0};
+};
+
+}  // namespace msw::metrics

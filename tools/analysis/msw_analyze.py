@@ -1,0 +1,1182 @@
+#!/usr/bin/env python3
+"""msw-analyze: domain-specific static analyzer for the MineSweeper tree.
+
+Generic linters cannot check the invariants this allocator's correctness
+rests on: the LD_PRELOAD shim must never re-enter the allocator, every
+lock must respect the core -> quarantine -> bin -> extent -> vm ->
+metrics hierarchy, hot-path counters belong in StatCells, and
+pointer<->integer laundering is confined to the util/vm helpers. This
+tool encodes those rules as a rule pack and runs them over src/ using
+the best available engine:
+
+  libclang     python clang bindings + compile_commands.json (preferred)
+  clang-query  AST matchers via the clang-query binary
+  textual      built-in comment-aware lexical engine, no dependencies
+
+The textual engine is the reference implementation: every rule is fully
+implemented there, and the fixture self-test (--self-test) runs against
+it so results are reproducible on machines without clang. The libclang
+and clang-query engines *refine* the type-sensitive rules (raw-sync,
+stat-cells, pointer casts) with real AST information when available and
+fall back to the textual implementation for the rest. Forcing an engine
+that is unavailable exits 0 with a notice (mirroring tools/lint.sh's
+clang-tidy behaviour) so the default build never hard-depends on clang.
+
+Rules (see DESIGN.md section 10 for the catalogue):
+
+  MSW-REENTRANT-ALLOC  shim entry points must not reach allocating
+                       constructs (std::vector growth, std::string,
+                       iostream/locale, non-placement new, throw)
+  MSW-RAW-SYNC         std::mutex / pthread_mutex / raw
+                       std::condition_variable banned outside src/util
+  MSW-LOCK-RANK        ranks used by msw::Mutex/SpinLock constructions
+                       must exist, be totally ordered, and match the
+                       DESIGN.md section 9 table (doc drift is a finding)
+  MSW-STAT-CELLS       new std::atomic counter members under src/core
+                       and src/alloc are flagged toward core::StatCells
+  MSW-SHIM-ERRNO       shim entry points must save/restore errno and be
+                       noexcept-clean
+  MSW-FAILPOINT-XREF   every Failpoint enumerator needs an injection
+                       site in src/ and a reference in tests/
+  MSW-UB-PTR-CAST      pointer<->integer reinterpret_casts confined to
+                       src/util and src/vm (use msw::to_addr /
+                       msw::to_ptr / msw::to_ptr_of)
+
+Suppression baseline (tools/analysis/baseline.txt): lines of the form
+
+  RULE-ID|relative/path|<whitespace-collapsed source line>  # justification
+
+Every entry MUST carry a justification comment; entries without one are
+a configuration error (exit 2). --update-baseline appends missing
+entries with a "TODO: justify" marker, which deliberately keeps the run
+red until a human writes the justification.
+
+Exit codes: 0 clean (or graceful skip), 1 findings, 2 configuration
+error (malformed/unjustified baseline, bad arguments).
+"""
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+# --------------------------------------------------------------------------
+# Source model
+# --------------------------------------------------------------------------
+
+_KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "catch", "new",
+    "delete", "alignas", "alignof", "static_assert", "decltype", "throw",
+    "else", "do", "case", "defined", "noexcept", "requires", "assert",
+}
+
+
+def strip_code(text):
+    """Blank out comments and string/char literal contents, preserving
+    newlines and column positions so line/offset math on the result maps
+    back to the original file."""
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line-comment | block-comment | string | char | raw
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line-comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block-comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                # Raw string literal R"delim( ... )delim"
+                m = re.match(r'R"([^()\s\\]{0,16})\(', text[i - 1:i + 20]) \
+                    if i > 0 and text[i - 1] == "R" else None
+                if m:
+                    raw_delim = ")" + m.group(1) + '"'
+                    state = "raw"
+                    out.append('"')
+                    i += 1
+                    continue
+                state = "string"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                # Digit separator (100'000), not a char literal, when
+                # sandwiched between identifier/number characters.
+                prev = text[i - 1] if i > 0 else ""
+                if prev.isalnum() or prev == "_":
+                    out.append("'")
+                    i += 1
+                    continue
+                state = "char"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == "line-comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block-comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+            i += 1
+        elif state == "string":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "code"
+                out.append('"')
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "char":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == "'":
+                state = "code"
+                out.append("'")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "raw":
+            if text.startswith(raw_delim, i):
+                out.append(" " * (len(raw_delim) - 1) + '"')
+                i += len(raw_delim)
+                state = "code"
+                continue
+            out.append("\n" if c == "\n" else " ")
+            i += 1
+    return "".join(out)
+
+
+class SourceFile:
+    def __init__(self, root, rel):
+        self.rel = rel.replace(os.sep, "/")
+        self.path = os.path.join(root, rel)
+        with open(self.path, "r", encoding="utf-8", errors="replace") as f:
+            self.raw = f.read()
+        self.raw_lines = self.raw.splitlines()
+        self.code = strip_code(self.raw)
+        self.code_lines = self.code.splitlines()
+
+    def line_of(self, offset):
+        return self.code.count("\n", 0, offset) + 1
+
+    def raw_line(self, line):
+        if 1 <= line <= len(self.raw_lines):
+            return self.raw_lines[line - 1]
+        return ""
+
+
+class Finding:
+    def __init__(self, rule, rel, line, msg):
+        self.rule = rule
+        self.rel = rel
+        self.line = line
+        self.msg = msg
+
+    def key(self):
+        return (self.rel, self.line, self.rule, self.msg)
+
+
+class Tree:
+    """All sources the rules look at, rooted at an analysis root that has
+    (at least) a src/ directory and optionally DESIGN.md and tests/."""
+
+    def __init__(self, root):
+        self.root = root
+        self.src = []
+        src_dir = os.path.join(root, "src")
+        for dirpath, _dirs, files in sorted(os.walk(src_dir)):
+            for name in sorted(files):
+                if name.endswith((".h", ".cc", ".cpp", ".hpp")):
+                    rel = os.path.relpath(os.path.join(dirpath, name), root)
+                    self.src.append(SourceFile(root, rel))
+        self.tests = []
+        tests_dir = os.path.join(root, "tests")
+        for dirpath, _dirs, files in sorted(os.walk(tests_dir)):
+            if os.path.join("tests", "analysis") in os.path.relpath(
+                    dirpath, root):
+                continue  # fixture mini-repos are not this tree's tests
+            for name in sorted(files):
+                if name.endswith((".h", ".cc", ".cpp")):
+                    rel = os.path.relpath(os.path.join(dirpath, name), root)
+                    self.tests.append(SourceFile(root, rel))
+        design = os.path.join(root, "DESIGN.md")
+        self.design = None
+        if os.path.isfile(design):
+            self.design = SourceFile(root, "DESIGN.md")
+
+    def find_src(self, rel_suffix):
+        for f in self.src:
+            if f.rel.endswith(rel_suffix):
+                return f
+        return None
+
+
+# --------------------------------------------------------------------------
+# Function extents and intra-file call graph (shim rules)
+# --------------------------------------------------------------------------
+
+_FUNC_DEF_RE = re.compile(r"(?m)^([A-Za-z_]\w*)\s*\(")
+_CALL_RE = re.compile(r"(?<![\w.>:])([A-Za-z_]\w*)\s*\(")
+
+
+def _match_delim(code, start, open_c, close_c):
+    depth = 0
+    for i in range(start, len(code)):
+        if code[i] == open_c:
+            depth += 1
+        elif code[i] == close_c:
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def function_defs(sf):
+    """Map name -> (body_start, body_end) using the repo's layout (return
+    type on its own line, function name at column 0). Good enough for the
+    shim translation units the reentrancy/errno rules target."""
+    defs = {}
+    for m in _FUNC_DEF_RE.finditer(sf.code):
+        name = m.group(1)
+        if name in _KEYWORDS:
+            continue
+        open_paren = sf.code.index("(", m.start())
+        close_paren = _match_delim(sf.code, open_paren, "(", ")")
+        if close_paren < 0:
+            continue
+        j = close_paren + 1
+        while j < len(sf.code) and (sf.code[j].isspace() or
+                                    sf.code[j:j + 5] == "const" or
+                                    sf.code[j:j + 8] == "noexcept"):
+            if sf.code[j:j + 5] == "const":
+                j += 5
+            elif sf.code[j:j + 8] == "noexcept":
+                j += 8
+            else:
+                j += 1
+        if j >= len(sf.code) or sf.code[j] != "{":
+            continue
+        body_end = _match_delim(sf.code, j, "{", "}")
+        if body_end < 0:
+            continue
+        defs.setdefault(name, (j, body_end))
+    return defs
+
+
+def calls_in(code, start, end, universe):
+    out = set()
+    for m in _CALL_RE.finditer(code, start, end):
+        if m.group(1) in universe:
+            out.add(m.group(1))
+    return out
+
+
+_SHIM_ENTRIES = {
+    "malloc", "free", "calloc", "realloc", "posix_memalign",
+    "aligned_alloc", "memalign", "valloc", "malloc_usable_size",
+    "reallocarray", "pvalloc", "cfree",
+}
+
+
+def shim_files(tree):
+    """Translation units that define malloc-family entry points."""
+    out = []
+    for sf in tree.src:
+        if not sf.rel.endswith((".cc", ".cpp")):
+            continue
+        if 'extern "C"' not in sf.raw:
+            continue
+        defs = function_defs(sf)
+        entries = sorted(_SHIM_ENTRIES & set(defs))
+        if entries:
+            out.append((sf, defs, entries))
+    return out
+
+
+# --------------------------------------------------------------------------
+# Rule implementations (textual reference engine)
+# --------------------------------------------------------------------------
+
+_ALLOCATING_TOKENS = [
+    (re.compile(r"\bstd::(vector|string|deque|map|unordered_map|set|"
+                r"unordered_set|list|function|ostringstream|stringstream|"
+                r"to_string|make_unique|make_shared)\b"),
+     "allocating std::{0} use"),
+    (re.compile(r"\bstd::(cout|cerr|clog|locale)\b"),
+     "iostream/locale use (allocates and takes internal locks)"),
+    (re.compile(r"\bthrow\b"), "throw expression (shim must be "
+                               "noexcept-clean)"),
+    # `new T` allocates; placement `new (addr) T` does not, but
+    # `new (std::nothrow) T` still allocates.
+    (re.compile(r"\bnew\s*\(\s*std::nothrow"), "operator new use"),
+    (re.compile(r"\bnew\b(?!\s*\()"), "operator new use"),
+]
+
+
+def rule_reentrant_alloc(tree):
+    """MSW-REENTRANT-ALLOC: no allocating construct reachable from a
+    malloc-family entry point (LD_PRELOAD would recurse or deadlock)."""
+    findings = []
+    for sf, defs, entries in shim_files(tree):
+        # Reachability over the intra-file call graph, tracking one
+        # witness path per reached function for the diagnostic.
+        parent = {}
+        seen = set(entries)
+        work = list(entries)
+        while work:
+            fn = work.pop()
+            body = defs[fn]
+            for callee in calls_in(sf.code, body[0], body[1], set(defs)):
+                if callee not in seen:
+                    seen.add(callee)
+                    parent[callee] = fn
+                    work.append(callee)
+        for fn in sorted(seen):
+            start, end = defs[fn]
+            for tok_re, what in _ALLOCATING_TOKENS:
+                for m in tok_re.finditer(sf.code, start, end):
+                    line = sf.line_of(m.start())
+                    path = [fn]
+                    while path[-1] in parent:
+                        path.append(parent[path[-1]])
+                    via = " <- ".join(path)
+                    findings.append(Finding(
+                        "MSW-REENTRANT-ALLOC", sf.rel, line,
+                        what.format(m.group(1) if m.groups() else "") +
+                        f" reachable from shim entry point ({via})"))
+    return findings
+
+
+_RAW_SYNC_RE = re.compile(
+    r"\bstd::(mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable(?!_any)|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|\bpthread_(mutex|cond|rwlock|spin)_")
+
+
+def rule_raw_sync(tree):
+    """MSW-RAW-SYNC: raw synchronisation primitives are invisible to the
+    thread-safety annotations and the lock-rank checker; outside
+    src/util, use msw::Mutex / msw::SpinLock / msw::LockGuard /
+    msw::UniqueLock / std::condition_variable_any."""
+    findings = []
+    for sf in tree.src:
+        if sf.rel.startswith("src/util/"):
+            continue
+        for i, line in enumerate(sf.code_lines, 1):
+            m = _RAW_SYNC_RE.search(line)
+            if m:
+                findings.append(Finding(
+                    "MSW-RAW-SYNC", sf.rel, i,
+                    f"raw synchronisation primitive '{m.group(0)}' "
+                    "bypasses thread-safety annotations and lock-rank "
+                    "checking; use the ranked msw:: wrappers "
+                    "(util/mutex.h, util/spin_lock.h)"))
+    return findings
+
+
+_ENUMERATOR_RE = re.compile(r"^\s*(k\w+)\s*(?:=\s*(\d+))?\s*,?")
+_TABLE_ROW_RE = re.compile(r"^\|\s*(\d+)\s+`(k\w+)`\s*\|([^|]*)\|")
+_RANK_CTOR_RE = re.compile(
+    r"([A-Za-z_]\w*)\s*[{(]\s*(?:msw::)?(?:util::)?LockRank::(k\w+)")
+_RANK_INFRA = ("src/util/lock_rank.h", "src/util/lock_rank.cc",
+               "src/util/mutex.h", "src/util/spin_lock.h")
+
+
+def parse_enum(sf, enum_name, stop=None):
+    """Ordered [(name, value, raw_line_no)] for `enum class <enum_name>`."""
+    m = re.search(r"enum\s+class\s+" + enum_name + r"\b[^{]*\{", sf.code)
+    if not m:
+        return []
+    end = _match_delim(sf.code, sf.code.index("{", m.start()), "{", "}")
+    body_start = sf.code.index("{", m.start()) + 1
+    out = []
+    next_val = 0
+    for raw in sf.code[body_start:end].split(","):
+        em = _ENUMERATOR_RE.match(raw.strip())
+        if not em:
+            continue
+        name = em.group(1)
+        val = int(em.group(2)) if em.group(2) is not None else next_val
+        next_val = val + 1
+        if stop and name == stop:
+            break
+        off = sf.code.index(name, body_start)
+        out.append((name, val, sf.line_of(off)))
+    return out
+
+
+def rule_lock_rank(tree):
+    """MSW-LOCK-RANK: the LockRank enum must be totally ordered, every
+    construction must use a declared rank, and the DESIGN.md section 9
+    table must agree with both (doc drift is a finding)."""
+    findings = []
+    rank_h = tree.find_src("src/util/lock_rank.h")
+    if rank_h is None:
+        return findings  # tree has no lock-rank subsystem; nothing to check
+    enum = parse_enum(rank_h, "LockRank")
+    values = {name: val for name, val, _ in enum}
+
+    # (a) declaration order must be strictly increasing: the enum IS the
+    # total order the runtime checker enforces, so an out-of-order value
+    # silently changes the hierarchy.
+    prev = None
+    for name, val, line in enum:
+        if prev is not None and val <= prev[1]:
+            findings.append(Finding(
+                "MSW-LOCK-RANK", rank_h.rel, line,
+                f"rank {name}={val} breaks the strictly-increasing "
+                f"declaration order (follows {prev[0]}={prev[1]})"))
+        prev = (name, val)
+
+    reserved = set()
+    for name, _val, line in enum:
+        # Doc comment may trail the enumerator or sit on preceding lines.
+        context = " ".join(rank_h.raw_line(l)
+                           for l in range(max(1, line - 2), line + 1))
+        if re.search(r"[Rr]eserved|[Oo]pted out", context):
+            reserved.add(name)
+
+    # (b) DESIGN table <-> enum agreement, both directions.
+    table = {}
+    if tree.design is not None:
+        for i, line in enumerate(tree.design.raw_lines, 1):
+            tm = _TABLE_ROW_RE.match(line.strip())
+            if tm:
+                table[tm.group(2)] = (int(tm.group(1)), tm.group(3), i)
+        for name, (val, _locks, line) in sorted(table.items()):
+            if name not in values:
+                findings.append(Finding(
+                    "MSW-LOCK-RANK", tree.design.rel, line,
+                    f"DESIGN table lists rank {name} which does not "
+                    "exist in util/lock_rank.h"))
+            elif values[name] != val:
+                findings.append(Finding(
+                    "MSW-LOCK-RANK", tree.design.rel, line,
+                    f"DESIGN table says {name}={val} but "
+                    f"util/lock_rank.h says {values[name]} (doc drift)"))
+        for name, val, line in enum:
+            if name not in table:
+                findings.append(Finding(
+                    "MSW-LOCK-RANK", rank_h.rel, line,
+                    f"rank {name}={val} missing from the DESIGN.md "
+                    "locking-hierarchy table (doc drift)"))
+
+    # (c) every construction uses a declared rank and is documented.
+    used = set()
+    for sf in tree.src:
+        if sf.rel in _RANK_INFRA:
+            continue
+        for m in _RANK_CTOR_RE.finditer(sf.code):
+            member, rank = m.group(1), m.group(2)
+            line = sf.line_of(m.start())
+            used.add(rank)
+            if rank not in values:
+                findings.append(Finding(
+                    "MSW-LOCK-RANK", sf.rel, line,
+                    f"construction of '{member}' uses undeclared rank "
+                    f"LockRank::{rank}"))
+                continue
+            if table and rank in table and member not in table[rank][1]:
+                findings.append(Finding(
+                    "MSW-LOCK-RANK", sf.rel, line,
+                    f"lock '{member}' (rank {rank}) is not named in the "
+                    "DESIGN.md locking-hierarchy row for that rank "
+                    "(doc drift)"))
+
+    # (d) non-reserved ranks must be constructed somewhere, or they are
+    # dead hierarchy slots that will silently rot.
+    for name, val, line in enum:
+        if name not in used and name not in reserved:
+            findings.append(Finding(
+                "MSW-LOCK-RANK", rank_h.rel, line,
+                f"rank {name}={val} has no msw::Mutex/SpinLock "
+                "construction (mark it Reserved or delete it)"))
+    return findings
+
+
+_ATOMIC_COUNTER_RE = re.compile(
+    r"std::atomic<\s*(?:std::)?(u?int(?:8|16|32|64)?(?:_t)?|unsigned|"
+    r"long|size_t|uint64_t|uintptr_t)\s*>\s*(\w+_)\s*[{;=]")
+_COUNTER_NAME_RE = re.compile(
+    r"(count|counts|bytes|calls|hits|misses|fails|failures|done|total)_$")
+
+
+def rule_stat_cells(tree):
+    """MSW-STAT-CELLS: statistic-shaped std::atomic members in the
+    runtime layers belong in the striped core::StatCells, not as fresh
+    contended cache lines."""
+    findings = []
+    for sf in tree.src:
+        if not sf.rel.startswith(("src/core/", "src/alloc/")):
+            continue
+        if os.path.basename(sf.rel).startswith("stat_cells"):
+            continue  # the striped-counter implementation itself
+        for i, line in enumerate(sf.code_lines, 1):
+            m = _ATOMIC_COUNTER_RE.search(line)
+            if m and _COUNTER_NAME_RE.search(m.group(2)):
+                findings.append(Finding(
+                    "MSW-STAT-CELLS", sf.rel, i,
+                    f"atomic counter member '{m.group(2)}' in the "
+                    "runtime layers: route it through core::StatCells "
+                    "(striped, cache-line padded) instead of a fresh "
+                    "contended atomic"))
+    return findings
+
+
+def rule_shim_errno(tree):
+    """MSW-SHIM-ERRNO: every malloc-family entry point must either
+    delegate to another entry point or save/restore errno around engine
+    calls, and must not contain throw expressions."""
+    findings = []
+    for sf, defs, entries in shim_files(tree):
+        for fn in entries:
+            start, end = defs[fn]
+            body = sf.code[start:end]
+            line = sf.line_of(start)
+            if re.search(r"\bthrow\b", body):
+                findings.append(Finding(
+                    "MSW-SHIM-ERRNO", sf.rel, line,
+                    f"shim entry point '{fn}' contains a throw "
+                    "expression; entries must be noexcept-clean"))
+            delegates = bool(calls_in(sf.code, start, end,
+                                      set(entries) - {fn}))
+            saves = re.search(r"=\s*errno\b", body)
+            restores = re.search(r"\berrno\s*=", body)
+            if not delegates and not (saves and restores):
+                findings.append(Finding(
+                    "MSW-SHIM-ERRNO", sf.rel, line,
+                    f"shim entry point '{fn}' neither delegates to "
+                    "another entry nor saves/restores errno; engine "
+                    "calls issue syscalls that clobber the caller's "
+                    "errno"))
+    return findings
+
+
+def rule_failpoint_xref(tree):
+    """MSW-FAILPOINT-XREF: a Failpoint enumerator without an injection
+    site is dead configuration surface; one without a test reference is
+    an untested failure path."""
+    findings = []
+    fp_h = tree.find_src("src/util/failpoint.h")
+    if fp_h is None:
+        return findings
+    enum = parse_enum(fp_h, "Failpoint", stop="kCount")
+    src_refs = set()
+    for sf in tree.src:
+        if sf.rel.startswith("src/util/failpoint"):
+            continue
+        for m in re.finditer(r"Failpoint::(k\w+)", sf.code):
+            src_refs.add(m.group(1))
+    test_refs = set()
+    for sf in tree.tests:
+        for m in re.finditer(r"Failpoint::(k\w+)", sf.code):
+            test_refs.add(m.group(1))
+    for name, _val, line in enum:
+        if name not in src_refs:
+            findings.append(Finding(
+                "MSW-FAILPOINT-XREF", fp_h.rel, line,
+                f"Failpoint::{name} has no injection site in src/ "
+                "(failpoint_should_fail call)"))
+        if name not in test_refs:
+            findings.append(Finding(
+                "MSW-FAILPOINT-XREF", fp_h.rel, line,
+                f"Failpoint::{name} is never referenced by a test; "
+                "every injectable failure needs coverage"))
+    return findings
+
+
+_PTR_TO_INT_RE = re.compile(
+    r"reinterpret_cast<\s*(?:std::)?(u?intptr_t|size_t)(?:\s+const)?\s*>")
+_CAST_OPEN_RE = re.compile(r"reinterpret_cast\s*<")
+_UINTPTR_DECL_RE = re.compile(r"(?:std::)?u?intptr_t\s+(\w+)\b")
+
+
+def _reinterpret_casts(code):
+    """Yield (offset, target_type, argument_text) for every
+    reinterpret_cast, balancing nested template angle brackets."""
+    for m in _CAST_OPEN_RE.finditer(code):
+        i = m.end()
+        depth = 1
+        while i < len(code) and depth:
+            if code[i] == "<":
+                depth += 1
+            elif code[i] == ">":
+                depth -= 1
+            i += 1
+        if depth:
+            continue
+        target = code[m.end():i - 1].strip()
+        j = i
+        while j < len(code) and code[j].isspace():
+            j += 1
+        if j >= len(code) or code[j] != "(":
+            continue
+        close = _match_delim(code, j, "(", ")")
+        if close < 0:
+            continue
+        yield m.start(), target, code[j + 1:close]
+
+
+def rule_ub_ptr_cast(tree):
+    """MSW-UB-PTR-CAST: pointer<->integer conversions are provenance
+    hazards; they live behind msw::to_addr / msw::to_ptr / msw::to_ptr_of
+    in src/util (and the mmap plumbing in src/vm), nowhere else."""
+    findings = []
+    # Members declared uintptr_t anywhere in the tree (trailing-underscore
+    # names are unambiguous across files in this codebase's style).
+    global_int_members = set()
+    for sf in tree.src:
+        for m in _UINTPTR_DECL_RE.finditer(sf.code):
+            if m.group(1).endswith("_"):
+                global_int_members.add(m.group(1))
+    for sf in tree.src:
+        if sf.rel.startswith(("src/util/", "src/vm/")):
+            continue
+        local_ints = {m.group(1)
+                      for m in _UINTPTR_DECL_RE.finditer(sf.code)}
+        for off, target, arg in _reinterpret_casts(sf.code):
+            line = sf.line_of(off)
+            if re.fullmatch(r"(?:std::)?(u?intptr_t|size_t)(\s+const)?",
+                            target):
+                findings.append(Finding(
+                    "MSW-UB-PTR-CAST", sf.rel, line,
+                    f"pointer-to-integer reinterpret_cast<{target}> "
+                    "outside src/util|src/vm; use msw::to_addr()"))
+                continue
+            if not target.endswith("*"):
+                continue
+            root = re.match(r"\s*([A-Za-z_]\w*)", arg)
+            rootname = root.group(1) if root else ""
+            if (".base()" in arg or ".end()" in arg or
+                    rootname in local_ints or
+                    rootname in global_int_members):
+                findings.append(Finding(
+                    "MSW-UB-PTR-CAST", sf.rel, line,
+                    "integer-to-pointer reinterpret_cast outside "
+                    "src/util|src/vm; use msw::to_ptr()/to_ptr_of<T>()"))
+    return findings
+
+
+RULES = {
+    "MSW-REENTRANT-ALLOC": rule_reentrant_alloc,
+    "MSW-RAW-SYNC": rule_raw_sync,
+    "MSW-LOCK-RANK": rule_lock_rank,
+    "MSW-STAT-CELLS": rule_stat_cells,
+    "MSW-SHIM-ERRNO": rule_shim_errno,
+    "MSW-FAILPOINT-XREF": rule_failpoint_xref,
+    "MSW-UB-PTR-CAST": rule_ub_ptr_cast,
+}
+
+
+# --------------------------------------------------------------------------
+# Engines
+# --------------------------------------------------------------------------
+
+class EngineUnavailable(Exception):
+    pass
+
+
+class TextualEngine:
+    """Reference engine: comment-aware lexical analysis, no dependencies."""
+
+    name = "textual"
+
+    def analyze(self, tree, rules):
+        findings = []
+        for rule_id in rules:
+            findings.extend(RULES[rule_id](tree))
+        return findings
+
+
+class LibclangEngine(TextualEngine):
+    """AST-refined engine. Uses python clang bindings when importable;
+    replaces the type-sensitive rules (raw-sync, stat-cells, ptr-cast)
+    with cursor walks over real ASTs and keeps the textual reference
+    implementation for the structural rules."""
+
+    name = "libclang"
+
+    def __init__(self, build_dir):
+        try:
+            import clang.cindex as cindex  # noqa: deferred import
+        except ImportError as e:
+            raise EngineUnavailable(f"python clang bindings: {e}")
+        self.cindex = cindex
+        if not cindex.Config.loaded:
+            import glob as _glob
+            for pat in ("/usr/lib/llvm-*/lib/libclang.so*",
+                        "/usr/lib/x86_64-linux-gnu/libclang-*.so*",
+                        "/usr/lib/libclang.so*"):
+                hits = sorted(_glob.glob(pat))
+                if hits:
+                    cindex.Config.set_library_file(hits[-1])
+                    break
+        try:
+            self.index = cindex.Index.create()
+        except Exception as e:  # library present but unloadable
+            raise EngineUnavailable(f"libclang library: {e}")
+        self.build_dir = build_dir
+        self.compdb = None
+        if build_dir and os.path.isfile(
+                os.path.join(build_dir, "compile_commands.json")):
+            try:
+                self.compdb = cindex.CompilationDatabase.fromDirectory(
+                    build_dir)
+            except cindex.CompilationDatabaseError:
+                self.compdb = None
+
+    _AST_RULES = {"MSW-RAW-SYNC", "MSW-STAT-CELLS", "MSW-UB-PTR-CAST"}
+
+    def analyze(self, tree, rules):
+        textual = [r for r in rules if r not in self._AST_RULES]
+        findings = super().analyze(tree, textual)
+        ast_rules = [r for r in rules if r in self._AST_RULES]
+        if ast_rules:
+            try:
+                findings.extend(self._analyze_ast(tree, ast_rules))
+            except Exception as e:  # never let AST bugs hide findings
+                sys.stderr.write(
+                    f"msw-analyze: libclang pass failed ({e}); falling "
+                    "back to the textual implementation for "
+                    f"{', '.join(ast_rules)}\n")
+                findings.extend(super().analyze(tree, ast_rules))
+        return findings
+
+    def _args_for(self, path):
+        if self.compdb is not None:
+            cmds = self.compdb.getCompileCommands(path)
+            if cmds:
+                args = list(cmds[0].arguments)[1:]
+                # Drop the output/input clauses; keep -I/-D/-std.
+                out = []
+                skip = False
+                for a in args:
+                    if skip:
+                        skip = False
+                        continue
+                    if a in ("-o", "-c"):
+                        skip = a == "-o"
+                        continue
+                    if a == path or a.endswith(os.path.basename(path)):
+                        continue
+                    out.append(a)
+                return out
+        return ["-std=c++20", "-I" + os.path.join(tree_root_of(path))]
+
+    def _analyze_ast(self, tree, rules):
+        cindex = self.cindex
+        findings = []
+        seen = set()
+        units = [sf for sf in tree.src if sf.rel.endswith((".cc", ".cpp"))]
+        headers = {sf.path: sf for sf in tree.src}
+        for sf in units:
+            args = self._args_for(sf.path)
+            tu = self.index.parse(sf.path, args=args)
+            for cur in tu.cursor.walk_preorder():
+                loc = cur.location
+                if loc.file is None:
+                    continue
+                fpath = os.path.realpath(loc.file.name)
+                hit = headers.get(fpath)
+                if hit is None:
+                    continue
+                key = (hit.rel, loc.line, cur.kind, cur.spelling)
+                if key in seen:
+                    continue
+                if "MSW-RAW-SYNC" in rules and \
+                        not hit.rel.startswith("src/util/") and \
+                        cur.kind in (cindex.CursorKind.FIELD_DECL,
+                                     cindex.CursorKind.VAR_DECL):
+                    t = cur.type.spelling
+                    if _RAW_SYNC_RE.search(t):
+                        seen.add(key)
+                        findings.append(Finding(
+                            "MSW-RAW-SYNC", hit.rel, loc.line,
+                            f"raw synchronisation type '{t}' (libclang); "
+                            "use the ranked msw:: wrappers"))
+                if "MSW-STAT-CELLS" in rules and \
+                        hit.rel.startswith(("src/core/", "src/alloc/")) and \
+                        not os.path.basename(hit.rel).startswith(
+                            "stat_cells") and \
+                        cur.kind == cindex.CursorKind.FIELD_DECL:
+                    t = cur.type.spelling
+                    if (t.startswith("std::atomic<") and "bool" not in t and
+                            _COUNTER_NAME_RE.search(cur.spelling or "")):
+                        seen.add(key)
+                        findings.append(Finding(
+                            "MSW-STAT-CELLS", hit.rel, loc.line,
+                            f"atomic counter member '{cur.spelling}' "
+                            "(libclang); route it through "
+                            "core::StatCells"))
+                if "MSW-UB-PTR-CAST" in rules and \
+                        not hit.rel.startswith(("src/util/", "src/vm/")) and \
+                        cur.kind == cindex.CursorKind.CXX_REINTERPRET_CAST_EXPR:
+                    dst = cur.type
+                    kids = list(cur.get_children())
+                    src_t = kids[0].type if kids else None
+                    def is_int(t):
+                        return t is not None and \
+                            t.get_canonical().kind.name.startswith(
+                                ("UINT", "INT", "ULONG", "LONG", "USHORT",
+                                 "SHORT", "ULONGLONG", "LONGLONG"))
+                    def is_ptr(t):
+                        return t is not None and \
+                            t.get_canonical().kind == \
+                            cindex.TypeKind.POINTER
+                    if (is_ptr(dst) and is_int(src_t)) or \
+                            (is_int(dst) and is_ptr(src_t)):
+                        seen.add(key)
+                        findings.append(Finding(
+                            "MSW-UB-PTR-CAST", hit.rel, loc.line,
+                            "pointer<->integer reinterpret_cast "
+                            "(libclang); use msw::to_addr()/"
+                            "to_ptr()/to_ptr_of<T>()"))
+        return findings
+
+
+class ClangQueryEngine(TextualEngine):
+    """clang-query fallback: AST matchers refine the declaration-shaped
+    rules; everything else uses the textual reference implementation."""
+
+    name = "clang-query"
+
+    _MATCHERS = [
+        ("MSW-RAW-SYNC",
+         'match fieldDecl(hasType(cxxRecordDecl(matchesName('
+         '"^::std::(mutex|condition_variable$|lock_guard|unique_lock)"))))'),
+        ("MSW-RAW-SYNC",
+         'match varDecl(hasType(cxxRecordDecl(matchesName('
+         '"^::std::(mutex|condition_variable$|lock_guard|unique_lock)"))))'),
+    ]
+
+    def __init__(self, build_dir):
+        self.binary = shutil.which("clang-query")
+        if self.binary is None:
+            raise EngineUnavailable("clang-query not found on PATH")
+        self.build_dir = build_dir
+        if not (build_dir and os.path.isfile(
+                os.path.join(build_dir, "compile_commands.json"))):
+            raise EngineUnavailable(
+                "clang-query needs a build dir with compile_commands.json "
+                "(pass --build)")
+
+    def analyze(self, tree, rules):
+        findings = super().analyze(
+            tree, [r for r in rules if r != "MSW-RAW-SYNC"])
+        if "MSW-RAW-SYNC" not in rules:
+            return findings
+        units = [sf.path for sf in tree.src
+                 if sf.rel.endswith((".cc", ".cpp"))
+                 and not sf.rel.startswith("src/util/")]
+        cmds = "\n".join(q for _r, q in self._MATCHERS) + "\n"
+        loc_re = re.compile(r'"root" binds here|^(/\S+):(\d+):\d+:')
+        seen = set()
+        try:
+            proc = subprocess.run(
+                [self.binary, "-p", self.build_dir] + units,
+                input=cmds, capture_output=True, text=True, timeout=600)
+            for line in proc.stdout.splitlines():
+                m = re.match(r"^(/\S+?):(\d+):\d+:", line.strip())
+                if not m:
+                    continue
+                path = os.path.realpath(m.group(1))
+                for sf in tree.src:
+                    if os.path.realpath(sf.path) == path and \
+                            not sf.rel.startswith("src/util/"):
+                        key = (sf.rel, int(m.group(2)))
+                        if key not in seen:
+                            seen.add(key)
+                            findings.append(Finding(
+                                "MSW-RAW-SYNC", sf.rel, int(m.group(2)),
+                                "raw synchronisation primitive "
+                                "(clang-query); use the ranked msw:: "
+                                "wrappers"))
+        except Exception as e:
+            sys.stderr.write(
+                f"msw-analyze: clang-query pass failed ({e}); using the "
+                "textual implementation for MSW-RAW-SYNC\n")
+            findings.extend(super().analyze(tree, ["MSW-RAW-SYNC"]))
+        return findings
+
+
+def tree_root_of(path):
+    d = os.path.dirname(os.path.abspath(path))
+    while d != "/":
+        if os.path.isdir(os.path.join(d, "src")):
+            return d
+        d = os.path.dirname(d)
+    return os.path.dirname(path)
+
+
+def make_engine(kind, build_dir):
+    """Returns (engine, notice). Raises EngineUnavailable only when a
+    specific engine was forced and cannot run."""
+    if kind == "textual":
+        return TextualEngine(), None
+    if kind == "libclang":
+        return LibclangEngine(build_dir), None
+    if kind == "clang-query":
+        return ClangQueryEngine(build_dir), None
+    # auto: best available, never fails.
+    try:
+        return LibclangEngine(build_dir), None
+    except EngineUnavailable as e1:
+        try:
+            return ClangQueryEngine(build_dir), None
+        except EngineUnavailable as e2:
+            return TextualEngine(), (
+                f"libclang unavailable ({e1}); clang-query unavailable "
+                f"({e2}); using the built-in textual engine")
+
+
+# --------------------------------------------------------------------------
+# Baseline
+# --------------------------------------------------------------------------
+
+def fingerprint(raw_line):
+    return " ".join(raw_line.split())
+
+
+class Baseline:
+    def __init__(self, path):
+        self.path = path
+        self.entries = {}  # (rule, rel, fp) -> justification
+        self.errors = []
+        self.matched = set()
+        if path is None or not os.path.isfile(path):
+            return
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.rstrip("\n")
+                if not line.strip() or line.lstrip().startswith("#"):
+                    continue
+                body, _hash, just = line.partition(" #")
+                parts = body.rstrip().split("|", 2)
+                if len(parts) != 3:
+                    self.errors.append(
+                        f"{path}:{lineno}: malformed baseline entry "
+                        "(want RULE|path|fingerprint  # justification)")
+                    continue
+                just = just.strip()
+                if not just or just.upper().startswith("TODO"):
+                    self.errors.append(
+                        f"{path}:{lineno}: baseline entry for "
+                        f"{parts[0]} at {parts[1]} has no justification "
+                        "comment; every suppression must say why")
+                    continue
+                key = (parts[0], parts[1], fingerprint(parts[2]))
+                self.entries[key] = just
+
+    def suppresses(self, finding, tree):
+        sf = None
+        for cand in tree.src + tree.tests + \
+                ([tree.design] if tree.design else []):
+            if cand.rel == finding.rel:
+                sf = cand
+                break
+        fp = fingerprint(sf.raw_line(finding.line)) if sf else ""
+        key = (finding.rule, finding.rel, fp)
+        if key in self.entries:
+            self.matched.add(key)
+            return True
+        return False
+
+    def stale(self, active_rules=None):
+        """Unmatched entries; with a --rules subset, entries for rules
+        that did not run are unknown rather than stale."""
+        unmatched = set(self.entries) - self.matched
+        if active_rules is not None:
+            unmatched = {k for k in unmatched if k[0] in active_rules}
+        return sorted(unmatched)
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+def analyze_root(root, engine, rules, baseline_path):
+    tree = Tree(root)
+    baseline = Baseline(baseline_path)
+    if baseline.errors:
+        return [], baseline, baseline.errors
+    findings = engine.analyze(tree, rules)
+    findings = sorted({f.key(): f for f in findings}.values(),
+                      key=lambda f: (f.rel, f.line, f.rule))
+    kept = [f for f in findings if not baseline.suppresses(f, tree)]
+    return kept, baseline, []
+
+
+def run_self_test(fixtures_dir, rules):
+    cases = sorted(
+        d for d in os.listdir(fixtures_dir)
+        if os.path.isfile(os.path.join(fixtures_dir, d, "expect.txt")))
+    if not cases:
+        sys.stderr.write(
+            f"msw-analyze: no fixture cases under {fixtures_dir}\n")
+        return 2
+    failures = 0
+    engine = TextualEngine()  # fixtures are engine-independent; the
+    # textual engine is the reference and runs everywhere
+    for case in cases:
+        root = os.path.join(fixtures_dir, case)
+        with open(os.path.join(root, "expect.txt"), encoding="utf-8") as f:
+            expect_lines = [ln.strip() for ln in f
+                            if ln.strip() and not ln.startswith("#")]
+        baseline = os.path.join(root, "baseline.txt")
+        baseline = baseline if os.path.isfile(baseline) else None
+        kept, _bl, errors = analyze_root(root, engine, rules, baseline)
+        got = sorted({f.rule for f in kept})
+        if expect_lines == ["exit:2"]:
+            ok = bool(errors)
+            want_desc = "configuration error"
+        else:
+            want = sorted(r for r in expect_lines if r != "none")
+            ok = not errors and got == want
+            want_desc = ", ".join(want) if want else "no findings"
+        status = "PASS" if ok else "FAIL"
+        print(f"[{status}] {case}: expected {want_desc}; got "
+              f"{', '.join(got) if got else 'no findings'}"
+              f"{' + config errors' if errors else ''}")
+        if not ok:
+            for f in kept:
+                print(f"    {f.rel}:{f.line}: {f.rule}: {f.msg}")
+            for e in errors:
+                print(f"    {e}")
+            failures += 1
+    print(f"msw-analyze self-test: {len(cases) - failures}/{len(cases)} "
+          "cases passed")
+    return 1 if failures else 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        prog="msw_analyze.py",
+        description="MineSweeper domain-specific static analyzer")
+    script_dir = os.path.dirname(os.path.abspath(__file__))
+    default_root = os.path.dirname(os.path.dirname(script_dir))
+    ap.add_argument("--root", default=default_root,
+                    help="analysis root containing src/ (default: repo)")
+    ap.add_argument("--build", "-p", default=None,
+                    help="build dir with compile_commands.json (for the "
+                         "libclang/clang-query engines)")
+    ap.add_argument("--engine", default="auto",
+                    choices=["auto", "libclang", "clang-query", "textual"])
+    ap.add_argument("--rules", default=None,
+                    help="comma-separated rule subset (default: all)")
+    ap.add_argument("--baseline", default=None,
+                    help="suppression baseline (default: "
+                         "tools/analysis/baseline.txt under --root)")
+    ap.add_argument("--self-test", metavar="FIXTURES_DIR",
+                    help="run the fixture self-test and exit")
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="append entries (marked TODO: justify) for "
+                         "current findings to the baseline")
+    args = ap.parse_args()
+
+    if args.list_rules:
+        for rule_id, fn in RULES.items():
+            doc = (fn.__doc__ or "").split("\n")[0].split(":", 1)[-1]
+            print(f"{rule_id}: {doc.strip()}")
+        return 0
+
+    rules = list(RULES)
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in rules if r not in RULES]
+        if unknown:
+            sys.stderr.write(
+                f"msw-analyze: unknown rule(s): {', '.join(unknown)}\n")
+            return 2
+
+    if args.self_test:
+        return run_self_test(args.self_test, rules)
+
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(os.path.join(root, "src")):
+        sys.stderr.write(f"msw-analyze: no src/ under {root}\n")
+        return 2
+
+    build = args.build
+    if build is None:
+        for cand in ("build", "build-check"):
+            if os.path.isfile(os.path.join(root, cand,
+                                           "compile_commands.json")):
+                build = os.path.join(root, cand)
+                break
+    try:
+        engine, notice = make_engine(args.engine, build)
+    except EngineUnavailable as e:
+        # Mirrors tools/lint.sh: a forced-but-missing toolchain is a
+        # skip with a notice, never a failure of the default build.
+        print(f"msw-analyze: engine '{args.engine}' unavailable ({e}); "
+              "skipping (not a failure).")
+        print("msw-analyze: run with --engine auto to use the built-in "
+              "textual engine instead.")
+        return 0
+    if notice:
+        sys.stderr.write(f"msw-analyze: {notice}\n")
+
+    baseline_path = args.baseline or os.path.join(
+        root, "tools", "analysis", "baseline.txt")
+    kept, baseline, errors = analyze_root(root, engine, rules,
+                                          baseline_path)
+    for e in errors:
+        sys.stderr.write(f"msw-analyze: error: {e}\n")
+    if errors:
+        return 2
+
+    for f in kept:
+        print(f"{f.rel}:{f.line}: {f.rule}: {f.msg}")
+    for key in baseline.stale(active_rules=set(rules)):
+        sys.stderr.write(
+            f"msw-analyze: warning: stale baseline entry {key[0]}|"
+            f"{key[1]}|{key[2]} (no longer matches any finding)\n")
+
+    if args.update_baseline and kept:
+        tree = Tree(root)
+        with open(baseline_path, "a", encoding="utf-8") as out:
+            for f in kept:
+                sf = next((s for s in tree.src + tree.tests if
+                           s.rel == f.rel), None)
+                fp = fingerprint(sf.raw_line(f.line)) if sf else ""
+                out.write(f"{f.rule}|{f.rel}|{fp}  # TODO: justify\n")
+        print(f"msw-analyze: appended {len(kept)} TODO entries to "
+              f"{baseline_path}; runs stay red until justified")
+
+    n_sup = len(baseline.matched)
+    print(f"msw-analyze [{engine.name}]: {len(kept)} finding(s), "
+          f"{n_sup} suppressed by baseline, "
+          f"{len(RULES) if not args.rules else len(rules)} rule(s)")
+    return 1 if kept else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

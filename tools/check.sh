@@ -3,7 +3,8 @@
 #   1. default build + full test suite (the tier-1 gate);
 #   2. MSW_THREAD_SAFETY=ON with clang++ (thread-safety analysis is a
 #      Clang feature) — compile-only, -Werror=thread-safety;
-#   3. MSW_SANITIZE=address,undefined + full test suite.
+#   3. MSW_SANITIZE=address,undefined + full test suite;
+#   4. msw-analyze (tools/analysis/) self-test + clean run over src/.
 # Configurations whose toolchain is unavailable are skipped with a note,
 # not failed: the matrix must be runnable on minimal containers.
 #
@@ -19,7 +20,7 @@ run() { echo "+ $*" >&2; "$@"; }
 
 failures=()
 
-echo "=== [1/3] default build + tests ==="
+echo "=== [1/4] default build + tests ==="
 run cmake -B "$repo/build-check" -S "$repo" >/dev/null
 run cmake --build "$repo/build-check" -j >/dev/null
 if ! (cd "$repo/build-check" && ctest --output-on-failure -j "$(nproc)"); then
@@ -27,7 +28,7 @@ if ! (cd "$repo/build-check" && ctest --output-on-failure -j "$(nproc)"); then
 fi
 
 if [ "$quick" = "0" ]; then
-    echo "=== [2/3] MSW_THREAD_SAFETY=ON (clang) ==="
+    echo "=== [2/4] MSW_THREAD_SAFETY=ON (clang) ==="
     if command -v clang++ >/dev/null 2>&1; then
         if run cmake -B "$repo/build-check-tsa" -S "$repo" \
                 -DCMAKE_CXX_COMPILER=clang++ \
@@ -41,7 +42,7 @@ if [ "$quick" = "0" ]; then
         echo "clang++ not found; skipping the thread-safety configuration."
     fi
 
-    echo "=== [3/3] MSW_SANITIZE=address,undefined + tests ==="
+    echo "=== [3/4] MSW_SANITIZE=address,undefined + tests ==="
     # handle_segv=0: the suite *intends* SIGSEGV in places (UAF probes on
     # unmapped quarantine pages, mprotect write-barrier faults); ASan must
     # not convert those into aborts.
@@ -59,6 +60,23 @@ if [ "$quick" = "0" ]; then
         fi
     else
         failures+=("asan-ubsan-build")
+    fi
+
+    echo "=== [4/4] msw-analyze (domain-specific static analysis) ==="
+    # The analyzer degrades to its built-in textual engine when libclang/
+    # clang-query are absent; only a missing python3 skips the stage. The
+    # build dir from stage 1 supplies compile_commands.json.
+    if command -v python3 >/dev/null 2>&1; then
+        if ! run python3 "$repo/tools/analysis/msw_analyze.py" \
+                --self-test "$repo/tests/analysis/fixtures"; then
+            failures+=("msw-analyze-selftest")
+        fi
+        if ! run python3 "$repo/tools/analysis/msw_analyze.py" \
+                --root "$repo" --build "$repo/build-check"; then
+            failures+=("msw-analyze")
+        fi
+    else
+        echo "python3 not found; skipping the msw-analyze stage."
     fi
 fi
 

@@ -7,7 +7,15 @@
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-build="${1:-$repo/build}"
+
+# A leading "--" means "default build dir, everything after is for
+# clang-tidy" — it must not be mistaken for the build dir itself.
+build="$repo/build"
+if [ $# -gt 0 ] && [ "$1" != "--" ]; then
+    build="$1"
+    shift
+fi
+if [ "${1:-}" = "--" ]; then shift; fi
 
 if ! command -v clang-tidy >/dev/null 2>&1; then
     echo "lint.sh: clang-tidy not found on PATH; skipping (not a failure)." >&2
@@ -21,13 +29,14 @@ if [ ! -f "$build/compile_commands.json" ]; then
     cmake -B "$build" -S "$repo" >/dev/null
 fi
 
-if [ $# -gt 0 ]; then shift; fi
-if [ "${1:-}" = "--" ]; then shift; fi
-
 mapfile -t sources < <(find "$repo/src" -name '*.cc' | sort)
 
 if command -v run-clang-tidy >/dev/null 2>&1; then
-    run-clang-tidy -p "$build" -quiet "$@" "${sources[@]}"
+    # Propagate the exit status explicitly: run-clang-tidy returns
+    # nonzero on findings and that must fail the lint, not be swallowed.
+    status=0
+    run-clang-tidy -p "$build" -quiet "$@" "${sources[@]}" || status=$?
+    exit $status
 else
     status=0
     for f in "${sources[@]}"; do
