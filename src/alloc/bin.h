@@ -53,6 +53,13 @@ class Bin
 
     unsigned cls() const { return cls_; }
 
+    // atfork integration (called by JadeAllocator's fork hooks): fork
+    // with lock_ held so the child inherits consistent slab lists. The
+    // acquire/release pairing straddles fork(), outside what the static
+    // analysis can see.
+    void prepare_fork() MSW_NO_THREAD_SAFETY_ANALYSIS { lock_.lock(); }
+    void after_fork() MSW_NO_THREAD_SAFETY_ANALYSIS { lock_.unlock(); }
+
   private:
     ExtentMeta* grab_slab_locked() MSW_REQUIRES(lock_);
 

@@ -173,6 +173,12 @@ class MetaPool
     /** The metadata reservation (excluded from conservative scans). */
     const vm::Reservation& reservation() const { return space_; }
 
+    // atfork integration (via ExtentAllocator): fork with lock_ held so
+    // the child inherits a consistent bump/free-list state. The pairing
+    // straddles fork(), outside what the static analysis can see.
+    void prepare_fork() MSW_NO_THREAD_SAFETY_ANALYSIS { lock_.lock(); }
+    void after_fork() MSW_NO_THREAD_SAFETY_ANALYSIS { lock_.unlock(); }
+
   private:
     vm::Reservation space_;
     // Rank kExtentMeta: MetaPool::alloc/free run under the extent lock.

@@ -139,6 +139,23 @@ class ExtentAllocator
 
     ExtentStats stats() const;
 
+    // atfork integration (called by JadeAllocator's fork hooks): fork
+    // with the extent lock and the metadata-pool lock held, in rank
+    // order (kExtent -> kExtentMeta). The pairing straddles fork(),
+    // outside what the static analysis can see.
+    void
+    prepare_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
+    {
+        lock_.lock();
+        meta_pool_.prepare_fork();
+    }
+    void
+    after_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
+    {
+        meta_pool_.after_fork();
+        lock_.unlock();
+    }
+
     /**
      * Invoke @p fn(base, bytes) for every active (slab or large) extent.
      * Takes the extent lock; @p fn must not reenter the allocator.

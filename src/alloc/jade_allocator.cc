@@ -206,6 +206,71 @@ JadeAllocator::tcache_destructor(void* arg)
     os_free(tc, tc->alloc_size);
 }
 
+// The fork hooks hold the whole substrate hierarchy across fork(); the
+// pairing is enforced by core/lifecycle, outside what the static
+// analysis can see. Same-rank bulk acquisition of the bin locks is
+// legal only inside the lock-rank fork window the lifecycle opens.
+void
+JadeAllocator::prepare_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
+{
+    g_tcache_registry_lock.lock();  // kBinRegistry (30)
+    for (unsigned a = 0; a < opts_.arenas; ++a) {
+        for (unsigned c = 0; c < num_classes_; ++c)
+            arenas_[a].bins[c].prepare_fork();  // kBin (32), bulk
+    }
+    extents_.prepare_fork();  // kExtent (40) -> kExtentMeta (42)
+}
+
+void
+JadeAllocator::parent_after_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
+{
+    extents_.after_fork();
+    for (unsigned a = 0; a < opts_.arenas; ++a) {
+        for (unsigned c = 0; c < num_classes_; ++c)
+            arenas_[a].bins[c].after_fork();
+    }
+    g_tcache_registry_lock.unlock();
+}
+
+void
+JadeAllocator::child_after_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
+{
+    // Pure release: the locks were held by the forking thread, so the
+    // child's copies are consistent. Cache adoption happens later, in
+    // child_fixup(), once the whole hierarchy is free again.
+    parent_after_fork();
+}
+
+void
+JadeAllocator::child_fixup()
+{
+    // Adopt the thread caches of threads that did not survive the fork:
+    // flush their objects back to the shared bins and release the
+    // storage, exactly as their exit destructors would have. The calling
+    // thread's own cache (still reachable via its TSD) survives. Runs
+    // single-threaded with no prepare-held locks, so the nested
+    // registry -> bin -> extent acquisitions are the normal ones.
+    TCache* mine = static_cast<TCache*>(pthread_getspecific(tcache_key_));
+    LockGuard g(g_tcache_registry_lock);
+    TCache* tc = g_tcache_head;
+    while (tc != nullptr) {
+        TCache* next = tc->reg_next;
+        if (tc != mine &&
+            tc->owner.load(std::memory_order_relaxed) == this) {
+            if (tc->reg_prev != nullptr)
+                tc->reg_prev->reg_next = tc->reg_next;
+            else
+                g_tcache_head = tc->reg_next;
+            if (tc->reg_next != nullptr)
+                tc->reg_next->reg_prev = tc->reg_prev;
+            for (unsigned c = 0; c < num_classes_; ++c)
+                flush_shard(tc, c, 0);
+            os_free(tc, tc->alloc_size);
+        }
+        tc = next;
+    }
+}
+
 void
 JadeAllocator::flush_shard(TCache* tc, unsigned cls, unsigned keep)
 {

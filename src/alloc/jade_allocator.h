@@ -125,6 +125,23 @@ class JadeAllocator final : public Allocator
         return live_bytes_.load(std::memory_order_relaxed);
     }
 
+    /**
+     * atfork integration (called by core/lifecycle): prepare_fork()
+     * acquires, in rank order, the process-wide tcache registry lock,
+     * every bin lock of every arena, and the extent + metadata-pool
+     * locks, so the child forks with the whole substrate consistent.
+     * parent_after_fork()/child_after_fork() release them.
+     * child_fixup() then adopts the thread caches of threads that did
+     * not survive the fork — flushing their objects back to the shared
+     * bins and releasing the cache storage — and must only run once
+     * every prepare-held lock is released (flushing re-acquires bin and
+     * extent locks).
+     */
+    void prepare_fork();
+    void parent_after_fork();
+    void child_after_fork();
+    void child_fixup();
+
   private:
     struct TCache;
     struct Arena;

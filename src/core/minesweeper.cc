@@ -4,6 +4,7 @@
 
 #include <cstring>
 
+#include "core/lifecycle.h"
 #include "util/bits.h"
 #include "util/log.h"
 
@@ -48,10 +49,16 @@ MineSweeper::MineSweeper(const Options& opts)
             opts_.helper_threads);
 
     controller_.start();
+
+    // Last: every member is live, so the instance can safely serve
+    // atfork callbacks from here on. First registered instance wins.
+    lifecycle::register_runtime(this);
 }
 
 MineSweeper::~MineSweeper()
 {
+    // First: stop serving atfork callbacks before any member dies.
+    lifecycle::unregister_runtime(this);
     // Before our members die: the sweep function touches marker_ and
     // workers_, which are gone by the time the base destructor runs.
     controller_.shutdown();
@@ -436,6 +443,70 @@ MineSweeper::run_sweep()
         workers_ != nullptr ? workers_->helper_cpu_ns() : 0;
     stats_.add(Stat::kSweepCpuNs, (sweep::thread_cpu_ns() - cpu0) +
                                       (helpers1 - helpers0));
+}
+
+// ----------------------------------------------------- process lifecycle
+
+// The acquire/release pairings below straddle fork(), outside what the
+// static analysis can see; ordering is enforced at runtime by the
+// lock-rank validator instead (lock_rank_fork_begin tolerates the bulk
+// same-rank runs, inversions still panic).
+
+void
+MineSweeper::prepare_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
+{
+    controller_.prepare_fork();  // kCoreControl (10); quiesces the sweep
+    roots_.prepare_fork();       // kCoreRoots   (12)
+    if (workers_ != nullptr)
+        workers_->prepare_fork();  // kCoreWorkers (14); drains helpers
+    reclaimer_.prepare_fork();     // kCoreUnmap   (16)
+    extra_roots_lock_.lock();      // kCoreConfig  (18)
+    quarantine_.prepare_fork();    // kQuarantineRegistry (20) -> (22)
+    jade_.prepare_fork();          // kBinRegistry (30) -> ... -> (42)
+}
+
+void
+MineSweeper::parent_after_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
+{
+    jade_.parent_after_fork();
+    quarantine_.parent_after_fork();
+    extra_roots_lock_.unlock();
+    reclaimer_.parent_after_fork();
+    if (workers_ != nullptr)
+        workers_->parent_after_fork();
+    roots_.parent_after_fork();
+    controller_.parent_after_fork();
+}
+
+void
+MineSweeper::child_after_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
+{
+    // Phase 1 — release the whole hierarchy (reverse rank order) and
+    // reset state describing threads that did not survive the fork.
+    jade_.child_after_fork();
+    quarantine_.child_after_fork();
+    extra_roots_lock_.unlock();
+    reclaimer_.child_after_fork();
+    if (workers_ != nullptr)
+        workers_->child_after_fork();
+    roots_.child_after_fork();
+    controller_.child_after_fork();
+
+    // Event counters described the parent's history; gauges (live /
+    // committed bytes) describe the inherited heap and are kept.
+    stats_.reset_events();
+
+    // Phase 2 — allocating fixups. These free and flush through the
+    // interposed allocator, re-acquiring quarantine/bin/extent locks,
+    // so they must only run once phase 1 has released everything.
+    roots_.child_fixup();
+    jade_.child_fixup();
+}
+
+void
+MineSweeper::quiesce()
+{
+    controller_.shutdown();
 }
 
 // ----------------------------------------------------------------- misc

@@ -104,6 +104,40 @@ class MineSweeper final : public QuarantineRuntime
 
     const Options& options() const { return opts_; }
 
+    // ------------------------------------------------- Process lifecycle
+
+    /**
+     * atfork composition, called by core/lifecycle (never directly):
+     * prepare_fork() quiesces the sweep and acquires every subsystem
+     * lock in rank order — controller (10), roots (12), workers (14),
+     * reclaimer (16), extra-roots config (18), quarantine (20/22) and
+     * the jade substrate (30–42) — so the child forks with every
+     * invariant consistent. parent_after_fork() releases in reverse.
+     * child_after_fork() releases in reverse, resets state describing
+     * threads that do not exist in the child (sweep control, STW
+     * handshake, helper pool), zeroes the event counters (gauges
+     * describing the inherited heap are preserved) and then runs the
+     * allocating fixups — pruning dead mutator records and adopting
+     * orphaned thread caches — once no prepare-held lock remains.
+     */
+    void prepare_fork();
+    void parent_after_fork();
+    void child_after_fork();
+
+    /**
+     * Stop the sweeping machinery ahead of process teardown (idempotent;
+     * delegates to the controller's shutdown drain). Allocation keeps
+     * working afterwards — the substrate needs no sweeper — which is
+     * what the shim's destructor-time degradation relies on.
+     */
+    void quiesce();
+
+    /**
+     * Completed-sweep count — the quarantine epoch quoted by crash
+     * reports. Async-signal-safe: one relaxed atomic load.
+     */
+    std::uint64_t sweep_epoch() const { return controller_.sweeps_done(); }
+
   private:
     void quarantine_free(void* ptr, std::uintptr_t base, std::size_t usable,
                          bool is_large);

@@ -117,6 +117,29 @@ Reclaimer::end_scan()
     drain_pending_locked();
 }
 
+// The fork hooks hold unmap_lock_ across fork(); the pairing is
+// enforced by core/lifecycle, outside what the static analysis can see.
+void
+Reclaimer::prepare_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
+{
+    unmap_lock_.lock();
+}
+
+void
+Reclaimer::parent_after_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
+{
+    unmap_lock_.unlock();
+}
+
+void
+Reclaimer::child_after_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
+{
+    // Queued deferred unmaps are kept: the entries remain quarantined in
+    // the child and drain on its next sweep's end_scan().
+    scan_active_.store(false, std::memory_order_release);
+    unmap_lock_.unlock();
+}
+
 bool
 Reclaimer::release_entry(const Entry& entry)
 {

@@ -95,6 +95,18 @@ class Reclaimer
     [[nodiscard]] bool protect_rw_with_retry(std::uintptr_t base,
                                              std::size_t len);
 
+    /**
+     * atfork integration (called by core/lifecycle): fork with
+     * unmap_lock_ held so the child inherits a consistent deferred-unmap
+     * queue. The controller quiesces sweeps first, so scan_active_ is
+     * normally clear; the child resets it regardless (the scanning
+     * thread does not exist there) and keeps any queued entries — they
+     * drain on the child's next sweep.
+     */
+    void prepare_fork();
+    void parent_after_fork();
+    void child_after_fork();
+
   private:
     void drain_pending_locked() MSW_REQUIRES(unmap_lock_);
 

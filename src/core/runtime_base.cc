@@ -4,6 +4,7 @@
 
 #include "alloc/extent.h"
 #include "alloc/size_classes.h"
+#include "core/lifecycle.h"
 #include "util/bits.h"
 #include "util/check.h"
 #include "util/log.h"
@@ -79,6 +80,11 @@ QuarantineRuntime::QuarantineRuntime(const Config& config,
                  &stats_),
       controller_(config_.control, std::move(sweep_fn), &stats_)
 {
+    // Before any chaining SEGV handler below (the MprotectTracker) is
+    // installed: the crash classifier must be the innermost handler so
+    // the tracker forwards non-write-barrier faults to it.
+    lifecycle::install_crash_handler_from_env();
+
     hooks_ = std::make_unique<Hooks>(this, &jade_.reservation());
     jade_.extents().set_hooks(hooks_.get());
 
@@ -174,11 +180,15 @@ void
 QuarantineRuntime::register_mutator_thread()
 {
     roots_.register_current_thread();
+    // Arm the lifecycle auto-drain: if this thread exits without the
+    // matching unregister call, the TSD destructor performs it.
+    lifecycle::note_mutator_thread(this);
 }
 
 void
 QuarantineRuntime::unregister_mutator_thread()
 {
+    lifecycle::forget_mutator_thread();
     quarantine_.flush_thread_buffer();
     jade_.flush();
     roots_.unregister_current_thread();

@@ -116,6 +116,13 @@ class QuarantineRuntime : public RuntimeBase
     alloc::JadeAllocator& substrate() { return jade_; }
     const alloc::JadeAllocator& substrate() const { return jade_; }
 
+    /** Registered mutator threads (tests assert lifecycle draining). */
+    std::size_t
+    mutator_thread_count() const
+    {
+        return roots_.num_threads();
+    }
+
     /**
      * Memory regions owned by this instance's machinery (shadow maps,
      * allocator metadata, page maps). Conservative root scans must skip

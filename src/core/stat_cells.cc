@@ -30,4 +30,15 @@ StatCells::read_all(std::uint64_t (&out)[kStatCount]) const
     }
 }
 
+void
+StatCells::reset_events()
+{
+    for (Shard& s : shards_) {
+        for (unsigned i = 0; i < kStatCount; ++i) {
+            if (!is_gauge(static_cast<Stat>(i)))
+                s.v[i].store(0, std::memory_order_relaxed);
+        }
+    }
+}
+
 }  // namespace msw::core

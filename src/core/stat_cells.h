@@ -90,6 +90,23 @@ class StatCells
     /** Snapshot every counter (one pass over the shards). */
     void read_all(std::uint64_t (&out)[kStatCount]) const;
 
+    /**
+     * Zero every *event* counter across all shards. Gauges (kLiveBytes,
+     * kCommittedBytes) are preserved: they describe heap state the fork
+     * child inherits, and zeroing them would make the sub() half of a
+     * later add()/sub() pair wrap. Only legal when no other thread is
+     * mutating — the atfork child handler, where the process is
+     * single-threaded by construction.
+     */
+    void reset_events();
+
+    /** True for add()/sub() byte gauges, false for event counters. */
+    static constexpr bool
+    is_gauge(Stat stat)
+    {
+        return stat == Stat::kLiveBytes || stat == Stat::kCommittedBytes;
+    }
+
     /** Number of stripes (tests and benchmarks). */
     static constexpr unsigned
     shards()

@@ -1,6 +1,7 @@
 #include "core/sweep_controller.h"
 
 #include <ctime>
+#include <new>
 
 #include "util/failpoint.h"
 #include "util/log.h"
@@ -105,6 +106,110 @@ SweepController::shutdown()
     }
 }
 
+// The fork hooks intentionally hold sweep_mu_ across function (and
+// process) boundaries; the pairing is enforced by core/lifecycle, not
+// by scopes the static analysis can see.
+void
+SweepController::prepare_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
+{
+    // Quiesce by *claiming* the sweep token, then fork with sweep_mu_
+    // held: the child must never inherit a sweep half-done over the
+    // subsystem locks. The gate comes first — run_sweep_now() takes the
+    // token before sweep_mu_, so under steady force-sweep pressure a
+    // new sweep wins the token inside any observation gap and an
+    // ungated claim loop starves indefinitely (each 1 ms retry lands
+    // mid-sweep). With fork_pending_ up, no new sweep starts, and the
+    // claim succeeds once the one in-flight sweep drains. After
+    // shutdown() the token is claimed permanently and no sweep is
+    // running — holding the mutex alone suffices.
+    fork_pending_.store(true, std::memory_order_release);
+    for (;;) {
+        sweep_mu_.lock();
+        if (stopped_.load(std::memory_order_acquire))
+            return;
+        bool expected = false;
+        if (sweep_in_progress_.compare_exchange_strong(
+                expected, true, std::memory_order_acquire)) {
+            fork_token_held_ = true;
+            return;
+        }
+        sweep_mu_.unlock();
+        sleep_ms(1);
+    }
+}
+
+void
+SweepController::parent_after_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
+{
+    const bool release_token = fork_token_held_;
+    fork_token_held_ = false;
+    if (release_token)
+        sweep_in_progress_.store(false, std::memory_order_release);
+    fork_pending_.store(false, std::memory_order_release);
+    sweep_mu_.unlock();
+    // Waiters that timed out against the fork window re-check promptly
+    // instead of riding out another watchdog period.
+    if (release_token)
+        sweep_done_cv_.notify_all();
+}
+
+void
+SweepController::child_after_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
+{
+    fork_pending_.store(false, std::memory_order_release);
+    if (!stopped_.load(std::memory_order_acquire)) {
+        // Control state inherited from the parent describes threads
+        // that do not exist here: pending requests, the pause gate,
+        // watchdog latches and blocked waiters all reset. The token is
+        // held by prepare_fork()'s claim (and its owner is the thread
+        // that forked, i.e. us) — release it.
+        fork_token_held_ = false;
+        sweep_requested_ = false;
+        sweep_request_ns_.store(0, std::memory_order_relaxed);
+        watchdog_tripped_.store(false, std::memory_order_relaxed);
+        pause_flag_.store(false, std::memory_order_relaxed);
+        sweep_in_progress_.store(false, std::memory_order_release);
+        control_waiters_.store(0, std::memory_order_release);
+        // condition_variable_any keeps an internal heap mutex that
+        // notify/wait lock *outside* sweep_mu_ (libstdc++ pairs the
+        // notifier with waiters through it). A thread mid-notify at
+        // fork time leaves it locked in the child with no owner, so
+        // the inherited objects are unusable: reinitialise in place.
+        // No destructor — destroying the locked internal mutex is UB;
+        // the orphaned allocation is the price of a usable child.
+        new (&sweep_cv_) std::condition_variable_any();
+        new (&sweep_done_cv_) std::condition_variable_any();
+        if (config_.background) {
+            // The inherited handle names a parent thread; joining or
+            // destroying it would terminate. Reinitialise in place to
+            // "not a thread" without running the destructor.
+            new (&sweeper_thread_) std::thread();
+            if (!util::failpoint_should_fail(Failpoint::kForkChild)) {
+                sweeper_needs_respawn_.store(true,
+                                             std::memory_order_release);
+            }
+            // else: simulate a failed respawn — the watchdog and the
+            // force_sweep()/wait_idle() self-serve loops keep the child
+            // live on mutator threads.
+        }
+    }
+    sweep_mu_.unlock();
+}
+
+void
+SweepController::ensure_sweeper()
+{
+    if (!sweeper_needs_respawn_.load(std::memory_order_acquire))
+        return;
+    MutexGuard g(sweep_mu_);
+    if (!sweeper_needs_respawn_.load(std::memory_order_relaxed) ||
+        shutdown_) {
+        return;
+    }
+    sweeper_thread_ = std::thread([this] { sweeper_loop(); });
+    sweeper_needs_respawn_.store(false, std::memory_order_release);
+}
+
 void
 SweepController::request_sweep(bool pause_allocations)
 {
@@ -112,6 +217,7 @@ SweepController::request_sweep(bool pause_allocations)
         run_sweep_now();
         return;
     }
+    ensure_sweeper();
     {
         MutexGuard g(sweep_mu_);
         sweep_requested_ = true;
@@ -130,6 +236,11 @@ SweepController::request_sweep(bool pause_allocations)
 bool
 SweepController::run_sweep_now()
 {
+    // A forking thread is waiting for the token; don't feed it new
+    // sweeps. Callers treat `false` as "someone else owns progress" and
+    // retry on their own timers, which outlive the fork window.
+    if (fork_pending_.load(std::memory_order_acquire))
+        return false;
     bool expected = false;
     if (!sweep_in_progress_.compare_exchange_strong(
             expected, true, std::memory_order_acquire)) {
@@ -193,9 +304,15 @@ SweepController::maybe_pause()
     }
     const std::uint64_t t0 = monotonic_ns();
     {
+        // A dead sweeper (e.g. a fork child whose respawn failed) never
+        // clears the flag or notifies, so the wait must not outlive the
+        // watchdog deadline — check_watchdog() below self-serves then.
+        const std::uint64_t cap_ms = config_.watchdog_timeout_ms != 0
+                                         ? config_.watchdog_timeout_ms
+                                         : 2000;
         UniqueLock g(sweep_mu_);
         control_waiters_.fetch_add(1, std::memory_order_relaxed);
-        sweep_done_cv_.wait_for(g, std::chrono::seconds(2),
+        sweep_done_cv_.wait_for(g, std::chrono::milliseconds(cap_ms),
                                 [&]() MSW_REQUIRES(sweep_mu_) {
                                     return shutdown_ ||
                                            !pause_flag_.load(
@@ -230,6 +347,7 @@ SweepController::force_sweep()
         run_sweep_now();
         return;
     }
+    ensure_sweeper();
     control_waiters_.fetch_add(1, std::memory_order_relaxed);
     {
         UniqueLock g(sweep_mu_);
@@ -321,10 +439,12 @@ SweepController::sweeper_loop()
             continue;
         }
         bool expected = false;
-        if (!sweep_in_progress_.compare_exchange_strong(
+        if (fork_pending_.load(std::memory_order_acquire) ||
+            !sweep_in_progress_.compare_exchange_strong(
                 expected, true, std::memory_order_acquire)) {
-            // A watchdog fallback owns the sweep; it clears the request
-            // and notifies when done.
+            // A watchdog fallback owns the sweep, or a fork is
+            // quiescing; either clears the request / gate and notifies
+            // (or we re-check) when done.
             sweep_done_cv_.wait_for(l, std::chrono::milliseconds(1));
             continue;
         }

@@ -119,6 +119,25 @@ class SweepController
     /** Mutator-side stall detection; falls back to a synchronous sweep. */
     void check_watchdog();
 
+    /**
+     * atfork integration (called by core/lifecycle in rank order).
+     *
+     * prepare_fork() quiesces: it waits for any in-flight sweep to
+     * complete and returns holding sweep_mu_, so the child forks with
+     * the control plane consistent and no sweep half-done over the
+     * subsystem locks. parent_after_fork() releases the mutex.
+     * child_after_fork() releases it, resets the control state (the
+     * single-sweep token, pause gate, watchdog and waiter counts all
+     * described threads that do not exist in the child) and discards the
+     * inherited — dead — sweeper thread handle; the sweeper itself is
+     * re-spawned *lazily* on the next request (a child of a
+     * multi-threaded fork may only be async-signal-safe until exec, and
+     * TSan forbids thread creation in the atfork child handler).
+     */
+    void prepare_fork();
+    void parent_after_fork();
+    void child_after_fork();
+
     /** Wait (bounded) for the current in-flight sweep to complete. */
     void wait_for_sweep_completion(std::uint64_t timeout_ms);
 
@@ -171,6 +190,9 @@ class SweepController
   private:
     void sweeper_loop();
 
+    /** Serve a pending post-fork lazy respawn of the sweeper thread. */
+    void ensure_sweeper();
+
     Config config_;
     std::function<void()> sweep_fn_;
     StatCells* stats_;
@@ -183,8 +205,17 @@ class SweepController
     std::condition_variable_any sweep_done_cv_;
     bool sweep_requested_ MSW_GUARDED_BY(sweep_mu_) = false;
     bool shutdown_ MSW_GUARDED_BY(sweep_mu_) = false;
+    /** prepare_fork() claimed sweep_in_progress_; the after-fork hooks
+     *  must release it. Written only with sweep_mu_ held. */
+    bool fork_token_held_ MSW_GUARDED_BY(sweep_mu_) = false;
+    /** A fork is quiescing: run_sweep_now()/the sweeper must not start
+     *  new sweeps, or back-to-back sweeps under force-sweep pressure
+     *  starve prepare_fork()'s token claim indefinitely. */
+    std::atomic<bool> fork_pending_{false};
     std::atomic<bool> stopped_{false};
     std::atomic<bool> sweep_in_progress_{false};
+    /** Set by child_after_fork(); consumed by ensure_sweeper(). */
+    std::atomic<bool> sweeper_needs_respawn_{false};
     std::atomic<bool> pause_flag_{false};
     std::atomic<std::uint64_t> sweeps_done_{0};
 

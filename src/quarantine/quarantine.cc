@@ -3,9 +3,11 @@
 #include <sys/mman.h>
 
 #include <cstring>
+#include <ctime>
 
 #include "util/bits.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "vm/vm.h"
 
 namespace msw::quarantine {
@@ -138,6 +140,14 @@ void
 Quarantine::buffer_destructor(void* arg)
 {
     auto* buf = static_cast<ThreadBuffer*>(arg);
+    if (util::failpoint_should_fail(util::Failpoint::kThreadExit)) {
+        // Chaos: delay the exit-path drain so it races concurrent
+        // sweeps and fork cycles the way late TSD destruction does.
+        struct timespec ts {
+            0, 1000000
+        };
+        ::nanosleep(&ts, nullptr);
+    }
     if (buf->owner.load(std::memory_order_acquire) != nullptr) {
         LockGuard g(g_buffer_lock);
         Quarantine* owner = buf->owner.load(std::memory_order_relaxed);
@@ -162,6 +172,53 @@ Quarantine::flush_buffer_locked(ThreadBuffer* buf)
     for (std::size_t i = 0; i < buf->count; ++i)
         append_locked(&current_, buf->entries[i]);
     buf->count = 0;
+}
+
+// The fork hooks hold g_buffer_lock and lock_ across fork(); the
+// pairing is enforced by core/lifecycle, outside what the static
+// analysis can see.
+void
+Quarantine::prepare_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
+{
+    g_buffer_lock.lock();  // registry (20) before epoch lock (22)
+    lock_.lock();
+}
+
+void
+Quarantine::parent_after_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
+{
+    lock_.unlock();
+    g_buffer_lock.unlock();
+}
+
+void
+Quarantine::child_after_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
+{
+    // Adopt the thread buffers of threads that did not survive the
+    // fork: flush their entries into the current epoch and unmap them.
+    // The calling thread's own buffer (its TSD still points at it) is
+    // the only one left registered. mmap/munmap only — safe while the
+    // rest of the prepare-held hierarchy is held.
+    ThreadBuffer* mine =
+        static_cast<ThreadBuffer*>(pthread_getspecific(buffer_key_));
+    ThreadBuffer* buf = g_buffer_head;
+    while (buf != nullptr) {
+        ThreadBuffer* next = buf->reg_next;
+        if (buf != mine &&
+            buf->owner.load(std::memory_order_relaxed) == this) {
+            flush_buffer_locked(buf);
+            if (buf->reg_prev != nullptr)
+                buf->reg_prev->reg_next = buf->reg_next;
+            else
+                g_buffer_head = buf->reg_next;
+            if (buf->reg_next != nullptr)
+                buf->reg_next->reg_prev = buf->reg_prev;
+            ::munmap(buf, buf->mapped_bytes);
+        }
+        buf = next;
+    }
+    lock_.unlock();
+    g_buffer_lock.unlock();
 }
 
 // ------------------------------------------------------------ public API

@@ -129,6 +129,20 @@ class Quarantine
 
     QuarantineStats stats() const;
 
+    /**
+     * atfork integration (called by core/lifecycle): fork with the
+     * buffer registry and epoch locks held, in rank order (20 -> 22).
+     * In the child, every registered thread buffer except the calling
+     * thread's belongs to a thread that no longer exists; its entries
+     * are *adopted* — flushed into the current epoch — and the buffer
+     * unmapped, so quarantined memory is never stranded by a fork. All
+     * storage here is mmap-backed, so adoption is safe while the rest
+     * of the prepare-held hierarchy is still held.
+     */
+    void prepare_fork();
+    void parent_after_fork();
+    void child_after_fork();
+
   private:
     struct ThreadBuffer;
 

@@ -74,7 +74,7 @@ boot_alloc(std::size_t size, std::size_t align = 16)
 
 // --------------------------------------------------------------- engine
 
-/** 0 = not started, 1 = constructing, 2 = ready. */
+/** 0 = not started, 1 = constructing, 2 = ready, 3 = torn down. */
 std::atomic<int> g_state{0};
 alignas(MineSweeper) char g_engine_storage[sizeof(MineSweeper)];
 MineSweeper* g_engine = nullptr;
@@ -115,7 +115,10 @@ MineSweeper*
 engine()
 {
     int state = g_state.load(std::memory_order_acquire);
-    if (state == 2)
+    // State 3 (torn down) still serves allocations: the engine object
+    // is deliberately never destructed, only quiesced, so stragglers
+    // running after our teardown keep working.
+    if (state >= 2)
         return g_engine;
     if (tls_in_init)
         return nullptr;  // re-entrant call during construction
@@ -137,9 +140,31 @@ engine()
         return g_engine;
     }
     // Another thread is constructing: spin until ready.
-    while (g_state.load(std::memory_order_acquire) != 2)
+    while (g_state.load(std::memory_order_acquire) < 2)
         msw::cpu_relax();
     return g_engine;
+}
+
+/**
+ * Late static-destruction teardown. Runs after default-priority
+ * destructors (destructors with a smaller priority number run later),
+ * so normal destructor-time frees still take the full quarantine path.
+ * Afterwards the engine is quiesced — the sweeper joined, sweeping
+ * disabled — but intentionally never destructed: allocations arriving
+ * later (other shared libraries' destructors, libc's own exit path)
+ * are still served from the live substrate, and late frees degrade to
+ * a guarded no-op in free() below instead of touching torn-down sweep
+ * machinery. Idempotent via the g_state CAS.
+ */
+__attribute__((destructor(101))) void
+shim_teardown()
+{
+    int expected = 2;
+    if (!g_state.compare_exchange_strong(expected, 3,
+                                         std::memory_order_acq_rel)) {
+        return;
+    }
+    g_engine->quiesce();
 }
 
 }  // namespace
@@ -169,6 +194,13 @@ free(void* ptr)
 {
     if (ptr == nullptr || is_boot_pointer(ptr))
         return;
+    if (g_state.load(std::memory_order_acquire) == 3) {
+        // After teardown: the sweeper that would eventually release
+        // this block is gone and the process is exiting. Dropping the
+        // free (the block stays quarantine-equivalent: never recycled)
+        // is strictly safer than touching quiesced sweep machinery.
+        return;
+    }
     MineSweeper* ms = engine();
     if (ms == nullptr)
         return;  // cannot free during bootstrap; leak (rare, tiny)

@@ -159,6 +159,55 @@ RootRegistry::unregister_current_thread()
     delete t;
 }
 
+// The fork hooks hold lock_ across fork(); the pairing is enforced by
+// core/lifecycle, outside what the static analysis can see.
+void
+RootRegistry::prepare_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
+{
+    lock_.lock();
+}
+
+void
+RootRegistry::parent_after_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
+{
+    lock_.unlock();
+}
+
+void
+RootRegistry::child_after_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
+{
+    // Any stop-the-world in flight in the parent is void here: the
+    // stopper and the parked threads are all gone. Pruning the dead
+    // thread records is deferred to child_fixup() — freeing them here
+    // would re-enter the allocator while the forking thread still holds
+    // the rest of the prepare-held hierarchy.
+    world_stopped_ = false;
+    stw_expected_ = 0;
+    stw_->parked.store(0, std::memory_order_relaxed);
+    lock_.unlock();
+}
+
+void
+RootRegistry::child_fixup()
+{
+    // Runs in the atfork child after every prepare-held lock has been
+    // released; the process is single-threaded, so the deletes below may
+    // safely re-enter an interposed free(). tls_self distinguishes the
+    // forking thread's own record, which survives (its stack is real in
+    // the child).
+    MutatorThread* self = tls_self;
+    LockGuard g(lock_);
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+        if (threads_[i] == self) {
+            threads_[w++] = threads_[i];
+        } else {
+            delete threads_[i];
+        }
+    }
+    threads_.resize(w);
+}
+
 std::vector<Range>
 RootRegistry::roots() const
 {

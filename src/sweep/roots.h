@@ -122,6 +122,30 @@ class RootRegistry
     std::vector<Range> roots_stw() const MSW_REQUIRES(lock_);
     std::vector<Range> stacks_stw() const MSW_REQUIRES(lock_);
 
+    // --- atfork integration (called by core/lifecycle) ------------------
+
+    /** Freeze the registry: fork with lock_ held, registry consistent. */
+    void prepare_fork();
+
+    /** Release the prepare-held lock in the parent. */
+    void parent_after_fork();
+
+    /**
+     * Rewind any in-flight stop-the-world bookkeeping and release the
+     * lock. Does not free anything — safe while the rest of the
+     * prepare-held hierarchy is still held.
+     */
+    void child_after_fork();
+
+    /**
+     * Drop every mutator record except the calling (forking) thread's:
+     * the other threads do not exist in the child, and scanning their
+     * stale stack ranges — or signalling their recycled pthread ids
+     * during stop-the-world — would be undefined. May re-enter the
+     * allocator; call only once every prepare-held lock is released.
+     */
+    void child_fixup();
+
   private:
     struct StwState;
 

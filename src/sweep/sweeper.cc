@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstring>
 #include <ctime>
+#include <new>
 
 #include "util/bits.h"
 #include "util/check.h"
@@ -86,6 +87,49 @@ SweepWorkers::run(const std::function<void(unsigned)>& fn)
     UniqueLock g(mu_);
     cv_done_.wait(g, [&]() MSW_REQUIRES(mu_) { return running_ == 0; });
     job_ = nullptr;
+}
+
+// The fork hooks hold mu_ across fork(); the pairing is enforced by
+// core/lifecycle, outside what the static analysis can see.
+void
+SweepWorkers::prepare_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
+{
+    // A dispatched job finishes before mu_ is granted only if run()'s
+    // final wait can complete — it can: helpers still exist in the
+    // parent, and this lock is only contended between jobs. Fork with
+    // the pool idle and frozen.
+    mu_.lock();
+    while (running_ != 0) {
+        mu_.unlock();
+        std::this_thread::yield();
+        mu_.lock();
+    }
+}
+
+void
+SweepWorkers::parent_after_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
+{
+    mu_.unlock();
+}
+
+void
+SweepWorkers::child_after_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
+{
+    // The inherited handles name parent threads; destroying a joinable
+    // std::thread terminates, so reinitialise each in place to "not a
+    // thread" before dropping them. The pool degrades to caller-only.
+    for (auto& t : threads_)
+        new (&t) std::thread();
+    threads_.clear();
+    job_ = nullptr;
+    running_ = 0;
+    // The cvs' internal heap mutexes are locked outside mu_ by
+    // notify_one/notify_all (libstdc++), so a parent thread mid-notify
+    // leaves them locked here with no owner. Reinitialise in place
+    // (no destructor: destroying the locked internal mutex is UB).
+    new (&cv_work_) std::condition_variable_any();
+    new (&cv_done_) std::condition_variable_any();
+    mu_.unlock();
 }
 
 // ---------------------------------------------------------------------

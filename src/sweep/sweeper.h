@@ -68,6 +68,20 @@ class SweepWorkers
         return helper_cpu_ns_.load(std::memory_order_relaxed);
     }
 
+    /**
+     * atfork integration (called by core/lifecycle). prepare_fork()
+     * waits out any dispatched job and holds mu_ across fork();
+     * parent_after_fork() releases it. child_after_fork() releases it
+     * and discards the inherited helper handles — the pool degrades to
+     * caller-only execution in the child (count() == 1), which is the
+     * documented helpers=0 mode; it is never re-grown because a child
+     * of a multi-threaded fork should not spawn threads from an atfork
+     * handler.
+     */
+    void prepare_fork();
+    void parent_after_fork();
+    void child_after_fork();
+
   private:
     void worker_loop(unsigned index);
 

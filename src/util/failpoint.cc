@@ -44,8 +44,9 @@ Mutex g_policy_mu{LockRank::kMetrics};
 std::atomic<std::uint64_t> g_rng_seed{0x5eedfa11};
 
 constexpr const char* kNames[kNumFailpoints] = {
-    "vm.commit",     "vm.decommit", "vm.purge",
+    "vm.commit",     "vm.decommit",   "vm.purge",
     "extent.grow",   "sweeper.stall", "sweep.delay",
+    "fork.prepare",  "fork.child",    "thread.exit",
 };
 
 double
@@ -331,6 +332,27 @@ failpoint_hits(Failpoint fp)
 {
     return detail::g_state[static_cast<unsigned>(fp)].total_hits.load(
         std::memory_order_relaxed);
+}
+
+// Acquire/release straddle fork(), which the static analysis cannot
+// model; the lifecycle handlers guarantee the pairing.
+void
+failpoint_prepare_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
+{
+    detail::g_policy_mu.lock();
+}
+
+void
+failpoint_parent_after_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
+{
+    detail::g_policy_mu.unlock();
+}
+
+void
+failpoint_child_after_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
+{
+    // Same thread that locked in prepare; policy table is consistent.
+    detail::g_policy_mu.unlock();
 }
 
 void

@@ -43,6 +43,10 @@ enum class Failpoint : unsigned {
     kExtentGrow,    ///< "extent.grow": heap bump-frontier extension.
     kSweeperStall,  ///< "sweeper.stall": background sweeper plays dead.
     kSweepDelay,    ///< "sweep.delay": sweep blocks while armed (tests).
+    kForkPrepare,   ///< "fork.prepare": stall the atfork prepare window.
+    kForkChild,     ///< "fork.child": child re-init skips the sweeper
+                    ///< respawn mark, forcing the fallback sweep paths.
+    kThreadExit,    ///< "thread.exit": delay the thread-exit TSD drain.
     kCount,
 };
 
@@ -118,6 +122,17 @@ std::uint64_t failpoint_hits(Failpoint fp);
 
 /** Zero all evaluation/hit counters. */
 void failpoint_reset_counters();
+
+/**
+ * atfork integration: the policy-table mutex is process-global state,
+ * so the lifecycle prepare handler must hold it across fork() — a child
+ * forked while another thread is mid-arm would otherwise inherit a held
+ * mutex and deadlock on its next arm/disarm. Called by core/lifecycle
+ * in rank order (kMetrics is the leaf band).
+ */
+void failpoint_prepare_fork();
+void failpoint_parent_after_fork();
+void failpoint_child_after_fork();
 
 namespace detail {
 

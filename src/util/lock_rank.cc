@@ -19,6 +19,9 @@ constexpr int kMaxHeldLocks = 16;
 thread_local LockRank t_held[kMaxHeldLocks];
 thread_local int t_depth = 0;
 
+/** Nesting depth of atfork bulk-acquisition windows (normally 0/1). */
+thread_local int t_fork_window = 0;
+
 bool
 initial_enabled()
 {
@@ -51,6 +54,11 @@ lock_rank_acquire_slow(LockRank rank)
 {
     if (t_depth > 0) {
         const LockRank top = t_held[t_depth - 1];
+        if (t_fork_window > 0 && rank == top) {
+            // atfork bulk window: same-rank arrays (bin locks, registry
+            // bands) coalesce into the entry already on the stack.
+            return;
+        }
         if (static_cast<std::uint8_t>(rank) <=
             static_cast<std::uint8_t>(top)) {
             panic("lock rank inversion: acquiring %s (%u) while holding "
@@ -96,6 +104,8 @@ const char*
 lock_rank_name(LockRank rank)
 {
     switch (rank) {
+    case LockRank::kLifecycle:
+        return "lifecycle";
     case LockRank::kCoreControl:
         return "core/control";
     case LockRank::kCoreRoots:
@@ -138,6 +148,25 @@ int
 lock_rank_held_count()
 {
     return t_depth;
+}
+
+void
+lock_rank_fork_begin()
+{
+    ++t_fork_window;
+}
+
+void
+lock_rank_fork_end()
+{
+    MSW_CHECK(t_fork_window > 0);
+    --t_fork_window;
+}
+
+void
+lock_rank_reset_thread()
+{
+    t_depth = 0;
 }
 
 }  // namespace msw::util

@@ -42,6 +42,9 @@ namespace msw::util {
  * already holds. Bands are spaced so future locks can slot in.
  */
 enum class LockRank : std::uint8_t {
+    // -- lifecycle band: process-wide runtime registry ------------------
+    kLifecycle = 4,  ///< atfork/lifecycle registry; taken before all else.
+
     // -- core band: sweeper control & orchestration --------------------
     kCoreControl = 10,  ///< Sweeper/marker control mutexes (sweep_mu_).
     kCoreRoots = 12,    ///< RootRegistry (held across the STW window).
@@ -79,6 +82,30 @@ void lock_rank_set_enabled(bool enabled);
 
 /** Number of ranked locks the calling thread currently holds (tests). */
 int lock_rank_held_count();
+
+/**
+ * Open/close an atfork bulk-acquisition window on the calling thread.
+ *
+ * The pthread_atfork prepare handler must acquire *every* lock in the
+ * hierarchy, including whole arrays of same-rank locks (all the bin
+ * locks, both quarantine locks of a registry band). Under the normal
+ * rule — strictly increasing rank — the second lock of a rank would be
+ * reported as an inversion, and forty bin locks would overflow the
+ * fixed per-thread stack. Inside the window, equal-rank blocking
+ * acquisitions are legal and are *coalesced* into the single stack
+ * entry already holding that rank; acquiring a rank strictly below the
+ * top is still an inversion and still panics, so a genuinely misordered
+ * atfork cycle is caught rather than masked.
+ */
+void lock_rank_fork_begin();
+void lock_rank_fork_end();
+
+/**
+ * Forget every rank the calling thread holds. Only legal where the
+ * locks themselves are known to be reset or owned — the atfork child
+ * handler after it has released the prepare-held hierarchy.
+ */
+void lock_rank_reset_thread();
 
 namespace detail {
 

@@ -1,0 +1,33 @@
+// Fixture: an installed signal handler that reaches an allocating
+// construct must flag MSW-REENTRANT-ALLOC — the signal can land while a
+// mutator holds the allocator's own locks, so the handler's allocation
+// deadlocks (or corrupts) the heap it interrupted.
+#include <csignal>
+#include <string>
+
+namespace {
+
+std::string
+format_report(unsigned long addr)
+{
+    return "fault at " + std::to_string(addr);
+}
+
+void
+fault_handler(int sig, siginfo_t* info, void* uctx)
+{
+    (void)sig;
+    (void)uctx;
+    format_report(reinterpret_cast<unsigned long>(info->si_addr));
+}
+
+}  // namespace
+
+void
+install_fault_handler()
+{
+    struct sigaction sa = {};
+    sa.sa_sigaction = fault_handler;
+    sa.sa_flags = SA_SIGINFO;
+    ::sigaction(SIGSEGV, &sa, nullptr);
+}

@@ -1,0 +1,40 @@
+// Fixture: an installed signal handler confined to async-signal-safe
+// operations (atomics, raw writes, reinstall-and-reraise) must stay
+// clean under MSW-REENTRANT-ALLOC.
+#include <csignal>
+#include <unistd.h>
+
+#include <atomic>
+
+namespace {
+
+std::atomic<unsigned long> g_fault_count{0};
+
+void
+write_marker()
+{
+    const char msg[] = "fault\n";
+    ::write(2, msg, sizeof(msg) - 1);
+}
+
+void
+fault_handler(int sig, siginfo_t* info, void* uctx)
+{
+    (void)info;
+    (void)uctx;
+    g_fault_count.fetch_add(1, std::memory_order_relaxed);
+    write_marker();
+    ::signal(sig, SIG_DFL);
+    ::raise(sig);
+}
+
+}  // namespace
+
+void
+install_fault_handler()
+{
+    struct sigaction sa = {};
+    sa.sa_sigaction = fault_handler;
+    sa.sa_flags = SA_SIGINFO;
+    ::sigaction(SIGSEGV, &sa, nullptr);
+}

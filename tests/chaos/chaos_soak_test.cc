@@ -1,0 +1,283 @@
+// Chaos soak: hammer the process-lifecycle machinery — fork while
+// threads churn the allocator, fork+exec, threads exiting without
+// unregistering, lifecycle failpoints armed — under a wall-clock
+// budget, asserting every child exits clean and the parent's runtime
+// keeps its invariants. The lock-rank validator is on for the whole
+// soak, so a single ordering mistake across an atfork cycle aborts.
+//
+// Budget: MSW_CHAOS_SECONDS (default 2; CI keeps it short, local soaks
+// can run minutes). Runs under the asan+ubsan and tsan matrices; the
+// ctest registration sets TSAN_OPTIONS=die_after_fork=0 because the
+// whole point is forking a multi-threaded process.
+#include <gtest/gtest.h>
+
+#include <pthread.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/lifecycle.h"
+#include "core/minesweeper.h"
+#include "util/failpoint.h"
+#include "util/lock_rank.h"
+
+namespace msw {
+namespace {
+
+using core::MineSweeper;
+using core::Options;
+using Clock = std::chrono::steady_clock;
+
+double
+budget_seconds()
+{
+    if (const char* env = std::getenv("MSW_CHAOS_SECONDS")) {
+        const double v = std::atof(env);
+        if (v > 0)
+            return v;
+    }
+    return 2.0;
+}
+
+Options
+chaos_options()
+{
+    Options o;
+    o.min_sweep_bytes = 16 << 10;  // sweep constantly
+    o.helper_threads = 2;
+    // Exercise the fallback paths, and keep them cheap: every stall a
+    // sweeper-less fork child can suffer (force_sweep wait, allocation
+    // pause) is bounded by this deadline, so per-iteration cost stays
+    // small against the wall-clock budget.
+    o.watchdog_timeout_ms = 50;
+    o.jade.heap_bytes = std::size_t{1} << 30;
+    return o;
+}
+
+/** Allocator churn with a mix of sizes crossing the small/large split. */
+void
+churn_once(MineSweeper& ms, unsigned& rng, std::vector<void*>& held)
+{
+    rng = rng * 1664525u + 1013904223u;
+    const std::size_t size = (rng % 97 == 0)
+                                 ? (std::size_t{1} << 20)
+                                 : 16 + (rng % 2048);
+    void* p = ms.alloc(size);
+    if (p != nullptr) {
+        std::memset(p, 0x5a, 64 < size ? 64 : size);
+        held.push_back(p);
+    }
+    if (held.size() > 64 || (p == nullptr && !held.empty())) {
+        ms.free(held.back());
+        held.pop_back();
+    }
+}
+
+struct ChurnCrew {
+    explicit ChurnCrew(MineSweeper& ms, unsigned n) : ms_(ms)
+    {
+        for (unsigned i = 0; i < n; ++i) {
+            threads_.emplace_back([this, i] {
+                ms_.register_mutator_thread();
+                unsigned rng = 0x9e3779b9u + i;
+                std::vector<void*> held;
+                while (!stop_.load(std::memory_order_relaxed))
+                    churn_once(ms_, rng, held);
+                for (void* p : held)
+                    ms_.free(p);
+                // Odd workers exit WITHOUT unregistering: the lifecycle
+                // TSD destructor must drain them.
+                if (i % 2 == 0)
+                    ms_.unregister_mutator_thread();
+            });
+        }
+    }
+
+    ~ChurnCrew()
+    {
+        stop_.store(true, std::memory_order_relaxed);
+        for (auto& t : threads_)
+            t.join();
+    }
+
+    MineSweeper& ms_;
+    std::atomic<bool> stop_{false};
+    std::vector<std::thread> threads_;
+};
+
+/** fork(); child runs @p fn and _exits 0. Returns the child's status. */
+template <typename Fn>
+int
+fork_status(Fn&& fn)
+{
+    const pid_t pid = fork();
+    if (pid < 0)
+        return -1;
+    if (pid == 0) {
+        fn();
+        _exit(0);
+    }
+    int status = 0;
+    if (waitpid(pid, &status, 0) != pid)
+        return -2;
+    return status;
+}
+
+bool
+clean_exit(int status)
+{
+    return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+}
+
+TEST(ChaosSoak, ForkThreadChurnFailpointSoak)
+{
+    util::lock_rank_set_enabled(true);
+    const auto deadline =
+        Clock::now() + std::chrono::duration<double>(budget_seconds());
+
+    MineSweeper ms(chaos_options());
+    ASSERT_EQ(core::lifecycle::registered_runtime(), &ms);
+
+    // Lifecycle failpoints: stall the fully-locked prepare window, make
+    // children lose their sweeper respawn, delay thread-exit drains.
+    // Probabilistic so the soak also explores the un-injected paths.
+    util::failpoint_arm(util::Failpoint::kForkPrepare,
+                        util::FailpointPolicy::prob(0.5));
+    util::failpoint_arm(util::Failpoint::kForkChild,
+                        util::FailpointPolicy::prob(0.25));
+    util::failpoint_arm(util::Failpoint::kThreadExit,
+                        util::FailpointPolicy::prob(0.5));
+
+    unsigned forks = 0;
+    unsigned thread_generations = 0;
+    {
+        ChurnCrew crew(ms, 4);
+        unsigned rng = 0xdecafbadu;
+        while (Clock::now() < deadline) {
+            rng = rng * 1664525u + 1013904223u;
+            switch (rng % 4) {
+            case 0: {  // fork; child keeps using the runtime
+                const int status = fork_status([&] {
+                    util::failpoint_disarm_all();
+                    std::vector<void*> held;
+                    unsigned crng = rng;
+                    // A kForkChild injection leaves this child in
+                    // degraded mode where every quarantine-pressure
+                    // allocation rides a watchdog stall, so the
+                    // iteration count bounds the whole run's tail.
+                    for (int i = 0; i < 32; ++i)
+                        churn_once(ms, crng, held);
+                    for (void* p : held)
+                        ms.free(p);
+                    ms.force_sweep();
+                });
+                ASSERT_TRUE(clean_exit(status)) << "status " << status;
+                ++forks;
+                break;
+            }
+            case 1: {  // fork + exec: the classic daemon pattern
+                const pid_t pid = fork();
+                ASSERT_GE(pid, 0);
+                if (pid == 0) {
+                    // A post-fork allocation before exec, like a real
+                    // spawner building its argv.
+                    void* p = ms.alloc(128);
+                    if (p == nullptr)
+                        _exit(2);
+                    ms.free(p);
+                    execl("/bin/true", "true",
+                          static_cast<char*>(nullptr));
+                    _exit(3);  // exec failed
+                }
+                int status = 0;
+                ASSERT_EQ(waitpid(pid, &status, 0), pid);
+                ASSERT_TRUE(clean_exit(status)) << "status " << status;
+                ++forks;
+                break;
+            }
+            case 2: {  // thread generation: spawn, churn, exit undrained
+                std::thread t([&ms, rng] {
+                    ms.register_mutator_thread();
+                    unsigned trng = rng;
+                    std::vector<void*> held;
+                    for (int i = 0; i < 100; ++i)
+                        churn_once(ms, trng, held);
+                    for (void* p : held)
+                        ms.free(p);
+                    // exits without unregistering (lifecycle drain)
+                });
+                t.join();
+                ++thread_generations;
+                break;
+            }
+            default:  // give the sweeper something to do
+                ms.force_sweep();
+                break;
+            }
+        }
+    }
+
+    util::failpoint_disarm_all();
+
+    // Post-soak invariants: no stranded mutator registrations, no held
+    // ranks, and the runtime still allocates, frees, sweeps and forks.
+    EXPECT_EQ(ms.mutator_thread_count(), 0u);
+    EXPECT_EQ(util::lock_rank_held_count(), 0);
+    EXPECT_GT(forks, 0u);
+    EXPECT_GT(thread_generations, 0u);
+    // Every fork evaluates the prepare failpoint while it is armed;
+    // whether the probabilistic policy *fired* is up to the RNG (a short
+    // budget may see only misses), so assert on evaluations.
+    EXPECT_GT(util::failpoint_evaluations(util::Failpoint::kForkPrepare),
+              0u);
+
+    void* p = ms.alloc(64);
+    ASSERT_NE(p, nullptr);
+    ms.free(p);
+    ms.force_sweep();
+    const int status = fork_status([&] {
+        void* q = ms.alloc(64);
+        if (q == nullptr)
+            _exit(2);
+        ms.free(q);
+    });
+    EXPECT_TRUE(clean_exit(status)) << "status " << status;
+    util::lock_rank_set_enabled(false);
+}
+
+TEST(ChaosSoak, ForkStormWhileSweeping)
+{
+    // Tight fork loop against a permanently-busy sweeper: the prepare
+    // handler quiesces a sweep per fork, the child resumes lazily.
+    util::lock_rank_set_enabled(true);
+    const auto deadline =
+        Clock::now() +
+        std::chrono::duration<double>(budget_seconds() / 2);
+
+    MineSweeper ms(chaos_options());
+    ChurnCrew crew(ms, 2);
+    unsigned forks = 0;
+    while (Clock::now() < deadline) {
+        const int status = fork_status([&] {
+            void* p = ms.alloc(512);
+            if (p == nullptr)
+                _exit(2);
+            std::memset(p, 0x33, 512);
+            ms.free(p);
+        });
+        ASSERT_TRUE(clean_exit(status)) << "status " << status;
+        ++forks;
+    }
+    EXPECT_GT(forks, 0u);
+    util::lock_rank_set_enabled(false);
+}
+
+}  // namespace
+}  // namespace msw

@@ -24,8 +24,9 @@ clang-tidy behaviour) so the default build never hard-depends on clang.
 
 Rules (see DESIGN.md section 10 for the catalogue):
 
-  MSW-REENTRANT-ALLOC  shim entry points must not reach allocating
-                       constructs (std::vector growth, std::string,
+  MSW-REENTRANT-ALLOC  shim entry points and installed signal handlers
+                       must not reach allocating constructs
+                       (std::vector growth, std::string,
                        iostream/locale, non-placement new, throw)
   MSW-RAW-SYNC         std::mutex / pthread_mutex / raw
                        std::condition_variable banned outside src/util
@@ -241,7 +242,10 @@ class Tree:
 # Function extents and intra-file call graph (shim rules)
 # --------------------------------------------------------------------------
 
-_FUNC_DEF_RE = re.compile(r"(?m)^([A-Za-z_]\w*)\s*\(")
+# Definitions sit at column 0 in this repo's style; out-of-line member
+# definitions (`RootRegistry::park_handler(...)`) are keyed by their
+# last component so signal-handler installs can resolve them.
+_FUNC_DEF_RE = re.compile(r"(?m)^(?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*\(")
 _CALL_RE = re.compile(r"(?<![\w.>:])([A-Za-z_]\w*)\s*\(")
 
 
@@ -339,37 +343,73 @@ _ALLOCATING_TOKENS = [
 ]
 
 
+# A function name assigned as a signal disposition. Handlers run on
+# whatever thread the kernel picks, possibly mid-malloc: they are entry
+# points with the same no-allocation contract as the shim.
+_SIG_INSTALL_RES = [
+    re.compile(r"\.sa_sigaction\s*=\s*&?(?:[A-Za-z_]\w*::)*"
+               r"([A-Za-z_]\w*)"),
+    re.compile(r"\.sa_handler\s*=\s*&?(?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)"),
+    re.compile(r"\bsignal\s*\(\s*SIG\w+\s*,\s*&?(?:[A-Za-z_]\w*::)*"
+               r"([A-Za-z_]\w*)"),
+]
+
+
+def _flag_reachable_allocs(sf, defs, entries, kind, findings):
+    """BFS the intra-file call graph from @p entries; flag allocating
+    tokens with one witness path per reached function."""
+    parent = {}
+    seen = set(entries)
+    work = list(entries)
+    while work:
+        fn = work.pop()
+        body = defs[fn]
+        for callee in calls_in(sf.code, body[0], body[1], set(defs)):
+            if callee not in seen:
+                seen.add(callee)
+                parent[callee] = fn
+                work.append(callee)
+    for fn in sorted(seen):
+        start, end = defs[fn]
+        for tok_re, what in _ALLOCATING_TOKENS:
+            for m in tok_re.finditer(sf.code, start, end):
+                line = sf.line_of(m.start())
+                path = [fn]
+                while path[-1] in parent:
+                    path.append(parent[path[-1]])
+                via = " <- ".join(path)
+                findings.append(Finding(
+                    "MSW-REENTRANT-ALLOC", sf.rel, line,
+                    what.format(m.group(1) if m.groups() else "") +
+                    f" reachable from {kind} ({via})"))
+
+
 def rule_reentrant_alloc(tree):
     """MSW-REENTRANT-ALLOC: no allocating construct reachable from a
-    malloc-family entry point (LD_PRELOAD would recurse or deadlock)."""
+    malloc-family entry point (LD_PRELOAD would recurse or deadlock) or
+    from an installed signal handler (handlers interrupt arbitrary
+    code, including malloc itself — an allocation there deadlocks on
+    the allocator's own locks)."""
     findings = []
     for sf, defs, entries in shim_files(tree):
-        # Reachability over the intra-file call graph, tracking one
-        # witness path per reached function for the diagnostic.
-        parent = {}
-        seen = set(entries)
-        work = list(entries)
-        while work:
-            fn = work.pop()
-            body = defs[fn]
-            for callee in calls_in(sf.code, body[0], body[1], set(defs)):
-                if callee not in seen:
-                    seen.add(callee)
-                    parent[callee] = fn
-                    work.append(callee)
-        for fn in sorted(seen):
-            start, end = defs[fn]
-            for tok_re, what in _ALLOCATING_TOKENS:
-                for m in tok_re.finditer(sf.code, start, end):
-                    line = sf.line_of(m.start())
-                    path = [fn]
-                    while path[-1] in parent:
-                        path.append(parent[path[-1]])
-                    via = " <- ".join(path)
-                    findings.append(Finding(
-                        "MSW-REENTRANT-ALLOC", sf.rel, line,
-                        what.format(m.group(1) if m.groups() else "") +
-                        f" reachable from shim entry point ({via})"))
+        _flag_reachable_allocs(sf, defs, entries,
+                               "shim entry point", findings)
+    for sf in tree.src:
+        if not sf.rel.endswith((".cc", ".cpp")):
+            continue
+        handlers = set()
+        for install_re in _SIG_INSTALL_RES:
+            for m in install_re.finditer(sf.code):
+                name = m.group(1)
+                if not name.startswith("SIG_"):  # SIG_IGN / SIG_DFL
+                    handlers.add(name)
+        if not handlers:
+            continue
+        defs = function_defs(sf)
+        entries = sorted(handlers & set(defs))
+        if entries:
+            _flag_reachable_allocs(sf, defs, entries,
+                                   "signal handler", findings)
     return findings
 
 

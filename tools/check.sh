@@ -3,13 +3,18 @@
 #   1. default build + full test suite (the tier-1 gate);
 #   2. MSW_THREAD_SAFETY=ON with clang++ (thread-safety analysis is a
 #      Clang feature) — compile-only, -Werror=thread-safety;
-#   3. MSW_SANITIZE=address,undefined + full test suite;
-#   4. msw-analyze (tools/analysis/) self-test + clean run over src/.
+#   3. MSW_SANITIZE=address,undefined + full test suite, then the
+#      lifecycle chaos soak (-L chaos) with a longer local budget;
+#   4. MSW_SANITIZE=thread + the race suite and the chaos soak
+#      (-L "tsan|chaos");
+#   5. msw-analyze (tools/analysis/) self-test + clean run over src/.
 # Configurations whose toolchain is unavailable are skipped with a note,
 # not failed: the matrix must be runnable on minimal containers.
 #
 # Usage: tools/check.sh [--quick]
 #   --quick runs only the default configuration.
+#   MSW_CHAOS_SECONDS (default 10 here; the binary's own default is 2)
+#   scales the chaos soaks.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -19,8 +24,9 @@ if [ "${1:-}" = "--quick" ]; then quick=1; fi
 run() { echo "+ $*" >&2; "$@"; }
 
 failures=()
+chaos_seconds="${MSW_CHAOS_SECONDS:-10}"
 
-echo "=== [1/4] default build + tests ==="
+echo "=== [1/5] default build + tests ==="
 run cmake -B "$repo/build-check" -S "$repo" >/dev/null
 run cmake --build "$repo/build-check" -j >/dev/null
 if ! (cd "$repo/build-check" && ctest --output-on-failure -j "$(nproc)"); then
@@ -28,7 +34,7 @@ if ! (cd "$repo/build-check" && ctest --output-on-failure -j "$(nproc)"); then
 fi
 
 if [ "$quick" = "0" ]; then
-    echo "=== [2/4] MSW_THREAD_SAFETY=ON (clang) ==="
+    echo "=== [2/5] MSW_THREAD_SAFETY=ON (clang) ==="
     if command -v clang++ >/dev/null 2>&1; then
         if run cmake -B "$repo/build-check-tsa" -S "$repo" \
                 -DCMAKE_CXX_COMPILER=clang++ \
@@ -42,7 +48,7 @@ if [ "$quick" = "0" ]; then
         echo "clang++ not found; skipping the thread-safety configuration."
     fi
 
-    echo "=== [3/4] MSW_SANITIZE=address,undefined + tests ==="
+    echo "=== [3/5] MSW_SANITIZE=address,undefined + tests ==="
     # handle_segv=0: the suite *intends* SIGSEGV in places (UAF probes on
     # unmapped quarantine pages, mprotect write-barrier faults); ASan must
     # not convert those into aborts.
@@ -58,11 +64,36 @@ if [ "$quick" = "0" ]; then
                       -E shim_victim_preload); then
             failures+=("asan-ubsan")
         fi
+        # The chaos soak once more, solo and with wall-clock to spare:
+        # fork/thread-exit interleavings are schedule-dependent.
+        if ! (cd "$repo/build-check-asan" &&
+              ASAN_OPTIONS=handle_segv=0:allow_user_segv_handler=1 \
+                  MSW_CHAOS_SECONDS="$chaos_seconds" \
+                  ctest --output-on-failure -L chaos); then
+            failures+=("asan-ubsan-chaos")
+        fi
     else
         failures+=("asan-ubsan-build")
     fi
 
-    echo "=== [4/4] msw-analyze (domain-specific static analysis) ==="
+    echo "=== [4/5] MSW_SANITIZE=thread + race/chaos suites ==="
+    # Only the tsan- and chaos-labelled tests: a full suite under TSan
+    # takes too long for a local gate, and the remaining tests exercise
+    # no cross-thread interleavings the labelled ones don't.
+    if run cmake -B "$repo/build-check-tsan" -S "$repo" \
+            -DMSW_SANITIZE=thread >/dev/null &&
+       run cmake --build "$repo/build-check-tsan" -j >/dev/null; then
+        if ! (cd "$repo/build-check-tsan" &&
+              MSW_CHAOS_SECONDS="$chaos_seconds" \
+                  ctest --output-on-failure -j "$(nproc)" \
+                      -L "tsan|chaos"); then
+            failures+=("tsan")
+        fi
+    else
+        failures+=("tsan-build")
+    fi
+
+    echo "=== [5/5] msw-analyze (domain-specific static analysis) ==="
     # The analyzer degrades to its built-in textual engine when libclang/
     # clang-query are absent; only a missing python3 skips the stage. The
     # build dir from stage 1 supplies compile_commands.json.
