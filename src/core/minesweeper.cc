@@ -32,6 +32,8 @@ MineSweeper::make_config(const Options& opts)
     return c;
 }
 
+// msw-analyze: slow-path(one-time engine construction under the shim's
+// g_state init latch; never runs on the steady-state alloc/free path)
 MineSweeper::MineSweeper(const Options& opts)
     : QuarantineRuntime(make_config(opts), [this] { run_sweep(); }),
       opts_([&] {
@@ -298,6 +300,8 @@ MineSweeper::scan_ranges() const
     return ranges;
 }
 
+// msw-analyze: slow-path(configuration API: called once at engine
+// construction and from tests, never on the alloc/free path)
 void
 MineSweeper::set_extra_roots_provider(
     std::function<std::vector<sweep::Range>()> provider)

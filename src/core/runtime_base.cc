@@ -176,6 +176,8 @@ QuarantineRuntime::remove_root(const void* base)
     roots_.remove_root(base);
 }
 
+// msw-analyze: slow-path(once-per-thread registration at thread birth,
+// not a per-allocation operation)
 void
 QuarantineRuntime::register_mutator_thread()
 {

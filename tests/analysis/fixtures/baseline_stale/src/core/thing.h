@@ -1,0 +1,13 @@
+#pragma once
+
+namespace msw::core {
+
+// Deliberately clean: the baseline next door suppresses a finding that
+// no longer exists, which must be reported as a stale suppression
+// (configuration error, exit 2).
+struct Thing
+{
+    int value = 0;
+};
+
+}  // namespace msw::core

@@ -1,0 +1,27 @@
+#include "alloc/cache.h"
+
+namespace msw::alloc {
+
+void*
+FreeList::take_slow()
+{
+    LockGuard g(list_lock_);
+    return nullptr;
+}
+
+void*
+refill(FreeList* fl)
+{
+    return fl->take_slow();
+}
+
+// Tagged fast path reaching a global-lock acquisition two hops away,
+// with no slow-path boundary in between: a finding.
+// msw-analyze: fast-path
+void*
+cache_alloc(FreeList* fl)
+{
+    return refill(fl);
+}
+
+}  // namespace msw::alloc

@@ -1,0 +1,16 @@
+#pragma once
+
+#include "util/mutex.h"
+
+namespace msw::alloc {
+
+class FreeList
+{
+  public:
+    void* take_slow();
+
+  private:
+    Mutex list_lock_{util::LockRank::kAlpha};
+};
+
+}  // namespace msw::alloc

@@ -1,0 +1,28 @@
+#include "alloc/cache.h"
+
+namespace msw::alloc {
+
+// The sanctioned boundary: the traversal stops here, so the lock
+// acquisition below is not charged to the fast path.
+// msw-analyze: slow-path(refill is amortised over the batch size)
+void*
+FreeList::take_slow()
+{
+    LockGuard g(list_lock_);
+    return nullptr;
+}
+
+void*
+refill(FreeList* fl)
+{
+    return fl->take_slow();
+}
+
+// msw-analyze: fast-path
+void*
+cache_alloc(FreeList* fl)
+{
+    return refill(fl);
+}
+
+}  // namespace msw::alloc

@@ -1,0 +1,26 @@
+#include "core/widget.h"
+
+namespace msw::core {
+
+void
+Low::poke()
+{
+    LockGuard g(low_mu_);
+}
+
+void
+touch_low(Low* low)
+{
+    low->poke();
+}
+
+// Inversion, two call hops deep: deep() holds kBeta (20) and reaches an
+// acquisition of kAlpha (10) via touch_low().
+void
+High::deep(Low* low)
+{
+    LockGuard g(high_mu_);
+    touch_low(low);
+}
+
+}  // namespace msw::core

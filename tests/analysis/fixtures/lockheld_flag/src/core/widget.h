@@ -1,0 +1,25 @@
+#pragma once
+
+#include "util/mutex.h"
+
+namespace msw::core {
+
+class Low
+{
+  public:
+    void poke();
+
+  private:
+    Mutex low_mu_{util::LockRank::kAlpha};
+};
+
+class High
+{
+  public:
+    void deep(Low* low);
+
+  private:
+    Mutex high_mu_{util::LockRank::kBeta};
+};
+
+}  // namespace msw::core

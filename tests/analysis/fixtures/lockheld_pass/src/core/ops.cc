@@ -1,0 +1,27 @@
+#include "core/widget.h"
+
+namespace msw::core {
+
+void
+High::poke()
+{
+    LockGuard g(high_mu_);
+}
+
+void
+touch_high(High* high)
+{
+    high->poke();
+}
+
+// Same two-hop shape as the flag fixture, but the order is correct:
+// kAlpha (10) is held while kBeta (20) is acquired — strictly
+// increasing, so no finding.
+void
+Low::deep(High* high)
+{
+    LockGuard g(low_mu_);
+    touch_high(high);
+}
+
+}  // namespace msw::core

@@ -1,0 +1,27 @@
+#include <pthread.h>
+
+#include <cstdio>
+
+namespace msw::core {
+
+void
+report_state()
+{
+    std::fprintf(stderr, "[msw] child resumed\n");
+}
+
+// Fork-child hook reaching fprintf one call hop away: another thread
+// may have held the stdio lock at fork time, so this can deadlock.
+void
+atfork_child()
+{
+    report_state();
+}
+
+void
+install_hooks()
+{
+    pthread_atfork(nullptr, nullptr, &atfork_child);
+}
+
+}  // namespace msw::core

@@ -1,0 +1,33 @@
+#include <pthread.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace msw::core {
+
+// msw-analyze: fork-deferred(only runs from the watchdog thread, which
+// the child hook restarts after reinitialising the allocator locks)
+void
+relatch_logging()
+{
+    std::fprintf(stderr, "[msw] logging relatched\n");
+}
+
+void
+atfork_child()
+{
+    // write(2) is async-signal-safe; the fprintf lives behind the
+    // fork-deferred boundary above.
+    const char msg[] = "[msw] child\n";
+    ssize_t ignored = write(2, msg, sizeof(msg) - 1);
+    (void)ignored;
+    relatch_logging();
+}
+
+void
+install_hooks()
+{
+    pthread_atfork(nullptr, nullptr, &atfork_child);
+}
+
+}  // namespace msw::core

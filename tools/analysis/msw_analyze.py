@@ -17,16 +17,17 @@ The textual engine is the reference implementation: every rule is fully
 implemented there, and the fixture self-test (--self-test) runs against
 it so results are reproducible on machines without clang. The libclang
 and clang-query engines *refine* the type-sensitive rules (raw-sync,
-stat-cells, pointer casts) with real AST information when available and
+stat-cells, pointer casts) and the call graph behind the
+interprocedural rules with real AST information when available, and
 fall back to the textual implementation for the rest. Forcing an engine
 that is unavailable exits 0 with a notice (mirroring tools/lint.sh's
 clang-tidy behaviour) so the default build never hard-depends on clang.
 
 Rules (see DESIGN.md section 10 for the catalogue):
 
-  MSW-REENTRANT-ALLOC  shim entry points and installed signal handlers
-                       must not reach allocating constructs
-                       (std::vector growth, std::string,
+  per-line / per-file (textual reference, AST-refined when available):
+  MSW-REENTRANT-ALLOC  shim entry points must not reach allocating
+                       constructs (std::vector growth, std::string,
                        iostream/locale, non-placement new, throw)
   MSW-RAW-SYNC         std::mutex / pthread_mutex / raw
                        std::condition_variable banned outside src/util
@@ -43,200 +44,61 @@ Rules (see DESIGN.md section 10 for the catalogue):
                        src/util and src/vm (use msw::to_addr /
                        msw::to_ptr / msw::to_ptr_of)
 
+  interprocedural, over the whole-program call graph (msw_graph):
+  MSW-LOCK-HELD        held-rank-set dataflow: no path may acquire a
+                       rank <= one already held (fork-window equal-rank
+                       bulk acquisitions excepted, as at runtime)
+  MSW-SIGNAL-SAFE      signal handlers and pthread_atfork child hooks
+                       must not reach non-async-signal-safe libc calls
+                       or allocating constructs
+  MSW-TLS-FASTPATH     shim entries / fast-path-tagged functions must
+                       not reach a ranked-lock acquisition except
+                       through '// msw-analyze: slow-path(<why>)'
+
 Suppression baseline (tools/analysis/baseline.txt): lines of the form
 
   RULE-ID|relative/path|<whitespace-collapsed source line>  # justification
 
 Every entry MUST carry a justification comment; entries without one are
-a configuration error (exit 2). --update-baseline appends missing
-entries with a "TODO: justify" marker, which deliberately keeps the run
-red until a human writes the justification.
+a configuration error (exit 2), and an entry that no longer matches any
+finding is a stale suppression — also exit 2 — so the baseline can only
+shrink to match reality. --update-baseline appends missing entries with
+a "TODO: justify" marker, which deliberately keeps the run red until a
+human writes the justification.
+
+Performance: per-file stripping/extraction results are cached in
+<build>/msw-analyze-cache.json keyed on file sha256 + a hash of the
+analyzer's own sources (see msw_cache); warm runs on an unchanged tree
+are sub-second. --sarif writes SARIF 2.1.0 for code-scanning upload;
+--timings prints per-rule wall time.
 
 Exit codes: 0 clean (or graceful skip), 1 findings, 2 configuration
-error (malformed/unjustified baseline, bad arguments).
+error (malformed/unjustified/stale baseline, bad arguments).
 """
 
 import argparse
+import hashlib
+import json
 import os
 import re
 import shutil
 import subprocess
 import sys
+import time
 
-# --------------------------------------------------------------------------
-# Source model
-# --------------------------------------------------------------------------
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-_KEYWORDS = {
-    "if", "for", "while", "switch", "return", "sizeof", "catch", "new",
-    "delete", "alignas", "alignof", "static_assert", "decltype", "throw",
-    "else", "do", "case", "defined", "noexcept", "requires", "assert",
-}
+from msw_common import (  # noqa: E402
+    Finding, SourceFile, Tree, _ALLOCATING_TOKENS, _SHIM_ENTRIES,
+    _match_delim, fingerprint, parse_enum, strip_code)
+import msw_cache  # noqa: E402
+import msw_graph  # noqa: E402
+import msw_sarif  # noqa: E402
+from msw_rules2 import INTERPROC_RULES  # noqa: E402
 
+TOOL_VERSION = "2.0"
 
-def strip_code(text):
-    """Blank out comments and string/char literal contents, preserving
-    newlines and column positions so line/offset math on the result maps
-    back to the original file."""
-    out = []
-    i = 0
-    n = len(text)
-    state = "code"  # code | line-comment | block-comment | string | char | raw
-    raw_delim = ""
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line-comment"
-                out.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = "block-comment"
-                out.append("  ")
-                i += 2
-                continue
-            if c == '"':
-                # Raw string literal R"delim( ... )delim"
-                m = re.match(r'R"([^()\s\\]{0,16})\(', text[i - 1:i + 20]) \
-                    if i > 0 and text[i - 1] == "R" else None
-                if m:
-                    raw_delim = ")" + m.group(1) + '"'
-                    state = "raw"
-                    out.append('"')
-                    i += 1
-                    continue
-                state = "string"
-                out.append('"')
-                i += 1
-                continue
-            if c == "'":
-                # Digit separator (100'000), not a char literal, when
-                # sandwiched between identifier/number characters.
-                prev = text[i - 1] if i > 0 else ""
-                if prev.isalnum() or prev == "_":
-                    out.append("'")
-                    i += 1
-                    continue
-                state = "char"
-                out.append("'")
-                i += 1
-                continue
-            out.append(c)
-            i += 1
-        elif state == "line-comment":
-            if c == "\n":
-                state = "code"
-                out.append("\n")
-            else:
-                out.append(" ")
-            i += 1
-        elif state == "block-comment":
-            if c == "*" and nxt == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-                continue
-            out.append("\n" if c == "\n" else " ")
-            i += 1
-        elif state == "string":
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if c == '"':
-                state = "code"
-                out.append('"')
-            else:
-                out.append(" ")
-            i += 1
-        elif state == "char":
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if c == "'":
-                state = "code"
-                out.append("'")
-            else:
-                out.append(" ")
-            i += 1
-        elif state == "raw":
-            if text.startswith(raw_delim, i):
-                out.append(" " * (len(raw_delim) - 1) + '"')
-                i += len(raw_delim)
-                state = "code"
-                continue
-            out.append("\n" if c == "\n" else " ")
-            i += 1
-    return "".join(out)
-
-
-class SourceFile:
-    def __init__(self, root, rel):
-        self.rel = rel.replace(os.sep, "/")
-        self.path = os.path.join(root, rel)
-        with open(self.path, "r", encoding="utf-8", errors="replace") as f:
-            self.raw = f.read()
-        self.raw_lines = self.raw.splitlines()
-        self.code = strip_code(self.raw)
-        self.code_lines = self.code.splitlines()
-
-    def line_of(self, offset):
-        return self.code.count("\n", 0, offset) + 1
-
-    def raw_line(self, line):
-        if 1 <= line <= len(self.raw_lines):
-            return self.raw_lines[line - 1]
-        return ""
-
-
-class Finding:
-    def __init__(self, rule, rel, line, msg):
-        self.rule = rule
-        self.rel = rel
-        self.line = line
-        self.msg = msg
-
-    def key(self):
-        return (self.rel, self.line, self.rule, self.msg)
-
-
-class Tree:
-    """All sources the rules look at, rooted at an analysis root that has
-    (at least) a src/ directory and optionally DESIGN.md and tests/."""
-
-    def __init__(self, root):
-        self.root = root
-        self.src = []
-        src_dir = os.path.join(root, "src")
-        for dirpath, _dirs, files in sorted(os.walk(src_dir)):
-            for name in sorted(files):
-                if name.endswith((".h", ".cc", ".cpp", ".hpp")):
-                    rel = os.path.relpath(os.path.join(dirpath, name), root)
-                    self.src.append(SourceFile(root, rel))
-        self.tests = []
-        tests_dir = os.path.join(root, "tests")
-        for dirpath, _dirs, files in sorted(os.walk(tests_dir)):
-            if os.path.join("tests", "analysis") in os.path.relpath(
-                    dirpath, root):
-                continue  # fixture mini-repos are not this tree's tests
-            for name in sorted(files):
-                if name.endswith((".h", ".cc", ".cpp")):
-                    rel = os.path.relpath(os.path.join(dirpath, name), root)
-                    self.tests.append(SourceFile(root, rel))
-        design = os.path.join(root, "DESIGN.md")
-        self.design = None
-        if os.path.isfile(design):
-            self.design = SourceFile(root, "DESIGN.md")
-
-    def find_src(self, rel_suffix):
-        for f in self.src:
-            if f.rel.endswith(rel_suffix):
-                return f
-        return None
-
+_KEYWORDS = msw_graph._KEYWORDS  # re-exported for the legacy rules
 
 # --------------------------------------------------------------------------
 # Function extents and intra-file call graph (shim rules)
@@ -244,21 +106,11 @@ class Tree:
 
 # Definitions sit at column 0 in this repo's style; out-of-line member
 # definitions (`RootRegistry::park_handler(...)`) are keyed by their
-# last component so signal-handler installs can resolve them.
+# last component. (The interprocedural rules use the generic scanner in
+# msw_graph instead; this layout-bound one stays for the shim rules,
+# whose translation units follow it.)
 _FUNC_DEF_RE = re.compile(r"(?m)^(?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*\(")
 _CALL_RE = re.compile(r"(?<![\w.>:])([A-Za-z_]\w*)\s*\(")
-
-
-def _match_delim(code, start, open_c, close_c):
-    depth = 0
-    for i in range(start, len(code)):
-        if code[i] == open_c:
-            depth += 1
-        elif code[i] == close_c:
-            depth -= 1
-            if depth == 0:
-                return i
-    return -1
 
 
 def function_defs(sf):
@@ -301,13 +153,6 @@ def calls_in(code, start, end, universe):
     return out
 
 
-_SHIM_ENTRIES = {
-    "malloc", "free", "calloc", "realloc", "posix_memalign",
-    "aligned_alloc", "memalign", "valloc", "malloc_usable_size",
-    "reallocarray", "pvalloc", "cfree",
-}
-
-
 def shim_files(tree):
     """Translation units that define malloc-family entry points."""
     out = []
@@ -326,34 +171,6 @@ def shim_files(tree):
 # --------------------------------------------------------------------------
 # Rule implementations (textual reference engine)
 # --------------------------------------------------------------------------
-
-_ALLOCATING_TOKENS = [
-    (re.compile(r"\bstd::(vector|string|deque|map|unordered_map|set|"
-                r"unordered_set|list|function|ostringstream|stringstream|"
-                r"to_string|make_unique|make_shared)\b"),
-     "allocating std::{0} use"),
-    (re.compile(r"\bstd::(cout|cerr|clog|locale)\b"),
-     "iostream/locale use (allocates and takes internal locks)"),
-    (re.compile(r"\bthrow\b"), "throw expression (shim must be "
-                               "noexcept-clean)"),
-    # `new T` allocates; placement `new (addr) T` does not, but
-    # `new (std::nothrow) T` still allocates.
-    (re.compile(r"\bnew\s*\(\s*std::nothrow"), "operator new use"),
-    (re.compile(r"\bnew\b(?!\s*\()"), "operator new use"),
-]
-
-
-# A function name assigned as a signal disposition. Handlers run on
-# whatever thread the kernel picks, possibly mid-malloc: they are entry
-# points with the same no-allocation contract as the shim.
-_SIG_INSTALL_RES = [
-    re.compile(r"\.sa_sigaction\s*=\s*&?(?:[A-Za-z_]\w*::)*"
-               r"([A-Za-z_]\w*)"),
-    re.compile(r"\.sa_handler\s*=\s*&?(?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)"),
-    re.compile(r"\bsignal\s*\(\s*SIG\w+\s*,\s*&?(?:[A-Za-z_]\w*::)*"
-               r"([A-Za-z_]\w*)"),
-]
-
 
 def _flag_reachable_allocs(sf, defs, entries, kind, findings):
     """BFS the intra-file call graph from @p entries; flag allocating
@@ -386,30 +203,13 @@ def _flag_reachable_allocs(sf, defs, entries, kind, findings):
 
 def rule_reentrant_alloc(tree):
     """MSW-REENTRANT-ALLOC: no allocating construct reachable from a
-    malloc-family entry point (LD_PRELOAD would recurse or deadlock) or
-    from an installed signal handler (handlers interrupt arbitrary
-    code, including malloc itself — an allocation there deadlocks on
-    the allocator's own locks)."""
+    malloc-family entry point (LD_PRELOAD would recurse or deadlock).
+    Signal handlers, which used to be a shallow special case here, are
+    covered cross-TU by the interprocedural MSW-SIGNAL-SAFE rule."""
     findings = []
     for sf, defs, entries in shim_files(tree):
         _flag_reachable_allocs(sf, defs, entries,
                                "shim entry point", findings)
-    for sf in tree.src:
-        if not sf.rel.endswith((".cc", ".cpp")):
-            continue
-        handlers = set()
-        for install_re in _SIG_INSTALL_RES:
-            for m in install_re.finditer(sf.code):
-                name = m.group(1)
-                if not name.startswith("SIG_"):  # SIG_IGN / SIG_DFL
-                    handlers.add(name)
-        if not handlers:
-            continue
-        defs = function_defs(sf)
-        entries = sorted(handlers & set(defs))
-        if entries:
-            _flag_reachable_allocs(sf, defs, entries,
-                                   "signal handler", findings)
     return findings
 
 
@@ -441,35 +241,11 @@ def rule_raw_sync(tree):
     return findings
 
 
-_ENUMERATOR_RE = re.compile(r"^\s*(k\w+)\s*(?:=\s*(\d+))?\s*,?")
 _TABLE_ROW_RE = re.compile(r"^\|\s*(\d+)\s+`(k\w+)`\s*\|([^|]*)\|")
 _RANK_CTOR_RE = re.compile(
     r"([A-Za-z_]\w*)\s*[{(]\s*(?:msw::)?(?:util::)?LockRank::(k\w+)")
 _RANK_INFRA = ("src/util/lock_rank.h", "src/util/lock_rank.cc",
                "src/util/mutex.h", "src/util/spin_lock.h")
-
-
-def parse_enum(sf, enum_name, stop=None):
-    """Ordered [(name, value, raw_line_no)] for `enum class <enum_name>`."""
-    m = re.search(r"enum\s+class\s+" + enum_name + r"\b[^{]*\{", sf.code)
-    if not m:
-        return []
-    end = _match_delim(sf.code, sf.code.index("{", m.start()), "{", "}")
-    body_start = sf.code.index("{", m.start()) + 1
-    out = []
-    next_val = 0
-    for raw in sf.code[body_start:end].split(","):
-        em = _ENUMERATOR_RE.match(raw.strip())
-        if not em:
-            continue
-        name = em.group(1)
-        val = int(em.group(2)) if em.group(2) is not None else next_val
-        next_val = val + 1
-        if stop and name == stop:
-            break
-        off = sf.code.index(name, body_start)
-        out.append((name, val, sf.line_of(off)))
-    return out
 
 
 def rule_lock_rank(tree):
@@ -734,6 +510,19 @@ RULES = {
     "MSW-UB-PTR-CAST": rule_ub_ptr_cast,
 }
 
+ALL_RULES = dict(RULES)
+ALL_RULES.update(INTERPROC_RULES)
+
+
+def rule_description(rule_id):
+    fn = ALL_RULES[rule_id]
+    doc = " ".join((fn.__doc__ or "").split())
+    doc = doc.split(": ", 1)[-1]  # drop the leading "MSW-...:" tag
+    # First sentence (avoid splitting inside "e.g." style tokens; the
+    # docstrings here end sentences with ". " or final ".").
+    end = doc.find(". ")
+    return (doc[:end + 1] if end >= 0 else doc).strip()
+
 
 # --------------------------------------------------------------------------
 # Engines
@@ -748,18 +537,24 @@ class TextualEngine:
 
     name = "textual"
 
-    def analyze(self, tree, rules):
+    def analyze(self, tree, rules, program=None):
         findings = []
         for rule_id in rules:
-            findings.extend(RULES[rule_id](tree))
+            if rule_id in INTERPROC_RULES:
+                if program is not None:
+                    findings.extend(
+                        INTERPROC_RULES[rule_id](tree, program))
+            else:
+                findings.extend(RULES[rule_id](tree))
         return findings
 
 
 class LibclangEngine(TextualEngine):
     """AST-refined engine. Uses python clang bindings when importable;
     replaces the type-sensitive rules (raw-sync, stat-cells, ptr-cast)
-    with cursor walks over real ASTs and keeps the textual reference
-    implementation for the structural rules."""
+    with cursor walks over real ASTs, refines the interprocedural call
+    graph via msw_graph.libclang_call_edges, and keeps the textual
+    reference implementation for the structural rules."""
 
     name = "libclang"
 
@@ -783,6 +578,7 @@ class LibclangEngine(TextualEngine):
         except Exception as e:  # library present but unloadable
             raise EngineUnavailable(f"libclang library: {e}")
         self.build_dir = build_dir
+        self._tu_cache = {}
         self.compdb = None
         if build_dir and os.path.isfile(
                 os.path.join(build_dir, "compile_commands.json")):
@@ -794,9 +590,9 @@ class LibclangEngine(TextualEngine):
 
     _AST_RULES = {"MSW-RAW-SYNC", "MSW-STAT-CELLS", "MSW-UB-PTR-CAST"}
 
-    def analyze(self, tree, rules):
+    def analyze(self, tree, rules, program=None):
         textual = [r for r in rules if r not in self._AST_RULES]
-        findings = super().analyze(tree, textual)
+        findings = super().analyze(tree, textual, program)
         ast_rules = [r for r in rules if r in self._AST_RULES]
         if ast_rules:
             try:
@@ -806,7 +602,8 @@ class LibclangEngine(TextualEngine):
                     f"msw-analyze: libclang pass failed ({e}); falling "
                     "back to the textual implementation for "
                     f"{', '.join(ast_rules)}\n")
-                findings.extend(super().analyze(tree, ast_rules))
+                findings.extend(
+                    TextualEngine.analyze(self, tree, ast_rules))
         return findings
 
     def _args_for(self, path):
@@ -830,6 +627,13 @@ class LibclangEngine(TextualEngine):
                 return out
         return ["-std=c++20", "-I" + os.path.join(tree_root_of(path))]
 
+    def _parse(self, path):
+        tu = self._tu_cache.get(path)
+        if tu is None:
+            tu = self.index.parse(path, args=self._args_for(path))
+            self._tu_cache[path] = tu
+        return tu
+
     def _analyze_ast(self, tree, rules):
         cindex = self.cindex
         findings = []
@@ -837,8 +641,7 @@ class LibclangEngine(TextualEngine):
         units = [sf for sf in tree.src if sf.rel.endswith((".cc", ".cpp"))]
         headers = {sf.path: sf for sf in tree.src}
         for sf in units:
-            args = self._args_for(sf.path)
-            tu = self.index.parse(sf.path, args=args)
+            tu = self._parse(sf.path)
             for cur in tu.cursor.walk_preorder():
                 loc = cur.location
                 if loc.file is None:
@@ -927,16 +730,15 @@ class ClangQueryEngine(TextualEngine):
                 "clang-query needs a build dir with compile_commands.json "
                 "(pass --build)")
 
-    def analyze(self, tree, rules):
+    def analyze(self, tree, rules, program=None):
         findings = super().analyze(
-            tree, [r for r in rules if r != "MSW-RAW-SYNC"])
+            tree, [r for r in rules if r != "MSW-RAW-SYNC"], program)
         if "MSW-RAW-SYNC" not in rules:
             return findings
         units = [sf.path for sf in tree.src
                  if sf.rel.endswith((".cc", ".cpp"))
                  and not sf.rel.startswith("src/util/")]
         cmds = "\n".join(q for _r, q in self._MATCHERS) + "\n"
-        loc_re = re.compile(r'"root" binds here|^(/\S+):(\d+):\d+:')
         seen = set()
         try:
             proc = subprocess.run(
@@ -962,7 +764,8 @@ class ClangQueryEngine(TextualEngine):
             sys.stderr.write(
                 f"msw-analyze: clang-query pass failed ({e}); using the "
                 "textual implementation for MSW-RAW-SYNC\n")
-            findings.extend(super().analyze(tree, ["MSW-RAW-SYNC"]))
+            findings.extend(
+                TextualEngine.analyze(self, tree, ["MSW-RAW-SYNC"]))
         return findings
 
 
@@ -999,10 +802,6 @@ def make_engine(kind, build_dir):
 # --------------------------------------------------------------------------
 # Baseline
 # --------------------------------------------------------------------------
-
-def fingerprint(raw_line):
-    return " ".join(raw_line.split())
-
 
 class Baseline:
     def __init__(self, path):
@@ -1061,16 +860,60 @@ class Baseline:
 # Driver
 # --------------------------------------------------------------------------
 
-def analyze_root(root, engine, rules, baseline_path):
-    tree = Tree(root)
+def analyzer_source_hash():
+    """Hash of the analyzer's own sources: any edit to tools/analysis
+    invalidates the incremental cache wholesale."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    h = hashlib.sha256()
+    for name in sorted(os.listdir(here)):
+        if name.endswith(".py"):
+            with open(os.path.join(here, name), "rb") as f:
+                h.update(name.encode())
+                h.update(f.read())
+    return h.hexdigest()
+
+
+def analyze_root(root, engine, rules, baseline_path, build=None,
+                 cache=None, timings=None):
+    """Returns (kept_findings, baseline, config_errors). Stale baseline
+    entries are config errors: a suppression that matches nothing must
+    be removed, or the baseline rots into an allow-everything list."""
+    t0 = time.perf_counter()
+    tree = Tree(root, cache)
     baseline = Baseline(baseline_path)
     if baseline.errors:
         return [], baseline, baseline.errors
-    findings = engine.analyze(tree, rules)
+    if timings is not None:
+        timings["<tree>"] = time.perf_counter() - t0
+
+    program = None
+    if any(r in INTERPROC_RULES for r in rules):
+        t0 = time.perf_counter()
+        program = msw_graph.Program(tree, cache)
+        if isinstance(engine, LibclangEngine) and build:
+            precise = msw_graph.libclang_call_edges(program, build)
+            if precise:
+                program.apply_precise_edges(precise)
+        if timings is not None:
+            timings["<call-graph>"] = time.perf_counter() - t0
+
+    findings = []
+    for rule_id in rules:
+        t0 = time.perf_counter()
+        findings.extend(engine.analyze(tree, [rule_id], program))
+        if timings is not None:
+            timings[rule_id] = time.perf_counter() - t0
     findings = sorted({f.key(): f for f in findings}.values(),
                       key=lambda f: (f.rel, f.line, f.rule))
     kept = [f for f in findings if not baseline.suppresses(f, tree)]
-    return kept, baseline, []
+
+    errors = []
+    for key in baseline.stale(active_rules=set(rules)):
+        errors.append(
+            f"stale suppression {key[0]}|{key[1]}|{key[2]} no longer "
+            "matches any finding; remove stale suppression from "
+            f"{baseline.path}")
+    return kept, baseline, errors
 
 
 def run_self_test(fixtures_dir, rules):
@@ -1093,6 +936,12 @@ def run_self_test(fixtures_dir, rules):
         baseline = baseline if os.path.isfile(baseline) else None
         kept, _bl, errors = analyze_root(root, engine, rules, baseline)
         got = sorted({f.rule for f in kept})
+        # Every case doubles as a SARIF writer regression test: the
+        # emitted document must pass the structural validator.
+        doc = msw_sarif.to_sarif(
+            kept, [(r, rule_description(r)) for r in rules], engine.name,
+            TOOL_VERSION)
+        sarif_problems = msw_sarif.validate(doc)
         if expect_lines == ["exit:2"]:
             ok = bool(errors)
             want_desc = "configuration error"
@@ -1100,6 +949,7 @@ def run_self_test(fixtures_dir, rules):
             want = sorted(r for r in expect_lines if r != "none")
             ok = not errors and got == want
             want_desc = ", ".join(want) if want else "no findings"
+        ok = ok and not sarif_problems
         status = "PASS" if ok else "FAIL"
         print(f"[{status}] {case}: expected {want_desc}; got "
               f"{', '.join(got) if got else 'no findings'}"
@@ -1109,10 +959,20 @@ def run_self_test(fixtures_dir, rules):
                 print(f"    {f.rel}:{f.line}: {f.rule}: {f.msg}")
             for e in errors:
                 print(f"    {e}")
+            for p in sarif_problems:
+                print(f"    sarif: {p}")
             failures += 1
     print(f"msw-analyze self-test: {len(cases) - failures}/{len(cases)} "
-          "cases passed")
+          "cases passed (SARIF validated per case)")
     return 1 if failures else 0
+
+
+def rule_tier(rule_id):
+    if rule_id in INTERPROC_RULES:
+        return "interprocedural"
+    if rule_id in LibclangEngine._AST_RULES:
+        return "ast-refined"
+    return "textual"
 
 
 def main():
@@ -1125,45 +985,46 @@ def main():
                     help="analysis root containing src/ (default: repo)")
     ap.add_argument("--build", "-p", default=None,
                     help="build dir with compile_commands.json (for the "
-                         "libclang/clang-query engines)")
+                         "libclang/clang-query engines and the cache)")
     ap.add_argument("--engine", default="auto",
                     choices=["auto", "libclang", "clang-query", "textual"])
     ap.add_argument("--rules", default=None,
                     help="comma-separated rule subset (default: all)")
+    ap.add_argument("--rule", action="append", default=[],
+                    metavar="ID", help="run a single rule (repeatable; "
+                    "combines with --rules)")
     ap.add_argument("--baseline", default=None,
                     help="suppression baseline (default: "
                          "tools/analysis/baseline.txt under --root)")
+    ap.add_argument("--sarif", metavar="PATH", default=None,
+                    help="write SARIF 2.1.0 to PATH (for code scanning)")
+    ap.add_argument("--timings", action="store_true",
+                    help="print per-rule wall time")
+    ap.add_argument("--no-cache", action="store_true",
+                    help="disable the per-file incremental cache")
     ap.add_argument("--self-test", metavar="FIXTURES_DIR",
                     help="run the fixture self-test and exit")
-    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="emit the rule catalogue as JSON and exit")
     ap.add_argument("--update-baseline", action="store_true",
                     help="append entries (marked TODO: justify) for "
                          "current findings to the baseline")
     args = ap.parse_args()
 
-    if args.list_rules:
-        for rule_id, fn in RULES.items():
-            doc = (fn.__doc__ or "").split("\n")[0].split(":", 1)[-1]
-            print(f"{rule_id}: {doc.strip()}")
-        return 0
-
-    rules = list(RULES)
+    rules = list(ALL_RULES)
+    selected = []
     if args.rules:
-        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
-        unknown = [r for r in rules if r not in RULES]
+        selected += [r.strip() for r in args.rules.split(",") if r.strip()]
+    selected += args.rule
+    if selected:
+        unknown = [r for r in selected if r not in ALL_RULES]
         if unknown:
             sys.stderr.write(
                 f"msw-analyze: unknown rule(s): {', '.join(unknown)}\n")
             return 2
-
-    if args.self_test:
-        return run_self_test(args.self_test, rules)
+        rules = [r for r in ALL_RULES if r in selected]
 
     root = os.path.abspath(args.root)
-    if not os.path.isdir(os.path.join(root, "src")):
-        sys.stderr.write(f"msw-analyze: no src/ under {root}\n")
-        return 2
-
     build = args.build
     if build is None:
         for cand in ("build", "build-check"):
@@ -1171,6 +1032,34 @@ def main():
                                            "compile_commands.json")):
                 build = os.path.join(root, cand)
                 break
+
+    if args.list_rules:
+        # Machine-readable: id, description, tier, and the engine that
+        # would actually run under the requested --engine setting.
+        try:
+            engine, _notice = make_engine(args.engine, build)
+            engine_name = engine.name
+        except EngineUnavailable:
+            engine_name = "unavailable"
+        catalogue = [{
+            "id": rule_id,
+            "description": rule_description(rule_id),
+            "tier": rule_tier(rule_id),
+            "engine": ("textual" if rule_tier(rule_id)
+                       == "interprocedural" and engine_name
+                       == "clang-query" else engine_name),
+        } for rule_id in rules]
+        json.dump(catalogue, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return 0
+
+    if args.self_test:
+        return run_self_test(args.self_test, rules)
+
+    if not os.path.isdir(os.path.join(root, "src")):
+        sys.stderr.write(f"msw-analyze: no src/ under {root}\n")
+        return 2
+
     try:
         engine, notice = make_engine(args.engine, build)
     except EngineUnavailable as e:
@@ -1184,10 +1073,22 @@ def main():
     if notice:
         sys.stderr.write(f"msw-analyze: {notice}\n")
 
+    cache = None
+    if build and not args.no_cache:
+        cache = msw_cache.AnalysisCache(
+            os.path.join(build, "msw-analyze-cache.json"),
+            analyzer_source_hash())
+
     baseline_path = args.baseline or os.path.join(
         root, "tools", "analysis", "baseline.txt")
-    kept, baseline, errors = analyze_root(root, engine, rules,
-                                          baseline_path)
+    timings = {} if args.timings else None
+    t_total = time.perf_counter()
+    kept, baseline, errors = analyze_root(
+        root, engine, rules, baseline_path, build=build, cache=cache,
+        timings=timings)
+    t_total = time.perf_counter() - t_total
+    if cache:
+        cache.save()
     for e in errors:
         sys.stderr.write(f"msw-analyze: error: {e}\n")
     if errors:
@@ -1195,10 +1096,28 @@ def main():
 
     for f in kept:
         print(f"{f.rel}:{f.line}: {f.rule}: {f.msg}")
-    for key in baseline.stale(active_rules=set(rules)):
-        sys.stderr.write(
-            f"msw-analyze: warning: stale baseline entry {key[0]}|"
-            f"{key[1]}|{key[2]} (no longer matches any finding)\n")
+
+    if args.sarif:
+        doc = msw_sarif.to_sarif(
+            kept, [(r, rule_description(r)) for r in rules], engine.name,
+            TOOL_VERSION)
+        problems = msw_sarif.validate(doc)
+        if problems:
+            for p in problems:
+                sys.stderr.write(f"msw-analyze: sarif: {p}\n")
+            return 2
+        msw_sarif.write_sarif(args.sarif, doc)
+        print(f"msw-analyze: wrote SARIF to {args.sarif} "
+              f"({len(kept)} result(s))")
+
+    if timings is not None:
+        for rule_id, dt in sorted(timings.items(),
+                                  key=lambda kv: -kv[1]):
+            print(f"msw-analyze timing: {rule_id:<22s} {dt * 1e3:8.1f} ms")
+        print(f"msw-analyze timing: {'total':<22s} {t_total * 1e3:8.1f} ms")
+        if cache:
+            print(f"msw-analyze timing: cache {cache.hits} hit(s), "
+                  f"{cache.misses} miss(es)")
 
     if args.update_baseline and kept:
         tree = Tree(root)
@@ -1213,8 +1132,7 @@ def main():
 
     n_sup = len(baseline.matched)
     print(f"msw-analyze [{engine.name}]: {len(kept)} finding(s), "
-          f"{n_sup} suppressed by baseline, "
-          f"{len(RULES) if not args.rules else len(rules)} rule(s)")
+          f"{n_sup} suppressed by baseline, {len(rules)} rule(s)")
     return 1 if kept else 0
 
 

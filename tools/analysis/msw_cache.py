@@ -1,0 +1,90 @@
+"""Per-file content-hash incremental cache for msw-analyze.
+
+The expensive parts of a run are per-file and deterministic: comment
+stripping (msw_common.strip_code) and file-fact extraction
+(msw_graph.extract_file_facts). Both are cached keyed on the file's
+sha256 plus a hash of the analyzer's own sources, so editing any
+tools/analysis/*.py invalidates everything while a warm run on an
+unchanged tree does no stripping or extraction at all.
+
+Location: <build>/msw-analyze-cache.json (next to
+compile_commands.json; wiping the build dir wipes the cache). Runs
+without a build dir simply skip caching. Saves are atomic
+(tmp + rename) and failures to persist are silently ignored — a cache
+must never fail the analysis.
+"""
+
+import json
+import os
+
+CACHE_FORMAT = 1
+
+
+class AnalysisCache:
+    def __init__(self, path, analyzer_hash):
+        self.path = path
+        self.analyzer_hash = analyzer_hash
+        self.files = {}
+        self.dirty = False
+        self.hits = 0
+        self.misses = 0
+        if path is None or not os.path.isfile(path):
+            return
+        try:
+            with open(path, encoding="utf-8") as f:
+                data = json.load(f)
+            if data.get("format") == CACHE_FORMAT and \
+                    data.get("analyzer") == analyzer_hash:
+                self.files = data.get("files", {})
+        except (OSError, ValueError):
+            self.files = {}
+
+    def _entry(self, rel, sha):
+        ent = self.files.get(rel)
+        if ent is not None and ent.get("sha") == sha:
+            return ent
+        return None
+
+    def _fresh(self, rel, sha):
+        ent = self.files.get(rel)
+        if ent is None or ent.get("sha") != sha:
+            ent = {"sha": sha}
+            self.files[rel] = ent
+            self.dirty = True
+        return ent
+
+    def get_stripped(self, rel, sha):
+        ent = self._entry(rel, sha)
+        if ent is not None and "stripped" in ent:
+            self.hits += 1
+            return ent["stripped"]
+        self.misses += 1
+        return None
+
+    def put_stripped(self, rel, sha, stripped):
+        self._fresh(rel, sha)["stripped"] = stripped
+        self.dirty = True
+
+    def get_facts(self, rel, sha):
+        ent = self._entry(rel, sha)
+        if ent is not None and "facts" in ent:
+            return ent["facts"]
+        return None
+
+    def put_facts(self, rel, sha, facts):
+        self._fresh(rel, sha)["facts"] = facts
+        self.dirty = True
+
+    def save(self):
+        if self.path is None or not self.dirty:
+            return
+        try:
+            tmp = self.path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as f:
+                json.dump({"format": CACHE_FORMAT,
+                           "analyzer": self.analyzer_hash,
+                           "files": self.files}, f)
+            os.replace(tmp, self.path)
+            self.dirty = False
+        except OSError:
+            pass

@@ -1,0 +1,195 @@
+"""Interprocedural rules over the msw_graph whole-program model.
+
+  MSW-LOCK-HELD     held-rank-set dataflow: flag any path on which code
+                    holding rank N reaches an acquisition of rank <= N
+                    (static complement of the runtime lock-rank
+                    checker; equal-rank bulk acquisitions inside the
+                    fork window are sanctioned, as at runtime)
+  MSW-SIGNAL-SAFE   from installed signal handlers and pthread_atfork
+                    child hooks, flag reachability of non-async-signal-
+                    safe libc calls or allocating constructs
+  MSW-TLS-FASTPATH  shim entries and fast-path-tagged functions must
+                    not reach a ranked (global) lock acquisition except
+                    through an explicit slow-path annotation
+"""
+
+from msw_common import Finding, _ALLOCATING_TOKENS
+
+# Commonly-called libc functions that POSIX does not list as
+# async-signal-safe. write/read/sigaction/_exit/abort/nanosleep etc.
+# are safe and deliberately absent.
+UNSAFE_LIBC = {
+    "printf", "fprintf", "vfprintf", "vprintf", "sprintf", "vsprintf",
+    "snprintf", "vsnprintf", "puts", "fputs", "fputc", "putc",
+    "putchar", "perror", "fwrite", "fread", "fgets", "fgetc", "fopen",
+    "fdopen", "freopen", "fclose", "fflush", "fscanf", "scanf",
+    "sscanf", "malloc", "calloc", "realloc", "free", "posix_memalign",
+    "aligned_alloc", "strdup", "strndup", "asprintf", "vasprintf",
+    "exit", "atexit", "quick_exit", "at_quick_exit", "getenv",
+    "setenv", "putenv", "unsetenv", "syslog", "vsyslog", "openlog",
+    "closelog", "localtime", "gmtime", "ctime", "asctime", "strftime",
+    "mktime", "tzset", "dlopen", "dlsym", "dlclose", "pthread_create",
+    "pthread_join", "rand", "srand", "random", "srandom", "strerror",
+    "backtrace", "backtrace_symbols",
+}
+
+
+def _rank_label(program, rank):
+    name = program.rank_names.get(rank)
+    return f"{name}={rank}" if name else str(rank)
+
+
+def rule_lock_held(tree, program):
+    """MSW-LOCK-HELD: propagating held-rank sets through the call graph,
+    no path may acquire a rank less than or equal to one already held
+    (the enum order in util/lock_rank.h is the total order; equal-rank
+    acquisitions are tolerated only inside the fork window, mirroring
+    the runtime checker's atfork coalescing)."""
+    findings = []
+    if not program.rank_values:
+        return findings
+    window = program.fork_window()
+    seen = set()
+    for fid, (rel, _fn) in enumerate(program.funcs):
+        for ev, local_held in program.held_at_events(fid):
+            if ev[0] != "lock" or ev[1] != "acq":
+                continue  # try_lock is order-exempt, as at runtime
+            _t, _kind, rank, line, var = ev
+            ctx = set(program.H[fid]) | set(local_held)
+            for held in sorted(ctx):
+                if held < rank:
+                    continue
+                if held == rank and fid in window:
+                    continue  # fork-window bulk same-rank acquisition
+                key = (rel, line, held)
+                if key in seen:
+                    continue
+                seen.add(key)
+                if held in local_held:
+                    how = "held since earlier in this function"
+                else:
+                    how = ("held by caller(s): " +
+                           program.hold_witness(fid, held))
+                relation = "already-held" if held == rank else "higher"
+                findings.append(Finding(
+                    "MSW-LOCK-HELD", rel, line,
+                    f"'{program.fname(fid)}' acquires '{var}' (rank "
+                    f"{_rank_label(program, rank)}) while rank "
+                    f"{_rank_label(program, held)} is {relation} "
+                    f"({how}); lock order must strictly increase"))
+    return findings
+
+
+def _scan_unsafe(program, fid, kind, parent, findings, seen):
+    rel, fn = program.funcs[fid]
+    sf = next((s for s in program.tree.src if s.rel == rel), None)
+    if sf is None:
+        return
+    path = program.path_from_root(fid, parent)
+    lam = fn.get("lam", [])
+    for tok_re, what in _ALLOCATING_TOKENS:
+        for m in tok_re.finditer(sf.code, fn["body"], fn["end"]):
+            if any(s <= m.start() <= e for s, e in lam):
+                continue  # lambda bodies are their own graph nodes
+            line = sf.line_of(m.start())
+            key = (rel, line, "alloc")
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(Finding(
+                "MSW-SIGNAL-SAFE", rel, line,
+                what.format(m.group(1) if m.groups() else "") +
+                f" reachable from {kind} (path: {path})"))
+    for line, callees, name, rkind in program.call_edges[fid]:
+        if callees or name not in UNSAFE_LIBC:
+            continue
+        if rkind not in ("bare", "scope"):
+            continue  # `arena_.free(p)` is a member, not libc free
+        key = (rel, line, name)
+        if key in seen:
+            continue
+        seen.add(key)
+        findings.append(Finding(
+            "MSW-SIGNAL-SAFE", rel, line,
+            f"call to non-async-signal-safe '{name}' reachable from "
+            f"{kind} (path: {path})"))
+
+
+def rule_signal_safe(tree, program):
+    """MSW-SIGNAL-SAFE: signal handlers interrupt arbitrary code
+    (including malloc itself) and pthread_atfork child hooks run in a
+    process whose other threads vanished mid-operation — nothing either
+    can reach may allocate or call a non-async-signal-safe libc
+    function. Child-hook code that runs only after the hooks have
+    reinitialised the allocator locks may opt out with
+    '// msw-analyze: fork-deferred(<why>)'."""
+    findings = []
+    seen = set()
+
+    handler_roots = set()
+    for name in program.handler_names:
+        handler_roots.update(program.by_name.get(name, []))
+    visited, parent = program.reachable(sorted(handler_roots))
+    for fid in sorted(visited):
+        _scan_unsafe(program, fid, "signal handler", parent,
+                     findings, seen)
+
+    child_roots = set()
+    for name in program.atfork_hooks["child"]:
+        child_roots.update(program.by_name.get(name, []))
+
+    def deferred(fid):
+        return "fork-deferred" in program.tags(fid)
+
+    visited, parent = program.reachable(sorted(child_roots),
+                                        stop=deferred)
+    for fid in sorted(visited):
+        _scan_unsafe(program, fid, "fork-child hook", parent,
+                     findings, seen)
+    return findings
+
+
+def rule_tls_fastpath(tree, program):
+    """MSW-TLS-FASTPATH: the allocation fast path (malloc-family shim
+    entries plus anything tagged '// msw-analyze: fast-path') must stay
+    lock-free — reaching a ranked-lock acquisition is a finding unless
+    the traversal crosses a function tagged
+    '// msw-analyze: slow-path(<why>)', the sanctioned boundary."""
+    findings = []
+    roots = set(program.shim_fids)
+    for fid in range(len(program.funcs)):
+        if "fast-path" in program.tags(fid):
+            roots.add(fid)
+    if not roots:
+        return findings
+
+    def slow(fid):
+        return "slow-path" in program.tags(fid)
+
+    visited, parent = program.reachable(sorted(roots), stop=slow)
+    seen = set()
+    for fid in sorted(visited):
+        rel, _fn = program.funcs[fid]
+        for ev in program.events[fid]:
+            if ev[0] != "lock" or ev[1] != "acq":
+                continue
+            _t, _kind, rank, line, var = ev
+            if (rel, line) in seen:
+                continue
+            seen.add((rel, line))
+            findings.append(Finding(
+                "MSW-TLS-FASTPATH", rel, line,
+                f"'{program.fname(fid)}' acquires global lock '{var}' "
+                f"(rank {_rank_label(program, rank)}) on the allocation "
+                f"fast path (path: "
+                f"{program.path_from_root(fid, parent)}); move it off "
+                "the hot path or mark the sanctioned boundary with "
+                "'// msw-analyze: slow-path(<why>)'"))
+    return findings
+
+
+INTERPROC_RULES = {
+    "MSW-LOCK-HELD": rule_lock_held,
+    "MSW-SIGNAL-SAFE": rule_signal_safe,
+    "MSW-TLS-FASTPATH": rule_tls_fastpath,
+}

@@ -1,0 +1,151 @@
+"""SARIF 2.1.0 output for msw-analyze.
+
+Emits the minimal document GitHub code scanning ingests: one run, one
+driver with reportingDescriptors for every rule that ran, one result
+per finding with a physical location and a stable partial fingerprint.
+validate() is a structural checker used by the fixture self-test so the
+emitted shape is regression-tested without a jsonschema dependency.
+"""
+
+import hashlib
+import json
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _fingerprint(finding):
+    h = hashlib.sha256()
+    h.update(f"{finding.rule}|{finding.rel}|{finding.msg}"
+             .encode("utf-8", "replace"))
+    return h.hexdigest()[:32]
+
+
+def to_sarif(findings, rules_meta, engine_name, tool_version="2.0"):
+    """Build the SARIF document. `rules_meta` is an ordered list of
+    (rule_id, description) for every rule that ran (rules without
+    findings still get a descriptor so code scanning can show them)."""
+    descriptors = []
+    index = {}
+    for rule_id, desc in rules_meta:
+        index[rule_id] = len(descriptors)
+        descriptors.append({
+            "id": rule_id,
+            "name": "".join(p.capitalize()
+                            for p in rule_id.lower().split("-")),
+            "shortDescription": {"text": desc},
+            "defaultConfiguration": {"level": "error"},
+        })
+    results = []
+    for f in findings:
+        if f.rule not in index:  # a rule outside the requested subset
+            index[f.rule] = len(descriptors)
+            descriptors.append({
+                "id": f.rule,
+                "name": "".join(p.capitalize()
+                                for p in f.rule.lower().split("-")),
+                "shortDescription": {"text": f.rule},
+                "defaultConfiguration": {"level": "error"},
+            })
+        results.append({
+            "ruleId": f.rule,
+            "ruleIndex": index[f.rule],
+            "level": "error",
+            "message": {"text": f.msg},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.rel,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(1, int(f.line))},
+                },
+            }],
+            "partialFingerprints": {
+                "mswAnalyze/v1": _fingerprint(f),
+            },
+        })
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "msw-analyze",
+                    "informationUri":
+                        "https://github.com/minesweeper/minesweeper",
+                    "version": tool_version,
+                    "rules": descriptors,
+                },
+            },
+            "properties": {"engine": engine_name},
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+        }],
+    }
+
+
+def validate(doc):
+    """Structural SARIF 2.1.0 check; returns a list of problems (empty
+    means valid). Covers the shape GitHub code scanning requires."""
+    problems = []
+
+    def need(cond, msg):
+        if not cond:
+            problems.append(msg)
+        return cond
+
+    if not need(isinstance(doc, dict), "document is not an object"):
+        return problems
+    need(doc.get("version") == SARIF_VERSION,
+         f"version must be '{SARIF_VERSION}'")
+    need(isinstance(doc.get("$schema"), str) and doc["$schema"],
+         "$schema missing")
+    runs = doc.get("runs")
+    if not need(isinstance(runs, list) and runs,
+                "runs must be a non-empty array"):
+        return problems
+    for ri, run in enumerate(runs):
+        driver = (run.get("tool") or {}).get("driver") or {}
+        need(isinstance(driver.get("name"), str) and driver["name"],
+             f"runs[{ri}].tool.driver.name missing")
+        rules = driver.get("rules", [])
+        ids = [r.get("id") for r in rules]
+        need(all(isinstance(i, str) and i for i in ids),
+             f"runs[{ri}] has a rule descriptor without an id")
+        need(len(ids) == len(set(ids)),
+             f"runs[{ri}] has duplicate rule ids")
+        for pi, res in enumerate(run.get("results", [])):
+            where = f"runs[{ri}].results[{pi}]"
+            need(isinstance(res.get("ruleId"), str) and res["ruleId"],
+                 f"{where}.ruleId missing")
+            if ids:
+                need(res.get("ruleId") in ids,
+                     f"{where}.ruleId not among driver.rules")
+            msg = (res.get("message") or {}).get("text")
+            need(isinstance(msg, str) and msg,
+                 f"{where}.message.text missing")
+            need(res.get("level") in ("none", "note", "warning",
+                                      "error", None),
+                 f"{where}.level invalid")
+            locs = res.get("locations")
+            if need(isinstance(locs, list) and locs,
+                    f"{where}.locations must be non-empty"):
+                phys = locs[0].get("physicalLocation") or {}
+                art = phys.get("artifactLocation") or {}
+                need(isinstance(art.get("uri"), str) and art["uri"],
+                     f"{where} artifactLocation.uri missing")
+                need("\\" not in art.get("uri", ""),
+                     f"{where} uri must use forward slashes")
+                region = phys.get("region") or {}
+                need(isinstance(region.get("startLine"), int) and
+                     region["startLine"] >= 1,
+                     f"{where} region.startLine must be an int >= 1")
+    return problems
+
+
+def write_sarif(path, doc):
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=False)
+        f.write("\n")

@@ -96,14 +96,20 @@ if [ "$quick" = "0" ]; then
     echo "=== [5/5] msw-analyze (domain-specific static analysis) ==="
     # The analyzer degrades to its built-in textual engine when libclang/
     # clang-query are absent; only a missing python3 skips the stage. The
-    # build dir from stage 1 supplies compile_commands.json.
+    # build dir from stage 1 supplies compile_commands.json (and hosts
+    # the analyzer's incremental cache); export it here if a stale or
+    # hand-rolled build dir lacks one.
     if command -v python3 >/dev/null 2>&1; then
+        if [ ! -f "$repo/build-check/compile_commands.json" ]; then
+            echo "check.sh: exporting compile_commands.json for the analyzer" >&2
+            run cmake -B "$repo/build-check" -S "$repo" >/dev/null
+        fi
         if ! run python3 "$repo/tools/analysis/msw_analyze.py" \
                 --self-test "$repo/tests/analysis/fixtures"; then
             failures+=("msw-analyze-selftest")
         fi
         if ! run python3 "$repo/tools/analysis/msw_analyze.py" \
-                --root "$repo" --build "$repo/build-check"; then
+                --root "$repo" --build "$repo/build-check" --timings; then
             failures+=("msw-analyze")
         fi
     else

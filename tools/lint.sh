@@ -26,6 +26,7 @@ fi
 # compile_commands.json is exported unconditionally (CMakeLists.txt sets
 # CMAKE_EXPORT_COMPILE_COMMANDS); configure if this build dir has none.
 if [ ! -f "$build/compile_commands.json" ]; then
+    echo "lint.sh: no compile_commands.json in $build; configuring to export it." >&2
     cmake -B "$build" -S "$repo" >/dev/null
 fi
 
