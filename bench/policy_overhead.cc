@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Allocation-policy overhead: MineSweeper under the default policy vs the
+ * hardened (S2malloc/FreeGuard-style) policy on the allocation-heaviest
+ * mimalloc-bench kernels (larson server churn, mstress cross-thread
+ * frees). The hardened policy buys randomized placement/reuse, canaries
+ * and verified quarantine fills; this binary prices that in wall time,
+ * CPU and peak RSS against the default policy's fast path.
+ *
+ * Emits BENCH_policy_overhead.json alongside the table so CI can track
+ * the ratios.
+ */
+#include "bench/bench_common.h"
+
+#include "alloc/policy.h"
+#include "workload/mimalloc_kernels.h"
+
+int
+main()
+{
+    using namespace msw::bench;
+    std::printf("== Allocation-policy overhead (default vs hardened) ==\n");
+
+    const double scale = effective_scale(0.3);
+    std::vector<SystemColumn> systems = {
+        {"default", SystemKind::kMineSweeper, {}},
+        {"hardened", SystemKind::kMineSweeper, {}},
+    };
+    systems[0].msw_options.jade.policy = &msw::alloc::default_policy();
+    systems[1].msw_options.jade.policy = &msw::alloc::hardened_policy();
+
+    // The policy hooks live on the alloc/free path, so the kernels that
+    // do nothing else bound the overhead from above.
+    const std::vector<std::string> wanted = {"larsonN", "larsonN-sized",
+                                             "mstressN"};
+    std::vector<Row> rows;
+    for (const auto& kernel : msw::workload::mimalloc_kernels()) {
+        bool selected = false;
+        for (const auto& w : wanted)
+            if (kernel.name == w)
+                selected = true;
+        if (!selected)
+            continue;
+        Row row;
+        row.bench = kernel.name;
+        for (const auto& sys : systems) {
+            std::fprintf(stderr, "  [%s / %s]...", kernel.name.c_str(),
+                         sys.label.c_str());
+            std::fflush(stderr);
+            msw::workload::MeasureOptions mo;
+            mo.timeout_s = 240;
+            const RunRecord rec = msw::workload::measure(
+                sys.kind,
+                [&](msw::workload::System& s) {
+                    return kernel.run(s, scale);
+                },
+                sys.msw_options, mo);
+            std::fprintf(stderr, " %s %.2fs\n", rec.ok ? "ok" : "FAILED",
+                         rec.wall_s);
+            row.runs[sys.label] = rec;
+        }
+        rows.push_back(std::move(row));
+    }
+
+    const auto geo_time = print_ratio_table(
+        "Hardened slowdown vs default policy", rows, systems, "default",
+        metric_wall);
+    const auto geo_mem = print_ratio_table(
+        "Hardened peak-RSS overhead vs default policy", rows, systems,
+        "default", metric_peak_rss);
+
+    FILE* json = std::fopen("BENCH_policy_overhead.json", "w");
+    if (json != nullptr) {
+        std::fprintf(json,
+                     "{\n  \"geomean_time_ratio\": %.4f,\n"
+                     "  \"geomean_peak_rss_ratio\": %.4f,\n"
+                     "  \"rows\": [\n",
+                     geo_time.at("hardened"), geo_mem.at("hardened"));
+        bool first = true;
+        for (const Row& row : rows) {
+            for (const auto& sys : systems) {
+                const auto it = row.runs.find(sys.label);
+                if (it == row.runs.end())
+                    continue;
+                const RunRecord& r = it->second;
+                std::fprintf(json,
+                             "%s    {\"bench\": \"%s\", "
+                             "\"policy\": \"%s\", \"ok\": %s, "
+                             "\"wall_s\": %.3f, \"cpu_s\": %.3f, "
+                             "\"peak_rss\": %zu}",
+                             first ? "" : ",\n", row.bench.c_str(),
+                             sys.label.c_str(), r.ok ? "true" : "false",
+                             r.wall_s, r.cpu_s,
+                             static_cast<std::size_t>(r.peak_rss));
+                first = false;
+            }
+        }
+        std::fprintf(json, "\n  ]\n}\n");
+        std::fclose(json);
+        std::printf("\nwrote BENCH_policy_overhead.json\n");
+    }
+
+    std::printf("\nhardened policy: %.3fx time, %.3fx peak RSS vs the "
+                "default policy\n",
+                geo_time.at("hardened"), geo_mem.at("hardened"));
+    return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "alloc/policy.h"
 #include "util/bits.h"
 #include "util/check.h"
 
@@ -36,6 +37,12 @@ Bin::alloc_batch(void** out, unsigned n)
     const unsigned nslots = slab_slots(cls_);
     unsigned produced = 0;
 
+    // Slot *selection* is policy; everything else here (slab lists,
+    // bitmap bookkeeping) is mechanism. The hook is lock-free and runs
+    // under lock_; null keeps the historical first-fit scan inlined.
+    const auto choose =
+        policy_ != nullptr ? policy_->choose_slot : nullptr;
+
     LockGuard g(lock_);
     while (produced < n) {
         ExtentMeta* slab = grab_slab_locked();
@@ -44,7 +51,25 @@ Bin::alloc_batch(void** out, unsigned n)
             // caller decides whether to reclaim and retry.
             break;
         }
-        // Scan the slot bitmap for free slots.
+        if (choose != nullptr) {
+            // Policy-selected placement, one slot per pick.
+            unsigned free_slots =
+                nslots - static_cast<unsigned>(slab->used_slots);
+            while (free_slots > 0 && produced < n) {
+                const unsigned slot =
+                    choose(slab->slot_bits, nslots, free_slots);
+                MSW_DCHECK(slot < nslots && !slab->slot_allocated(slot));
+                slab->set_slot(slot);
+                ++slab->used_slots;
+                --free_slots;
+                out[produced++] =
+                    to_ptr(slab->base + std::size_t{slot} * obj_size);
+            }
+            if (slab->used_slots == nslots)
+                nonfull_.remove(slab);
+            continue;
+        }
+        // Default: scan the slot bitmap for free slots, lowest first.
         const unsigned words = (nslots + 63) / 64;
         for (unsigned w = 0; w < words && produced < n; ++w) {
             std::uint64_t free_bits = ~slab->slot_bits[w];

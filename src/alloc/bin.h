@@ -23,6 +23,8 @@
 
 namespace msw::alloc {
 
+struct AllocPolicy;
+
 class Bin
 {
   public:
@@ -30,13 +32,17 @@ class Bin
     Bin(const Bin&) = delete;
     Bin& operator=(const Bin&) = delete;
 
-    /** One-time setup (bins live in arrays, hence not via constructor). */
+    /** One-time setup (bins live in arrays, hence not via constructor).
+        @p policy selects slot placement (see policy.h); null or a null
+        choose_slot hook keeps the built-in first-fit scan. */
     void
-    init(ExtentAllocator* extents, unsigned cls, std::uint8_t arena_index)
+    init(ExtentAllocator* extents, unsigned cls, std::uint8_t arena_index,
+         const AllocPolicy* policy)
     {
         extents_ = extents;
         cls_ = cls;
         arena_ = arena_index;
+        policy_ = policy;
     }
 
     /**
@@ -71,6 +77,7 @@ class Bin
     ExtentMeta* cached_empty_ MSW_GUARDED_BY(lock_) = nullptr;
     unsigned cls_ = 0;
     std::uint8_t arena_ = 0;
+    const AllocPolicy* policy_ = nullptr;
 };
 
 }  // namespace msw::alloc

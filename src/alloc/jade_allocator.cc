@@ -6,6 +6,7 @@
 #include <cstring>
 #include <new>
 
+#include "alloc/policy.h"
 #include "util/bits.h"
 #include "util/check.h"
 #include "util/log.h"
@@ -86,6 +87,7 @@ JadeAllocator::TCache* JadeAllocator::g_tcache_head = nullptr;
 JadeAllocator::JadeAllocator(const Options& opts)
     : extents_(opts.heap_bytes, opts.decay_ms),
       opts_(opts),
+      policy_(&resolve_policy(opts.policy)),
       num_classes_(num_size_classes())
 {
     MSW_CHECK(opts_.arenas >= 1 && opts_.arenas <= 64);
@@ -100,7 +102,7 @@ JadeAllocator::JadeAllocator(const Options& opts)
         for (unsigned c = 0; c < num_classes_; ++c) {
             new (&arenas_[a].bins[c]) Bin();
             arenas_[a].bins[c].init(&extents_, c,
-                                    static_cast<std::uint8_t>(a));
+                                    static_cast<std::uint8_t>(a), policy_);
         }
     }
     MSW_CHECK(pthread_key_create(&tcache_key_, &tcache_destructor) == 0);
@@ -314,6 +316,15 @@ JadeAllocator::alloc(std::size_t size)
             live_bytes_.fetch_sub(class_size(cls),
                                   std::memory_order_relaxed);
             return nullptr;
+        }
+        if (policy_->choose_cached != nullptr && shard.count > 1) {
+            // Policy-randomized reuse order: pick any cached object and
+            // swap it with the top so the pop stays O(1).
+            const unsigned pick = policy_->choose_cached(shard.count);
+            void* chosen = shard.objs[pick];
+            shard.objs[pick] = shard.objs[shard.count - 1];
+            shard.count = static_cast<std::uint16_t>(shard.count - 1);
+            return chosen;
         }
         return shard.objs[--shard.count];
     }

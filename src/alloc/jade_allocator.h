@@ -30,6 +30,8 @@
 
 namespace msw::alloc {
 
+struct AllocPolicy;
+
 class JadeAllocator final : public Allocator
 {
   public:
@@ -42,6 +44,13 @@ class JadeAllocator final : public Allocator
         unsigned arenas = 1;
         /** Enable per-thread caches. */
         bool enable_tcache = true;
+        /**
+         * Allocation policy (slot placement, cache reuse order — see
+         * policy.h). Null resolves MSW_POLICY from the environment at
+         * construction; instance-scoped, so one process can run
+         * allocators under different policies (benchmarks do).
+         */
+        const AllocPolicy* policy = nullptr;
     };
 
     JadeAllocator() : JadeAllocator(Options{}) {}
@@ -112,6 +121,9 @@ class JadeAllocator final : public Allocator
     ExtentAllocator& extents() { return extents_; }
     const ExtentAllocator& extents() const { return extents_; }
 
+    /** The resolved allocation policy this instance runs under. */
+    const AllocPolicy& policy() const { return *policy_; }
+
     /** Purge all free extents now (MineSweeper's post-sweep purge). */
     void
     purge_all()
@@ -166,6 +178,8 @@ class JadeAllocator final : public Allocator
 
     ExtentAllocator extents_;
     Options opts_;
+    /** Resolved from opts_.policy / MSW_POLICY; never null. */
+    const AllocPolicy* policy_;
     unsigned num_classes_;
     Arena* arenas_ = nullptr;  // [opts_.arenas], internally allocated
     pthread_key_t tcache_key_{};

@@ -15,6 +15,7 @@
 #include "util/check.h"
 #include "util/failpoint.h"
 #include "util/lock_rank.h"
+#include "util/rng.h"
 #include "util/sigsafe_io.h"
 #include "util/spin_lock.h"
 #include "util/thread_annotations.h"
@@ -81,6 +82,10 @@ void
 atfork_child() MSW_NO_THREAD_SAFETY_ANALYSIS
 {
     util::failpoint_child_after_fork();
+    // Reseed per-thread RNG state before any allocation in the child:
+    // policy randomization must diverge from the parent immediately, not
+    // replay its stream.
+    msw::rng_note_fork_child();
     MineSweeper* rt = g_registered;
     if (rt != nullptr)
         rt->child_after_fork();

@@ -4,6 +4,7 @@
 
 #include <cstring>
 
+#include "alloc/policy.h"
 #include "core/lifecycle.h"
 #include "util/bits.h"
 #include "util/log.h"
@@ -78,9 +79,14 @@ MineSweeper::alloc(std::size_t size)
     // (paper §3.2); size classes are 16 B-granular so this usually costs
     // nothing.
     void* p = jade_.alloc(size + 1);
-    if (__builtin_expect(p != nullptr, 1))
-        return p;
-    return alloc_slow(size + 1, 0);
+    if (__builtin_expect(p == nullptr, 0))
+        p = alloc_slow(size + 1, 0);
+    // Hardened policy: arm the canary in the reserved slack byte. Under
+    // the default policy this is one predicted-not-taken branch.
+    const auto arm = config_.policy->arm_canary;
+    if (__builtin_expect(arm != nullptr, 0) && p != nullptr)
+        arm(p, jade_.usable_size(p));
+    return p;
 }
 
 void*
@@ -89,9 +95,12 @@ MineSweeper::alloc_aligned(std::size_t alignment, std::size_t size)
     stats_.add(Stat::kAllocCalls);
     controller_.maybe_pause();
     void* p = jade_.alloc_aligned(alignment, size + 1);
-    if (__builtin_expect(p != nullptr, 1))
-        return p;
-    return alloc_slow(size + 1, alignment);
+    if (__builtin_expect(p == nullptr, 0))
+        p = alloc_slow(size + 1, alignment);
+    const auto arm = config_.policy->arm_canary;
+    if (__builtin_expect(arm != nullptr, 0) && p != nullptr)
+        arm(p, jade_.usable_size(p));
+    return p;
 }
 
 void*
@@ -176,9 +185,21 @@ MineSweeper::free(void* ptr)
     const FreeTarget t = classify(to_addr(ptr));
 
     // Double-free de-duplication (paper §3): while the allocation is in
-    // quarantine, further frees are idempotent.
+    // quarantine, further frees are idempotent. Checked before the canary:
+    // the quarantine fill already overwrote the canary of a freed block,
+    // so testing it again on a double free would false-positive.
     if (absorb_double_free(ptr, t.base))
         return;
+
+    const auto check = config_.policy->check_canary;
+    if (__builtin_expect(check != nullptr, 0)) {
+        stats_.add(Stat::kCanaryChecks);
+        if (!check(ptr, t.usable)) {
+            stats_.add(Stat::kCanaryViolations);
+            alloc::policy_violation("heap-overflow canary clobbered at free",
+                                    ptr);
+        }
+    }
 
     if (!opts_.quarantine_enabled) {
         // Partial versions 1-2 (§5.5): apply unmap/zero side effects, then
@@ -324,6 +345,9 @@ MineSweeper::run_sweep()
         reclaimer_.end_scan();
         return;
     }
+    // lock_in already ran the policy's release-order shuffle; count it.
+    if (config_.policy->shuffle != nullptr)
+        stats_.add(Stat::kReleaseShuffles);
 
     const std::uint64_t cpu0 = sweep::thread_cpu_ns();
     const std::uint64_t helpers0 =
@@ -381,6 +405,16 @@ MineSweeper::run_sweep()
     std::atomic<std::uint64_t> released_count{0};
     std::atomic<std::uint64_t> released_bytes{0};
     std::atomic<std::uint64_t> failed_count{0};
+    std::atomic<std::uint64_t> fill_checks{0};
+    std::atomic<std::uint64_t> fill_violations{0};
+
+    // Hardened policy: audit the quarantine fill of every entry about to
+    // be released. A byte that changed while the block sat unreferenced
+    // in quarantine is a write-after-free. Needs the fill to have been
+    // written in the first place, hence the zeroing gate; unmapped
+    // entries have no bytes to audit.
+    const auto check_fill =
+        opts_.zeroing ? config_.policy->check_free_fill : nullptr;
 
     auto release_job = [&](unsigned index) {
         // Sweep context with restore on exit: index 0 runs on the
@@ -405,6 +439,18 @@ MineSweeper::run_sweep()
                     if (opts_.keep_failed) {
                         failed_per_worker[index].push_back(e);
                         continue;
+                    }
+                }
+                if (check_fill != nullptr && !e.unmapped) {
+                    fill_checks.fetch_add(1, std::memory_order_relaxed);
+                    const void* bad = check_fill(to_ptr(e.real_base()),
+                                                 e.usable);
+                    if (bad != nullptr) {
+                        fill_violations.fetch_add(
+                            1, std::memory_order_relaxed);
+                        alloc::policy_violation(
+                            "quarantined memory tampered before release",
+                            bad);
                     }
                 }
                 if (!reclaimer_.release_entry(e)) {
@@ -434,6 +480,10 @@ MineSweeper::run_sweep()
                released_bytes.load(std::memory_order_relaxed));
     stats_.add(Stat::kFailedFrees,
                failed_count.load(std::memory_order_relaxed));
+    stats_.add(Stat::kSweepFillChecks,
+               fill_checks.load(std::memory_order_relaxed));
+    stats_.add(Stat::kCanaryViolations,
+               fill_violations.load(std::memory_order_relaxed));
     mark_bits_.clear_marks();
     quarantine_.store_failed(std::move(failed));
 
@@ -543,6 +593,13 @@ MineSweeper::sweep_stats() const
     s.watchdog_fallbacks =
         v[static_cast<unsigned>(Stat::kWatchdogFallbacks)];
     s.oom_returns = v[static_cast<unsigned>(Stat::kOomReturns)];
+    s.canary_checks = v[static_cast<unsigned>(Stat::kCanaryChecks)];
+    s.canary_violations =
+        v[static_cast<unsigned>(Stat::kCanaryViolations)];
+    s.sweep_fill_checks =
+        v[static_cast<unsigned>(Stat::kSweepFillChecks)];
+    s.release_shuffles =
+        v[static_cast<unsigned>(Stat::kReleaseShuffles)];
     for (unsigned i = 0; i < util::kNumFailpoints; ++i)
         s.failpoint_hits[i] =
             util::failpoint_hits(static_cast<util::Failpoint>(i));

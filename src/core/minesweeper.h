@@ -62,6 +62,12 @@ struct SweepStats {
     std::uint64_t watchdog_fallbacks = 0; ///< Synchronous watchdog sweeps.
     std::uint64_t oom_returns = 0;        ///< alloc() nullptr returns.
 
+    // Hardened-policy counters (zero under the default policy).
+    std::uint64_t canary_checks = 0;      ///< free()-time canary tests.
+    std::uint64_t canary_violations = 0;  ///< Tampered canaries/fills seen.
+    std::uint64_t sweep_fill_checks = 0;  ///< Release-time fill audits.
+    std::uint64_t release_shuffles = 0;   ///< Randomized release batches.
+
     /** Process-global failpoint fire counts, indexed by util::Failpoint. */
     std::uint64_t failpoint_hits[util::kNumFailpoints] = {};
 };

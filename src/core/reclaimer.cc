@@ -4,12 +4,22 @@
 
 #include <cstring>
 
+#include "alloc/policy.h"
 #include "util/bits.h"
 #include "util/log.h"
 
 namespace msw::core {
 
 using quarantine::Entry;
+
+void
+Reclaimer::fill_free(void* ptr, std::size_t usable)
+{
+    if (config_.policy != nullptr && config_.policy->fill_free != nullptr)
+        config_.policy->fill_free(ptr, usable);
+    else
+        std::memset(ptr, 0, usable);
+}
 
 Reclaimer::Reclaimer(const Config& config, alloc::JadeAllocator* jade,
                      sweep::PageAccessMap* access_map,
@@ -45,7 +55,7 @@ Reclaimer::quarantine_prepare(void* ptr, std::uintptr_t base,
                 // just stays mapped while quarantined).
                 entry = Entry::make(base, usable, false);
                 if (config_.zeroing)
-                    std::memset(ptr, 0, usable);
+                    fill_free(ptr, usable);
             }
         } else if (unmap_entry(base, usable)) {
             stats_->add(Stat::kUnmappedEntries);
@@ -54,12 +64,14 @@ Reclaimer::quarantine_prepare(void* ptr, std::uintptr_t base,
             // full queue — the entry stays mapped while quarantined.
             entry = Entry::make(base, usable, false);
             if (config_.zeroing)
-                std::memset(ptr, 0, usable);
+                fill_free(ptr, usable);
         }
     } else if (config_.zeroing) {
         // Zeroing removes dangling pointers *from* quarantined data,
-        // flattening the reference graph and breaking cycles (§4.1).
-        std::memset(ptr, 0, usable);
+        // flattening the reference graph and breaking cycles (§4.1). The
+        // policy hook may add a guard byte in the reserved tail slack,
+        // which the sweeper verifies at release (alloc/policy.h).
+        fill_free(ptr, usable);
     }
 
     return entry;

@@ -46,6 +46,12 @@ class Reclaimer
         bool zeroing = true;
         /** Deferred-unmap queue capacity (overflow skips the unmap). */
         std::size_t max_pending_unmaps = 4096;
+        /**
+         * Allocation policy supplying the quarantine fill pattern (see
+         * alloc/policy.h). Null, or a null fill_free hook, keeps the
+         * paper's plain zero-fill.
+         */
+        const alloc::AllocPolicy* policy = nullptr;
     };
 
     Reclaimer(const Config& config, alloc::JadeAllocator* jade,
@@ -109,6 +115,9 @@ class Reclaimer
 
   private:
     void drain_pending_locked() MSW_REQUIRES(unmap_lock_);
+
+    /** Zero (or policy-fill) a quarantined block of @p usable bytes. */
+    void fill_free(void* ptr, std::size_t usable);
 
     Config config_;
     alloc::JadeAllocator* jade_;

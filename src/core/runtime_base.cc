@@ -3,6 +3,7 @@
 #include <ctime>
 
 #include "alloc/extent.h"
+#include "alloc/policy.h"
 #include "alloc/size_classes.h"
 #include "core/lifecycle.h"
 #include "util/bits.h"
@@ -14,6 +15,19 @@ namespace msw::core {
 using alloc::ExtentKind;
 using alloc::ExtentMeta;
 using sweep::Range;
+
+namespace {
+
+/** Quarantine release-order adapter: the quarantine layer knows nothing
+    of AllocPolicy, so the hook arrives as fn-pointer + context. */
+void
+shuffle_entries(quarantine::Entry* entries, std::size_t count, void* ctx)
+{
+    static_cast<const alloc::AllocPolicy*>(ctx)->shuffle(
+        entries, count, sizeof(quarantine::Entry));
+}
+
+}  // namespace
 
 /**
  * Extent hooks that keep the committed-page map exact: this is how sweeps
@@ -68,6 +82,14 @@ QuarantineRuntime::QuarantineRuntime(const Config& config,
           // full purge (§4.5); leaving decay on would purge behind the
           // page-access map's back from unhooked call sites.
           c.jade.decay_ms = 0;
+          // Resolve the allocation policy exactly once, here, and hand
+          // the same resolved pointer to every layer (substrate placement,
+          // reclaimer fill, quarantine release order) so they cannot
+          // disagree mid-run if MSW_POLICY changes.
+          c.policy = &alloc::resolve_policy(
+              c.policy != nullptr ? c.policy : c.jade.policy);
+          c.jade.policy = c.policy;
+          c.reclaim.policy = c.policy;
           return c;
       }()),
       jade_(config_.jade),
@@ -75,7 +97,10 @@ QuarantineRuntime::QuarantineRuntime(const Config& config,
       quarantine_bitmap_(jade_.reservation().base(),
                          jade_.reservation().size()),
       access_map_(jade_.reservation().base(), jade_.reservation().size()),
-      quarantine_(config_.tl_buffer_entries),
+      quarantine_(config_.tl_buffer_entries,
+                  config_.policy->shuffle != nullptr ? &shuffle_entries
+                                                     : nullptr,
+                  const_cast<alloc::AllocPolicy*>(config_.policy)),
       reclaimer_(config_.reclaim, &jade_, &access_map_, &quarantine_bitmap_,
                  &stats_),
       controller_(config_.control, std::move(sweep_fn), &stats_)

@@ -76,6 +76,14 @@ class QuarantineRuntime : public RuntimeBase
         bool make_tracker = false;
         /** Report absorbed double frees to stderr (debug mode, §3). */
         bool report_double_frees = false;
+        /**
+         * Allocation policy for the whole runtime (substrate placement,
+         * quarantine fill/canary, release ordering). The constructor
+         * resolves this once — from jade.policy or MSW_POLICY — and
+         * copies the resolved pointer into jade.policy and
+         * reclaim.policy so every layer agrees; never null afterwards.
+         */
+        const alloc::AllocPolicy* policy = nullptr;
     };
 
     ~QuarantineRuntime() override;

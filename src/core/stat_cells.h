@@ -53,6 +53,12 @@ enum class Stat : unsigned {
     kWatchdogFallbacks,
     kOomReturns,
 
+    // Hardened allocation policy (canary + fill verification).
+    kCanaryChecks,
+    kCanaryViolations,
+    kSweepFillChecks,
+    kReleaseShuffles,
+
     // Byte gauges (FFMalloc): add()/sub() pairs, exact under summation.
     kLiveBytes,
     kCommittedBytes,

@@ -68,8 +68,11 @@ Quarantine::append_locked(EntryChunk** head, const Entry& entry)
 
 // ------------------------------------------------------- thread buffers
 
-Quarantine::Quarantine(std::size_t tl_buffer_entries)
-    : buffer_capacity_(tl_buffer_entries > 0 ? tl_buffer_entries : 1)
+Quarantine::Quarantine(std::size_t tl_buffer_entries,
+                       ReleaseOrderFn release_order, void* release_order_ctx)
+    : buffer_capacity_(tl_buffer_entries > 0 ? tl_buffer_entries : 1),
+      release_order_(release_order),
+      release_order_ctx_(release_order_ctx)
 {
     MSW_CHECK(pthread_key_create(&buffer_key_, &buffer_destructor) == 0);
 }
@@ -302,6 +305,12 @@ Quarantine::lock_in(std::vector<Entry>& out)
     } while (!pending_bytes_.compare_exchange_weak(
         expected, desired, std::memory_order_relaxed));
     unmapped_bytes_.fetch_sub(unmapped, std::memory_order_relaxed);
+
+    // Hand the hook the whole sweep set at once (not per-chunk): release
+    // order is only unpredictable if the shuffle spans epochs and failed
+    // frees alike.
+    if (release_order_ != nullptr && !out.empty())
+        release_order_(out.data(), out.size(), release_order_ctx_);
 }
 
 void

@@ -72,10 +72,24 @@ struct QuarantineStats {
     std::uint64_t double_frees = 0;   ///< Duplicates absorbed (by caller).
 };
 
+/**
+ * Reorders a locked-in sweep set before it is handed to the sweeper.
+ * This is the quarantine's only policy hook: the hardened allocation
+ * policy (see alloc/policy.h) uses it to randomize release order so an
+ * attacker cannot predict which quarantined object is recycled next
+ * (FreeGuard-style delayed-reuse randomization). Kept as a raw function
+ * pointer + context so this layer stays free of any dependency on the
+ * allocation stack.
+ */
+using ReleaseOrderFn = void (*)(Entry* entries, std::size_t count,
+                                void* ctx);
+
 class Quarantine
 {
   public:
-    explicit Quarantine(std::size_t tl_buffer_entries = 64);
+    explicit Quarantine(std::size_t tl_buffer_entries = 64,
+                        ReleaseOrderFn release_order = nullptr,
+                        void* release_order_ctx = nullptr);
     ~Quarantine();
 
     Quarantine(const Quarantine&) = delete;
@@ -170,6 +184,8 @@ class Quarantine
         MSW_REQUIRES(lock_);
 
     const std::size_t buffer_capacity_;
+    const ReleaseOrderFn release_order_;
+    void* const release_order_ctx_;
     pthread_key_t buffer_key_{};
 
     mutable SpinLock lock_{util::LockRank::kQuarantine};

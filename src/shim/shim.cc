@@ -29,6 +29,7 @@
 #include <cstring>
 #include <new>
 
+#include "alloc/policy.h"
 #include "core/minesweeper.h"
 #include "util/bits.h"
 
@@ -131,6 +132,11 @@ engine()
         if (const char* env = std::getenv("MSW_MODE")) {
             if (std::strcmp(env, "mostly") == 0)
                 options.mode = msw::core::Mode::kMostlyConcurrent;
+        }
+        if (const char* env = std::getenv("MSW_POLICY")) {
+            // Null on an unknown name: the runtime then re-resolves from
+            // the environment and warns once.
+            options.jade.policy = msw::alloc::policy_by_name(env);
         }
         g_engine = new (g_engine_storage) MineSweeper(options);
         g_engine->set_extra_roots_provider(&scan_maps_roots);

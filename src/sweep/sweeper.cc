@@ -276,4 +276,30 @@ Marker::mark_ranges(const std::vector<Range>& ranges, SweepWorkers* workers)
     return total;
 }
 
+const void*
+find_nonzero(const void* p, std::size_t n)
+{
+    const auto* b = static_cast<const unsigned char*>(p);
+    const unsigned char* end = b + n;
+    // Byte-wise to word alignment, then whole words, then the tail.
+    while (b < end && (to_addr(b) & (sizeof(std::uint64_t) - 1)) != 0) {
+        if (*b != 0)
+            return b;
+        ++b;
+    }
+    const auto* w = reinterpret_cast<const std::uint64_t*>(b);
+    while (b + sizeof(std::uint64_t) <= end) {
+        if (*w != 0)
+            break;
+        ++w;
+        b += sizeof(std::uint64_t);
+    }
+    while (b < end) {
+        if (*b != 0)
+            return b;
+        ++b;
+    }
+    return nullptr;
+}
+
 }  // namespace msw::sweep

@@ -153,4 +153,13 @@ void append_resident_subranges(const Range& range,
 /** Thread CPU time of the calling thread in nanoseconds. */
 std::uint64_t thread_cpu_ns();
 
+/**
+ * First nonzero byte in [p, p+n), or null when the range is all zero.
+ * Word-at-a-time linear scan, the same access pattern as the mark
+ * phase. The hardened allocation policy validates with this that a
+ * quarantined block kept its free-time fill until release — a nonzero
+ * byte there is a proven use-after-free write.
+ */
+const void* find_nonzero(const void* p, std::size_t n);
+
 }  // namespace msw::sweep

@@ -163,4 +163,27 @@ class Rng
     std::uint64_t s_[4];
 };
 
+/**
+ * The calling thread's engine for *non-deterministic* randomness — the
+ * hardened allocation policy's slot placement, reuse order and release
+ * shuffling. Unlike the workload engines above it is seeded from local
+ * entropy (clock, pid, a per-seed counter), never from a fixed seed.
+ *
+ * Fork-safe: fork duplicates thread-local engine state, and a child
+ * continuing the parent's stream would make its heap layout predictable
+ * from the parent's. core/lifecycle bumps a process-wide generation in
+ * its atfork child handler (rng_note_fork_child); the next thread_rng()
+ * call in the child observes the mismatch and reseeds.
+ */
+Rng& thread_rng();
+
+/**
+ * Invalidate every thread's cached engine (the atfork child handler).
+ * Async-signal-safe: one relaxed atomic increment.
+ */
+void rng_note_fork_child();
+
+/** Current reseed generation (test introspection). */
+std::uint64_t rng_generation();
+
 }  // namespace msw

@@ -1,0 +1,30 @@
+#include "alloc/policy.h"
+
+namespace msw::alloc {
+
+SlotRng g_slot_rng;
+
+unsigned
+SlotRng::next_below(unsigned bound)
+{
+    LockGuard g(rng_lock_);
+    return bound - 1;
+}
+
+// A policy hook that serialises every caller on a process-global RNG
+// lock: the tagged fast path below reaches the acquisition two hops
+// away with no slow-path boundary in between, so a finding.
+unsigned
+hardened_choose_slot(unsigned nslots)
+{
+    return g_slot_rng.next_below(nslots);
+}
+
+// msw-analyze: fast-path
+unsigned
+slab_alloc_slot(unsigned nslots)
+{
+    return hardened_choose_slot(nslots);
+}
+
+}  // namespace msw::alloc

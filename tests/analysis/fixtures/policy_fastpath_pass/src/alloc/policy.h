@@ -1,0 +1,22 @@
+#pragma once
+
+#include "util/mutex.h"
+
+namespace msw::alloc {
+
+/// Allocation-policy hook consulted on the allocation fast path:
+/// implementations must stay lock-free.
+unsigned hardened_choose_slot(unsigned nslots);
+
+class SlotRng
+{
+  public:
+    unsigned next_below(unsigned bound);
+    void reseed_slow();
+
+  private:
+    unsigned long state_ = 1;
+    Mutex seed_lock_{util::LockRank::kAlpha};
+};
+
+}  // namespace msw::alloc

@@ -21,6 +21,7 @@
 #include "util/bits.h"
 #include "util/failpoint.h"
 #include "util/lock_rank.h"
+#include "util/rng.h"
 #include "util/spin_lock.h"
 
 namespace msw {
@@ -389,6 +390,51 @@ TEST(Lifecycle, AtforkCycleIsRankClean)
     ms.free(p);
     EXPECT_EQ(util::lock_rank_held_count(), 0);
     util::lock_rank_set_enabled(false);
+}
+
+TEST(Lifecycle, ForkChildReseedsPolicyRng)
+{
+    // The hardened allocation policy draws placement randomness from
+    // thread_rng(). fork() duplicates that thread-local state; a child
+    // replaying the parent's stream would have a heap layout
+    // predictable from the parent, so the atfork child handler bumps
+    // the reseed generation and the child's next draw diverges.
+    MineSweeper ms(small_options());  // installs the atfork handlers
+    (void)thread_rng().next_u64();    // instantiate this thread's engine
+    const std::uint64_t gen_before = rng_generation();
+
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0) << "fork failed: " << std::strerror(errno);
+    if (pid == 0) {
+        if (rng_generation() != gen_before + 1)
+            _exit(2);  // atfork handler did not bump the generation
+        std::uint64_t draws[4];
+        for (auto& d : draws)
+            d = thread_rng().next_u64();
+        const ssize_t n = write(fds[1], draws, sizeof(draws));
+        _exit(n == static_cast<ssize_t>(sizeof(draws)) ? 0 : 3);
+    }
+    std::uint64_t child_draws[4] = {};
+    ASSERT_EQ(read(fds[0], child_draws, sizeof(child_draws)),
+              static_cast<ssize_t>(sizeof(child_draws)));
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "child status " << status;
+    close(fds[0]);
+    close(fds[1]);
+
+    // The parent's engine was not invalidated: these are exactly the
+    // values the child would have produced from the duplicated state.
+    std::uint64_t parent_draws[4];
+    for (auto& d : parent_draws)
+        d = thread_rng().next_u64();
+    EXPECT_NE(std::memcmp(parent_draws, child_draws,
+                          sizeof(parent_draws)),
+              0);
+    EXPECT_EQ(rng_generation(), gen_before);
 }
 
 }  // namespace

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Build-and-test matrix for local verification:
-#   1. default build + full test suite (the tier-1 gate);
+#   1. default build + full test suite (the tier-1 gate), then the
+#      hardened-policy label (-L hardened) on the same build;
 #   2. MSW_THREAD_SAFETY=ON with clang++ (thread-safety analysis is a
 #      Clang feature) — compile-only, -Werror=thread-safety;
 #   3. MSW_SANITIZE=address,undefined + full test suite, then the
 #      lifecycle chaos soak (-L chaos) with a longer local budget;
 #   4. MSW_SANITIZE=thread + the race suite and the chaos soak
-#      (-L "tsan|chaos");
+#      (-L "tsan|chaos"), then the tsan label again with
+#      MSW_POLICY=hardened so the policy hooks are raced too;
 #   5. msw-analyze (tools/analysis/) self-test + clean run over src/.
 # Configurations whose toolchain is unavailable are skipped with a note,
 # not failed: the matrix must be runnable on minimal containers.
@@ -31,6 +33,12 @@ run cmake -B "$repo/build-check" -S "$repo" >/dev/null
 run cmake --build "$repo/build-check" -j >/dev/null
 if ! (cd "$repo/build-check" && ctest --output-on-failure -j "$(nproc)"); then
     failures+=("default")
+fi
+# The hardened-policy reruns are part of the default gate: same build,
+# MSW_POLICY=hardened via the ctest registrations.
+if ! (cd "$repo/build-check" && ctest --output-on-failure -j "$(nproc)" \
+          -L hardened); then
+    failures+=("hardened")
 fi
 
 if [ "$quick" = "0" ]; then
@@ -88,6 +96,13 @@ if [ "$quick" = "0" ]; then
                   ctest --output-on-failure -j "$(nproc)" \
                       -L "tsan|chaos"); then
             failures+=("tsan")
+        fi
+        # Race the hardened policy's hook paths (randomized placement,
+        # canary writes, release shuffling) under TSan as well.
+        if ! (cd "$repo/build-check-tsan" &&
+              MSW_POLICY=hardened ctest --output-on-failure \
+                  -j "$(nproc)" -L tsan); then
+            failures+=("tsan-hardened")
         fi
     else
         failures+=("tsan-build")
