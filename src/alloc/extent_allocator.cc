@@ -72,6 +72,8 @@ ExtentAllocator::map_extent(ExtentMeta* e)
 {
     const std::size_t first = page_index(e->base);
     for (std::size_t i = 0; i < e->pages; ++i)
+        // msw-relaxed(page-map): written under the extent lock; racy
+        // readers (peek_page_map) treat the result as untrusted.
         __atomic_store_n(&page_map_[first + i], e, __ATOMIC_RELAXED);
 }
 
@@ -80,6 +82,8 @@ ExtentAllocator::unmap_extent_range(ExtentMeta* e)
 {
     const std::size_t first = page_index(e->base);
     for (std::size_t i = 0; i < e->pages; ++i)
+        // msw-relaxed(page-map): written under the extent lock; racy
+        // readers (peek_page_map) treat the result as untrusted.
         __atomic_store_n(&page_map_[first + i],
                          static_cast<ExtentMeta*>(nullptr),
                          __ATOMIC_RELAXED);
@@ -89,6 +93,8 @@ void
 ExtentAllocator::mark_free_boundaries(ExtentMeta* e)
 {
     const std::size_t first = page_index(e->base);
+    // msw-relaxed(page-map): written under the extent lock; racy
+    // readers (peek_page_map) treat the result as untrusted.
     __atomic_store_n(&page_map_[first], e, __ATOMIC_RELAXED);
     __atomic_store_n(&page_map_[first + e->pages - 1], e, __ATOMIC_RELAXED);
 }
@@ -200,6 +206,8 @@ ExtentAllocator::alloc_extent(std::size_t pages, ExtentKind kind,
             // extents to the free lists. Report once, then fail the
             // request so alloc() can reclaim and retry.
             static std::atomic<bool> logged{false};
+            // msw-relaxed(config-flag): log-once latch; only RMW
+            // atomicity matters.
             if (!logged.exchange(true, std::memory_order_relaxed)) {
                 MSW_LOG_WARN(
                     "heap reservation exhausted (%zu MiB): cannot "

@@ -93,6 +93,8 @@ class ExtentAllocator
     lookup_live(std::uintptr_t addr) const
     {
         MSW_DCHECK(heap_.contains(addr));
+        // msw-relaxed(page-map): the entry under a live object cannot
+        // change concurrently (see contract above).
         ExtentMeta* e = __atomic_load_n(&page_map_[page_index(addr)],
                                         __ATOMIC_RELAXED);
         MSW_DCHECK(e != nullptr && e->kind != ExtentKind::kFree);
@@ -108,6 +110,8 @@ class ExtentAllocator
     peek_page_map(std::uintptr_t addr) const
     {
         MSW_DCHECK(heap_.contains(addr));
+        // msw-relaxed(page-map): deliberately racy; every field of
+        // the result is untrusted per the contract above.
         return __atomic_load_n(&page_map_[page_index(addr)],
                                __ATOMIC_RELAXED);
     }

@@ -119,6 +119,8 @@ JadeAllocator::~JadeAllocator()
         TCache* tc = g_tcache_head;
         while (tc != nullptr) {
             TCache* next = tc->reg_next;
+            // msw-relaxed(tcache-owner): read under
+            // g_tcache_registry_lock, which every orphaning store holds.
             if (tc->owner.load(std::memory_order_relaxed) == this) {
                 tc->owner.store(nullptr, std::memory_order_release);
                 if (tc->reg_prev != nullptr)
@@ -149,6 +151,8 @@ JadeAllocator::bin_for(std::uint8_t arena, unsigned cls) const
 unsigned
 JadeAllocator::arena_for_thread()
 {
+    // msw-relaxed(work-cursor): round-robin ticket; only RMW
+    // atomicity matters, the value orders nothing.
     return next_arena_.fetch_add(1, std::memory_order_relaxed) %
            opts_.arenas;
 }
@@ -159,6 +163,8 @@ JadeAllocator::make_tcache()
     const std::size_t bytes = TCache::bytes_for(num_classes_);
     auto* tc = static_cast<TCache*>(os_alloc(bytes));
     // os_alloc returns zeroed memory; set the non-zero fields.
+    // msw-relaxed(tcache-owner): cache not yet published; the registry
+    // insert under the lock is what makes it visible.
     tc->owner.store(this, std::memory_order_relaxed);
     tc->arena = static_cast<std::uint8_t>(arena_for_thread());
     tc->alloc_size = bytes;
@@ -193,6 +199,8 @@ JadeAllocator::tcache_destructor(void* arg)
         // destructor also takes this lock before orphaning caches, so the
         // allocator cannot be destroyed mid-flush.
         LockGuard g(g_tcache_registry_lock);
+        // msw-relaxed(tcache-owner): re-read under
+        // g_tcache_registry_lock; the destructor orphans under it too.
         JadeAllocator* owner = tc->owner.load(std::memory_order_relaxed);
         if (owner != nullptr) {
             if (tc->reg_prev != nullptr)
@@ -258,6 +266,8 @@ JadeAllocator::child_fixup()
     while (tc != nullptr) {
         TCache* next = tc->reg_next;
         if (tc != mine &&
+            // msw-relaxed(tcache-owner): read under
+            // g_tcache_registry_lock, as for every orphaning store.
             tc->owner.load(std::memory_order_relaxed) == this) {
             if (tc->reg_prev != nullptr)
                 tc->reg_prev->reg_next = tc->reg_next;
@@ -295,6 +305,8 @@ JadeAllocator::flush_shard(TCache* tc, unsigned cls, unsigned keep)
 void*
 JadeAllocator::alloc(std::size_t size)
 {
+    // msw-relaxed(stat-cells): statistics counter; totals need no
+    // ordering.
     alloc_calls_.fetch_add(1, std::memory_order_relaxed);
     if (size == 0)
         size = 1;
@@ -302,6 +314,8 @@ JadeAllocator::alloc(std::size_t size)
         return alloc_large(size, 1);
 
     const unsigned cls = size_to_class(size);
+    // msw-relaxed(stat-cells): statistics counter; totals need no
+    // ordering.
     live_bytes_.fetch_add(class_size(cls), std::memory_order_relaxed);
 
     TCache* tc = get_tcache();
@@ -313,6 +327,7 @@ JadeAllocator::alloc(std::size_t size)
                 bin_for(tc->arena, cls).alloc_batch(shard.objs, fill));
         }
         if (shard.count == 0) {
+            // msw-relaxed(stat-cells): statistics counter rollback.
             live_bytes_.fetch_sub(class_size(cls),
                                   std::memory_order_relaxed);
             return nullptr;
@@ -331,6 +346,7 @@ JadeAllocator::alloc(std::size_t size)
     void* out = nullptr;
     const unsigned got = bin_for(0, cls).alloc_batch(&out, 1);
     if (got != 1) {
+        // msw-relaxed(stat-cells): statistics counter rollback.
         live_bytes_.fetch_sub(class_size(cls), std::memory_order_relaxed);
         return nullptr;
     }
@@ -347,6 +363,8 @@ JadeAllocator::alloc_large(std::size_t size, std::size_t align_pages)
         return nullptr;
     }
     e->large_size = size;
+    // msw-relaxed(stat-cells): statistics counter; totals need no
+    // ordering.
     live_bytes_.fetch_add(e->bytes(), std::memory_order_relaxed);
     return to_ptr(e->base);
 }
@@ -356,6 +374,8 @@ JadeAllocator::free(void* ptr)
 {
     if (ptr == nullptr)
         return;
+    // msw-relaxed(stat-cells): statistics counter; totals need no
+    // ordering.
     free_calls_.fetch_add(1, std::memory_order_relaxed);
     ExtentMeta* meta = extents_.lookup_live(to_addr(ptr));
     if (meta->kind == ExtentKind::kLarge) {
@@ -364,6 +384,8 @@ JadeAllocator::free(void* ptr)
     }
     MSW_DCHECK(meta->kind == ExtentKind::kSlab);
     const unsigned cls = meta->cls;
+    // msw-relaxed(stat-cells): statistics counter; totals need no
+    // ordering.
     live_bytes_.fetch_sub(class_size(cls), std::memory_order_relaxed);
     TCache* tc = get_tcache();
     if (tc != nullptr) {
@@ -382,12 +404,16 @@ JadeAllocator::free_direct(void* ptr)
 {
     if (ptr == nullptr)
         return;
+    // msw-relaxed(stat-cells): statistics counter; totals need no
+    // ordering.
     free_calls_.fetch_add(1, std::memory_order_relaxed);
     ExtentMeta* meta = extents_.lookup_live(to_addr(ptr));
     if (meta->kind == ExtentKind::kLarge) {
         free_large(meta);
         return;
     }
+    // msw-relaxed(stat-cells): statistics counter; totals need no
+    // ordering.
     live_bytes_.fetch_sub(class_size(meta->cls), std::memory_order_relaxed);
     bin_for(meta->arena, meta->cls).free_one(ptr, meta);
 }
@@ -395,6 +421,8 @@ JadeAllocator::free_direct(void* ptr)
 void
 JadeAllocator::free_large(ExtentMeta* meta)
 {
+    // msw-relaxed(stat-cells): statistics counter; totals need no
+    // ordering.
     live_bytes_.fetch_sub(meta->bytes(), std::memory_order_relaxed);
     extents_.free_extent(meta);
 }
@@ -411,10 +439,13 @@ JadeAllocator::usable_size(const void* ptr) const
 void*
 JadeAllocator::alloc_aligned(std::size_t alignment, std::size_t size)
 {
+    // msw-relaxed(stat-cells): statistics counter; totals need no
+    // ordering.
     alloc_calls_.fetch_add(1, std::memory_order_relaxed);
     if (size == 0)
         size = 1;
     if (alignment <= kGranule) {
+        // msw-relaxed(stat-cells): undo the count; alloc() re-counts.
         alloc_calls_.fetch_sub(1, std::memory_order_relaxed);
         return alloc(size);
     }
@@ -425,6 +456,8 @@ JadeAllocator::alloc_aligned(std::size_t alignment, std::size_t size)
         // page-aligned slabs, so such a class guarantees alignment.
         for (unsigned c = size_to_class(size); c < num_classes_; ++c) {
             if (class_size(c) % alignment == 0) {
+                // msw-relaxed(stat-cells): undo the count; alloc()
+                // re-counts.
                 alloc_calls_.fetch_sub(1, std::memory_order_relaxed);
                 return alloc(class_size(c));
             }
@@ -537,9 +570,12 @@ JadeAllocator::stats() const
 {
     const ExtentStats es = extents_.stats();
     AllocatorStats s;
+    // msw-relaxed(stat-cells): statistics snapshot; cells may tear
+    // relative to each other and that is fine for reporting.
     s.live_bytes = live_bytes_.load(std::memory_order_relaxed);
     s.committed_bytes = es.committed_bytes;
     s.metadata_bytes = es.metadata_bytes;
+    // msw-relaxed(stat-cells): as above — reporting snapshot.
     s.alloc_calls = alloc_calls_.load(std::memory_order_relaxed);
     s.free_calls = free_calls_.load(std::memory_order_relaxed);
     return s;

@@ -134,6 +134,7 @@ class JadeAllocator final : public Allocator
     std::size_t
     live_bytes() const
     {
+        // msw-relaxed(stat-cells): statistics read; needs no ordering.
         return live_bytes_.load(std::memory_order_relaxed);
     }
 

@@ -65,7 +65,9 @@ FFMalloc::grab_span(std::size_t bytes, std::size_t align_bytes)
         // One-time allocation means VA burn is terminal, not transient;
         // still honour the malloc contract (nullptr, not abort).
         static std::atomic<bool> logged{false};
-        if (!logged.exchange(true)) {
+        // msw-relaxed(config-flag): log-once latch; only RMW
+        // atomicity matters.
+        if (!logged.exchange(true, std::memory_order_relaxed)) {
             MSW_LOG_WARN(
                 "ffmalloc: virtual address space exhausted (%zu MiB); "
                 "returning nullptr",
@@ -78,6 +80,8 @@ FFMalloc::grab_span(std::size_t bytes, std::size_t align_bytes)
     // Alignment-gap pages are dead forever; they were never committed, so
     // sealing them costs nothing.
     for (std::uintptr_t p = frontier_; p < addr; p += vm::kPageSize)
+        // msw-relaxed(page-seal): written under frontier_lock_; the
+        // reclaimer re-reads cells racily and tolerates staleness.
         page_sealed_[page_index(p)].store(kDecommitted,
                                           std::memory_order_relaxed);
     frontier_ = addr + bytes;
@@ -170,6 +174,8 @@ FFMalloc::alloc(std::size_t size)
         page_info_[first] = kLargeStart | static_cast<std::uint32_t>(pages);
         for (std::size_t i = 1; i < pages; ++i)
             page_info_[first + i] = kLargeInterior;
+        // msw-relaxed(page-seal): per-page live census; only RMW
+        // atomicity matters, sealing re-checks under the pool lock.
         page_live_[first].fetch_add(1, std::memory_order_relaxed);
         stats_.add(core::Stat::kLiveBytes, bytes);
         return to_ptr(addr);
@@ -191,6 +197,8 @@ FFMalloc::alloc(std::size_t size)
         const std::uintptr_t last =
             align_down(addr + csize - 1, vm::kPageSize);
         for (std::uintptr_t p = first; p <= last; p += vm::kPageSize) {
+            // msw-relaxed(page-seal): live census under pool.lock;
+            // only RMW atomicity matters to racing frees.
             page_live_[page_index(p)].fetch_add(1,
                                                 std::memory_order_relaxed);
         }
@@ -225,6 +233,8 @@ FFMalloc::alloc_aligned(std::size_t alignment, std::size_t size)
     page_info_[first] = kLargeStart | static_cast<std::uint32_t>(pages);
     for (std::size_t i = 1; i < pages; ++i)
         page_info_[first + i] = kLargeInterior;
+    // msw-relaxed(page-seal): per-page live census; only RMW
+    // atomicity matters, sealing re-checks under the pool lock.
     page_live_[first].fetch_add(1, std::memory_order_relaxed);
     stats_.add(core::Stat::kLiveBytes, bytes);
     return to_ptr(addr);
@@ -250,9 +260,12 @@ FFMalloc::free(void* ptr)
         stats_.sub(core::Stat::kLiveBytes, bytes);
         // The whole span dies at once: decommit it and retire the VA.
         const std::size_t first = page_index(addr);
+        // msw-relaxed(page-seal): the span dies wholesale; census and
+        // seal cells only need atomicity against racing readers.
         page_live_[first].fetch_sub(1, std::memory_order_relaxed);
         for (std::size_t i = 0; i < pages; ++i) {
             page_info_[first + i] = kPageFree;
+            // msw-relaxed(page-seal): as above — wholesale death.
             page_sealed_[first + i].store(kDecommitted,
                                           std::memory_order_relaxed);
         }

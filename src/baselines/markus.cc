@@ -146,6 +146,7 @@ MarkUs::scan_for_objects(std::uintptr_t base, std::size_t len,
         }
         // Relaxed atomic: mutators write scanned memory concurrently and
         // the conservative mark tolerates torn/stale words by design.
+        // msw-relaxed(marker-scan): see above — conservative scan.
         const std::uint64_t v = __atomic_load_n(
             to_ptr_of<const std::uint64_t>(lo), __ATOMIC_RELAXED);
         if (v - heap_base >= heap_end - heap_base)

@@ -423,6 +423,8 @@ MineSweeper::run_sweep()
         SweepController::ScopedSweepContext scoped;
         constexpr std::size_t kBatch = 64;
         for (;;) {
+            // msw-relaxed(work-cursor): batch ticket; only RMW
+            // atomicity matters, entries are read-only here.
             const std::size_t start =
                 next.fetch_add(kBatch, std::memory_order_relaxed);
             if (start >= locked_in.size())
@@ -435,6 +437,8 @@ MineSweeper::run_sweep()
                     opts_.sweep_enabled &&
                     mark_bits_.test_range(e.real_base(), e.usable);
                 if (marked) {
+                    // msw-relaxed(stat-cells): sweep tally; the join
+                    // below publishes it to the reader.
                     failed_count.fetch_add(1, std::memory_order_relaxed);
                     if (opts_.keep_failed) {
                         failed_per_worker[index].push_back(e);
@@ -442,10 +446,14 @@ MineSweeper::run_sweep()
                     }
                 }
                 if (check_fill != nullptr && !e.unmapped) {
+                    // msw-relaxed(stat-cells): sweep tally; the join
+                    // below publishes it to the reader.
                     fill_checks.fetch_add(1, std::memory_order_relaxed);
                     const void* bad = check_fill(to_ptr(e.real_base()),
                                                  e.usable);
                     if (bad != nullptr) {
+                        // msw-relaxed(stat-cells): sweep tally; the
+                        // join below publishes it to the reader.
                         fill_violations.fetch_add(
                             1, std::memory_order_relaxed);
                         alloc::policy_violation(
@@ -456,10 +464,14 @@ MineSweeper::run_sweep()
                 if (!reclaimer_.release_entry(e)) {
                     // Could not restore access under pressure: keep the
                     // entry quarantined; a later sweep retries.
+                    // msw-relaxed(stat-cells): sweep tally; the join
+                    // below publishes it to the reader.
                     failed_count.fetch_add(1, std::memory_order_relaxed);
                     failed_per_worker[index].push_back(e);
                     continue;
                 }
+                // msw-relaxed(stat-cells): sweep tallies; the join
+                // below publishes them to the reader.
                 released_count.fetch_add(1, std::memory_order_relaxed);
                 released_bytes.fetch_add(e.usable,
                                          std::memory_order_relaxed);
@@ -474,14 +486,20 @@ MineSweeper::run_sweep()
     for (auto& fv : failed_per_worker)
         failed.insert(failed.end(), fv.begin(), fv.end());
 
+    // msw-relaxed(stat-cells): tallies read after the worker join,
+    // which publishes every worker's writes.
     stats_.add(Stat::kEntriesReleased,
                released_count.load(std::memory_order_relaxed));
+    // msw-relaxed(stat-cells): as above — post-join read.
     stats_.add(Stat::kBytesReleased,
                released_bytes.load(std::memory_order_relaxed));
+    // msw-relaxed(stat-cells): as above — post-join read.
     stats_.add(Stat::kFailedFrees,
                failed_count.load(std::memory_order_relaxed));
+    // msw-relaxed(stat-cells): as above — post-join read.
     stats_.add(Stat::kSweepFillChecks,
                fill_checks.load(std::memory_order_relaxed));
+    // msw-relaxed(stat-cells): as above — post-join read.
     stats_.add(Stat::kCanaryViolations,
                fill_violations.load(std::memory_order_relaxed));
     mark_bits_.clear_marks();

@@ -46,6 +46,8 @@ Reclaimer::quarantine_prepare(void* ptr, std::uintptr_t base,
         // defer the decommit so concurrent marking never faults.
         entry = Entry::make(base, usable, true);
         LockGuard g(unmap_lock_);
+        // msw-relaxed(epoch-handoff): read under unmap_lock_, which
+        // begin_scan/end_scan hold when they flip it.
         if (scan_active_.load(std::memory_order_relaxed)) {
             if (pending_unmaps_.size() < config_.max_pending_unmaps) {
                 pending_unmaps_.push_back(entry);

@@ -165,8 +165,11 @@ SweepController::child_after_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
         // that forked, i.e. us) — release it.
         fork_token_held_ = false;
         sweep_requested_ = false;
+        // msw-relaxed(fork-window): the child is single-threaded here;
+        // nothing can race these resets.
         sweep_request_ns_.store(0, std::memory_order_relaxed);
         watchdog_tripped_.store(false, std::memory_order_relaxed);
+        // msw-relaxed(fork-window): as above — single-threaded child.
         pause_flag_.store(false, std::memory_order_relaxed);
         sweep_in_progress_.store(false, std::memory_order_release);
         control_waiters_.store(0, std::memory_order_release);
@@ -202,6 +205,8 @@ SweepController::ensure_sweeper()
     if (!sweeper_needs_respawn_.load(std::memory_order_acquire))
         return;
     MutexGuard g(sweep_mu_);
+    // msw-relaxed(sweeper-token): re-check under sweep_mu_, which both
+    // writers hold; the acquire load above did the synchronisation.
     if (!sweeper_needs_respawn_.load(std::memory_order_relaxed) ||
         shutdown_) {
         return;
@@ -223,9 +228,13 @@ SweepController::request_sweep(bool pause_allocations)
         sweep_requested_ = true;
         // Watchdog heartbeat: stamp the oldest unserved request (the
         // sweeper clears this when it picks the request up).
+        // msw-relaxed(sweeper-token): stamped under sweep_mu_; the
+        // unlocked watchdog read tolerates staleness by one period.
         if (sweep_request_ns_.load(std::memory_order_relaxed) == 0)
             sweep_request_ns_.store(monotonic_ns(),
                                     std::memory_order_relaxed);
+        // msw-relaxed(sweeper-token): advisory gate; waiters poll it
+        // on a timed wait, so a stale read only delays one period.
         if (pause_allocations)
             pause_flag_.store(true, std::memory_order_relaxed);
     }
@@ -255,11 +264,14 @@ SweepController::run_sweep_now()
             return false;
         }
         sweep_requested_ = false;
+        // msw-relaxed(sweeper-token): heartbeat clear under sweep_mu_.
         sweep_request_ns_.store(0, std::memory_order_relaxed);
     }
     sweep_fn_();
     {
         MutexGuard g(sweep_mu_);
+        // msw-relaxed(sweeper-token): written under sweep_mu_; waiters
+        // re-read them under the same mutex in their cv predicates.
         sweeps_done_.fetch_add(1, std::memory_order_relaxed);
         pause_flag_.store(false, std::memory_order_relaxed);
         sweep_in_progress_.store(false, std::memory_order_release);
@@ -275,16 +287,22 @@ SweepController::check_watchdog()
         !config_.background) {
         return;
     }
+    // msw-relaxed(sweeper-token): unlocked watchdog heartbeat read; a
+    // stale value only delays the fallback by one check period.
     const std::uint64_t req =
         sweep_request_ns_.load(std::memory_order_relaxed);
     if (req == 0 || sweep_in_progress_.load(std::memory_order_acquire))
         return;
+    // msw-relaxed(sweeper-token): the latch is advisory (log-once and
+    // early-out); the fallback sweep itself re-takes the real token.
     const bool overdue =
         watchdog_tripped_.load(std::memory_order_relaxed) ||
         monotonic_ns() - req >=
             config_.watchdog_timeout_ms * 1'000'000ull;
     if (!overdue)
         return;
+    // msw-relaxed(sweeper-token): latch RMW needs atomicity only (one
+    // thread wins the warning log); no data is published through it.
     if (!watchdog_tripped_.exchange(true, std::memory_order_relaxed)) {
         MSW_LOG_WARN("sweeper watchdog: request unserved for %llu ms; "
                      "falling back to synchronous sweeps",
@@ -298,6 +316,9 @@ SweepController::check_watchdog()
 void
 SweepController::maybe_pause()
 {
+    // msw-relaxed(sweeper-token): advisory fast-path peek; a missed
+    // set is caught by the next allocation, a missed clear by the
+    // timed wait below.
     if (tls_sweep_context ||
         !pause_flag_.load(std::memory_order_relaxed)) {
         return;
@@ -311,9 +332,13 @@ SweepController::maybe_pause()
                                          ? config_.watchdog_timeout_ms
                                          : 2000;
         UniqueLock g(sweep_mu_);
+        // msw-relaxed(sweeper-token): RMW atomicity suffices; the
+        // shutdown drain polls the release/acquire-paired count.
         control_waiters_.fetch_add(1, std::memory_order_relaxed);
         sweep_done_cv_.wait_for(g, std::chrono::milliseconds(cap_ms),
                                 [&]() MSW_REQUIRES(sweep_mu_) {
+                                    // msw-relaxed(sweeper-token): read
+                                    // under sweep_mu_ by the cv wait.
                                     return shutdown_ ||
                                            !pause_flag_.load(
                                                std::memory_order_relaxed);
@@ -330,10 +355,14 @@ void
 SweepController::wait_for_sweep_completion(std::uint64_t timeout_ms)
 {
     UniqueLock g(sweep_mu_);
+    // msw-relaxed(sweeper-token): RMW atomicity suffices; the shutdown
+    // drain polls the release/acquire-paired count.
     control_waiters_.fetch_add(1, std::memory_order_relaxed);
     sweep_done_cv_.wait_for(
         g, std::chrono::milliseconds(timeout_ms),
         [&]() MSW_REQUIRES(sweep_mu_) {
+            // msw-relaxed(sweeper-token): progress poll on a timed
+            // wait; the token's real edges are its CAS/release pair.
             return shutdown_ ||
                    !sweep_in_progress_.load(std::memory_order_relaxed);
         });
@@ -348,6 +377,8 @@ SweepController::force_sweep()
         return;
     }
     ensure_sweeper();
+    // msw-relaxed(sweeper-token): RMW atomicity suffices; the shutdown
+    // drain polls the release/acquire-paired count.
     control_waiters_.fetch_add(1, std::memory_order_relaxed);
     {
         UniqueLock g(sweep_mu_);
@@ -355,9 +386,13 @@ SweepController::force_sweep()
             control_waiters_.fetch_sub(1, std::memory_order_release);
             return;
         }
+        // msw-relaxed(sweeper-token): read under sweep_mu_, which
+        // every writer of the sweep counter also holds.
         const std::uint64_t target =
             sweeps_done_.load(std::memory_order_relaxed) + 1;
         sweep_requested_ = true;
+        // msw-relaxed(sweeper-token): heartbeat stamp under sweep_mu_;
+        // the unlocked watchdog read tolerates one period of staleness.
         if (sweep_request_ns_.load(std::memory_order_relaxed) == 0)
             sweep_request_ns_.store(monotonic_ns(),
                                     std::memory_order_relaxed);
@@ -368,6 +403,8 @@ SweepController::force_sweep()
         for (;;) {
             const bool done = sweep_done_cv_.wait_for(
                 g, timeout, [&]() MSW_REQUIRES(sweep_mu_) {
+                    // msw-relaxed(sweeper-token): cv predicate under
+                    // sweep_mu_, which the incrementing side holds.
                     return shutdown_ ||
                            sweeps_done_.load(std::memory_order_relaxed) >=
                                target;
@@ -380,6 +417,8 @@ SweepController::force_sweep()
             if (run_sweep_now())
                 stats_->add(Stat::kWatchdogFallbacks);
             g.lock();
+            // msw-relaxed(sweeper-token): re-read under sweep_mu_,
+            // which the incrementing side holds.
             if (shutdown_ ||
                 sweeps_done_.load(std::memory_order_relaxed) >= target) {
                 break;
@@ -394,6 +433,8 @@ SweepController::wait_idle()
 {
     if (!config_.background)
         return;
+    // msw-relaxed(sweeper-token): RMW atomicity suffices; the shutdown
+    // drain polls the release/acquire-paired count.
     control_waiters_.fetch_add(1, std::memory_order_relaxed);
     {
         UniqueLock g(sweep_mu_);
@@ -403,6 +444,8 @@ SweepController::wait_idle()
                 [&]() MSW_REQUIRES(sweep_mu_) {
                     return shutdown_ ||
                            (!sweep_requested_ &&
+                            // msw-relaxed(sweeper-token): cv predicate;
+                            // the token's edges are its CAS/release pair.
                             !sweep_in_progress_.load(
                                 std::memory_order_relaxed));
                 });
@@ -451,12 +494,16 @@ SweepController::sweeper_loop()
         sweep_requested_ = false;
         // Heartbeat: the request is being served, so the sweeper is
         // alive again — clear the stall latch.
+        // msw-relaxed(sweeper-token): written under sweep_mu_; the
+        // unlocked watchdog read tolerates one period of staleness.
         sweep_request_ns_.store(0, std::memory_order_relaxed);
         watchdog_tripped_.store(false, std::memory_order_relaxed);
         l.unlock();
         sweep_fn_();
         l.lock();
         sweep_in_progress_.store(false, std::memory_order_release);
+        // msw-relaxed(sweeper-token): written under sweep_mu_; waiters
+        // re-read them under the same mutex in their cv predicates.
         pause_flag_.store(false, std::memory_order_relaxed);
         sweeps_done_.fetch_add(1, std::memory_order_relaxed);
         sweep_done_cv_.notify_all();

@@ -150,6 +150,8 @@ class SweepController
     std::uint64_t
     sweeps_done() const
     {
+        // msw-relaxed(sweeper-token): monotonic stats read; callers
+        // needing an ordered count wait under sweep_mu_ instead.
         return sweeps_done_.load(std::memory_order_relaxed);
     }
 

@@ -55,6 +55,8 @@ RssSampler::~RssSampler()
 void
 RssSampler::loop()
 {
+    // msw-relaxed(config-flag): shutdown poll; the join in stop()
+    // orders everything after the final iteration.
     while (!stop_.load(std::memory_order_relaxed)) {
         const std::size_t rss = vm::current_rss_bytes();
         {
@@ -72,6 +74,8 @@ void
 RssSampler::stop()
 {
     if (thread_.joinable()) {
+        // msw-relaxed(config-flag): one-way latch; the join below is
+        // the synchronisation point.
         stop_.store(true, std::memory_order_relaxed);
         thread_.join();
     }

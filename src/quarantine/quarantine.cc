@@ -85,6 +85,8 @@ Quarantine::~Quarantine()
         ThreadBuffer* buf = g_buffer_head;
         while (buf != nullptr) {
             ThreadBuffer* next = buf->reg_next;
+            // msw-relaxed(epoch-handoff): read under g_buffer_lock,
+            // which every orphaning store holds.
             if (buf->owner.load(std::memory_order_relaxed) == this) {
                 buf->owner.store(nullptr, std::memory_order_release);
                 if (buf->reg_prev != nullptr)
@@ -125,6 +127,8 @@ Quarantine::get_buffer()
                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
     MSW_CHECK(mem != MAP_FAILED);
     buf = static_cast<ThreadBuffer*>(mem);
+    // msw-relaxed(epoch-handoff): buffer not yet published; the
+    // registry insert under the lock is what makes it visible.
     buf->owner.store(this, std::memory_order_relaxed);
     buf->capacity = buffer_capacity_;
     buf->mapped_bytes = bytes;
@@ -153,6 +157,8 @@ Quarantine::buffer_destructor(void* arg)
     }
     if (buf->owner.load(std::memory_order_acquire) != nullptr) {
         LockGuard g(g_buffer_lock);
+        // msw-relaxed(epoch-handoff): re-read under g_buffer_lock; the
+        // destructor orphans under it too.
         Quarantine* owner = buf->owner.load(std::memory_order_relaxed);
         if (owner != nullptr) {
             if (buf->reg_prev != nullptr)
@@ -208,6 +214,8 @@ Quarantine::child_after_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
     while (buf != nullptr) {
         ThreadBuffer* next = buf->reg_next;
         if (buf != mine &&
+            // msw-relaxed(epoch-handoff): read under g_buffer_lock,
+            // as for every orphaning store.
             buf->owner.load(std::memory_order_relaxed) == this) {
             flush_buffer_locked(buf);
             if (buf->reg_prev != nullptr)
@@ -229,10 +237,14 @@ Quarantine::child_after_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
 void
 Quarantine::insert(const Entry& entry)
 {
+    // msw-relaxed(stat-cells): statistics counter; totals need no
+    // ordering.
     entries_added_.fetch_add(1, std::memory_order_relaxed);
     if (entry.unmapped) {
+        // msw-relaxed(stat-cells): as above — stats only.
         unmapped_bytes_.fetch_add(entry.usable, std::memory_order_relaxed);
     } else {
+        // msw-relaxed(stat-cells): as above — stats only.
         pending_bytes_.fetch_add(entry.usable, std::memory_order_relaxed);
     }
     ThreadBuffer* buf = get_buffer();
@@ -297,13 +309,18 @@ Quarantine::lock_in(std::vector<Entry>& out)
 
     // Accounting: the locked-in set leaves "pending"/"failed"; entries
     // that fail the sweep re-enter via store_failed().
+    // msw-relaxed(stat-cells): statistics cells; totals need no
+    // ordering.
     failed_bytes_.fetch_sub(failed_mapped, std::memory_order_relaxed);
     std::size_t expected = pending_bytes_.load(std::memory_order_relaxed);
     std::size_t desired;
     do {
         desired = expected > mapped ? expected - mapped : 0;
+        // msw-cas(stat-cells): saturating stats decrement; only RMW
+        // atomicity matters.
     } while (!pending_bytes_.compare_exchange_weak(
         expected, desired, std::memory_order_relaxed));
+    // msw-relaxed(stat-cells): statistics cell; stats only.
     unmapped_bytes_.fetch_sub(unmapped, std::memory_order_relaxed);
 
     // Hand the hook the whole sweep set at once (not per-chunk): release
@@ -351,6 +368,8 @@ Quarantine::store_failed(std::vector<Entry>&& failed)
             }
         }
     }
+    // msw-relaxed(stat-cells): statistics counters; totals need no
+    // ordering.
     failed_bytes_.fetch_add(mapped, std::memory_order_relaxed);
     unmapped_bytes_.fetch_add(unmapped, std::memory_order_relaxed);
 }
@@ -359,8 +378,11 @@ QuarantineStats
 Quarantine::stats() const
 {
     QuarantineStats s;
+    // msw-relaxed(stat-cells): statistics snapshot; cells may tear
+    // relative to each other and that is fine for reporting.
     s.pending_bytes = pending_bytes_.load(std::memory_order_relaxed);
     s.failed_bytes = failed_bytes_.load(std::memory_order_relaxed);
+    // msw-relaxed(stat-cells): as above — reporting snapshot.
     s.unmapped_bytes = unmapped_bytes_.load(std::memory_order_relaxed);
     s.entries_added = entries_added_.load(std::memory_order_relaxed);
     return s;

@@ -112,6 +112,8 @@ class Quarantine
     std::size_t
     pending_bytes() const
     {
+        // msw-relaxed(stat-cells): threshold heuristic read; a stale
+        // value only shifts when the next sweep triggers.
         return pending_bytes_.load(std::memory_order_relaxed);
     }
 
@@ -119,12 +121,14 @@ class Quarantine
     std::size_t
     unmapped_bytes() const
     {
+        // msw-relaxed(stat-cells): statistics read; needs no ordering.
         return unmapped_bytes_.load(std::memory_order_relaxed);
     }
 
     std::size_t
     failed_bytes() const
     {
+        // msw-relaxed(stat-cells): statistics read; needs no ordering.
         return failed_bytes_.load(std::memory_order_relaxed);
     }
 

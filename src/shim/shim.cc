@@ -55,6 +55,8 @@ is_boot_pointer(const void* p)
 void*
 boot_alloc(std::size_t size, std::size_t align = 16)
 {
+    // msw-relaxed(shim-boot): bump cursor over a zero-initialised
+    // static arena; the CAS below is the only contended step.
     std::size_t cur = g_boot_cursor.load(std::memory_order_relaxed);
     for (;;) {
         const std::size_t start = msw::align_up(cur, align);
@@ -66,6 +68,9 @@ boot_alloc(std::size_t size, std::size_t align = 16)
             (void)ignored;
             abort();
         }
+        // msw-cas(shim-boot): claims [start, end) of a static arena
+        // that is never handed between threads; size_t payload, no
+        // ABA exposure, RMW atomicity suffices.
         if (g_boot_cursor.compare_exchange_weak(
                 cur, end, std::memory_order_relaxed)) {
             return g_boot_arena + start;

@@ -208,7 +208,8 @@ void
 install_segv_handler()
 {
     bool expected = false;
-    if (g_segv_handler_installed.compare_exchange_strong(expected, true)) {
+    if (g_segv_handler_installed.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel)) {
         struct sigaction sa;
         std::memset(&sa, 0, sizeof(sa));
         sa.sa_sigaction = &segv_handler;
@@ -269,6 +270,8 @@ MprotectTracker::begin(const std::vector<Range>& ranges)
         const std::uintptr_t lo = align_down(r.base, vm::kPageSize);
         const std::uintptr_t hi = align_up(r.end(), vm::kPageSize);
         for (std::uintptr_t p = lo; p < hi; p += vm::kPageSize) {
+            // msw-relaxed(dirty-pages): the mprotect() below is the
+            // synchronisation point; faults cannot precede it.
             __atomic_store_n(&page_state_[page_index(p)], kTracked,
                              __ATOMIC_RELAXED);
         }
@@ -311,6 +314,8 @@ MprotectTracker::describe_fault(std::uintptr_t addr) const
 {
     if (!heap_->contains(addr))
         return "outside heap";
+    // msw-relaxed(dirty-pages): diagnostic describe path; a stale
+    // state only mislabels the crash report.
     const unsigned char st =
         __atomic_load_n(&page_state_[page_index(addr)], __ATOMIC_RELAXED);
     const bool committed =
@@ -331,6 +336,8 @@ MprotectTracker::note_committed(std::uintptr_t addr, std::size_t len)
     const std::uintptr_t lo = align_down(addr, vm::kPageSize);
     const std::uintptr_t hi = align_up(addr + len, vm::kPageSize);
     for (std::uintptr_t p = lo; p < hi; p += vm::kPageSize) {
+        // msw-relaxed(dirty-pages): cell update; end_collect() reads
+        // it only after mprotect restores access on the range.
         __atomic_store_n(&page_state_[page_index(p)], kDirty,
                          __ATOMIC_RELAXED);
     }
@@ -349,8 +356,11 @@ MprotectTracker::end_collect(std::vector<Range>& out)
         Range run{};
         for (std::uintptr_t p = lo; p < hi; p += vm::kPageSize) {
             const std::size_t idx = page_index(p);
+            // msw-relaxed(dirty-pages): harvest after the mprotect
+            // above; no new faults can be marking these cells.
             const unsigned char st =
                 __atomic_load_n(&page_state_[idx], __ATOMIC_RELAXED);
+            // msw-relaxed(dirty-pages): as above — post-mprotect reset.
             __atomic_store_n(&page_state_[idx],
                              static_cast<unsigned char>(0),
                              __ATOMIC_RELAXED);

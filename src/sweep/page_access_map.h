@@ -55,6 +55,8 @@ class PageAccessMap
     test(std::uintptr_t addr) const
     {
         const std::size_t page = page_index(addr);
+        // msw-relaxed(page-map): advisory bitmap peek; callers
+        // tolerate a concurrently flipping page.
         return (words_[page / 64].load(std::memory_order_relaxed) >>
                 (page % 64)) &
                1u;
@@ -67,6 +69,7 @@ class PageAccessMap
     std::size_t
     committed_bytes() const
     {
+        // msw-relaxed(page-map): statistics read; needs no ordering.
         return committed_pages_.load(std::memory_order_relaxed)
                << vm::kPageShift;
     }
@@ -83,6 +86,8 @@ class PageAccessMap
         Range run{};
         const std::size_t words = ceil_div(num_pages_, 64);
         for (std::size_t w = 0; w < words; ++w) {
+            // msw-relaxed(page-map): snapshot scan; racing commits or
+            // purges may or may not appear, as documented above.
             std::uint64_t bits = words_[w].load(std::memory_order_relaxed);
             if (bits == 0) {
                 if (run.len != 0) {
@@ -138,6 +143,8 @@ class PageAccessMap
             auto* word = &words_[p / 64];
             const std::uint64_t bit = std::uint64_t{1} << (p % 64);
             const std::uint64_t old =
+                // msw-relaxed(page-map): bit flips need only RMW
+                // atomicity; the VM layer orders commit vs. access.
                 set ? word->fetch_or(bit, std::memory_order_relaxed)
                     : word->fetch_and(~bit, std::memory_order_relaxed);
             const bool was_set = (old & bit) != 0;
@@ -146,6 +153,7 @@ class PageAccessMap
             else if (!set && was_set)
                 --delta;
         }
+        // msw-relaxed(page-map): statistics counter; needs no ordering.
         committed_pages_.fetch_add(delta, std::memory_order_relaxed);
     }
 

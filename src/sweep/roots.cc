@@ -23,7 +23,7 @@ thread_local MutatorThread* tls_self = nullptr;
 /** Extra per-thread state the handler needs, kept out of the header. */
 struct ParkControl {
     std::atomic<std::uint64_t>* resume_gen;
-    std::atomic<int>* park_count;
+    std::atomic<int>* parked;
 };
 thread_local ParkControl tls_park{};
 
@@ -67,7 +67,7 @@ RootRegistry::park_handler(int, siginfo_t*, void* ucontext)
     const std::uint64_t gen =
         tls_park.resume_gen->load(std::memory_order_acquire);
     self->parked = true;
-    tls_park.park_count->fetch_add(1, std::memory_order_release);
+    tls_park.parked->fetch_add(1, std::memory_order_release);
     while (tls_park.resume_gen->load(std::memory_order_acquire) == gen)
         sleep_ns(50000);
     self->parked = false;
@@ -77,7 +77,8 @@ void
 RootRegistry::install_handler()
 {
     bool expected = false;
-    if (g_handler_installed.compare_exchange_strong(expected, true)) {
+    if (g_handler_installed.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel)) {
         struct sigaction sa;
         std::memset(&sa, 0, sizeof(sa));
         sa.sa_sigaction = &RootRegistry::park_handler;
@@ -133,7 +134,7 @@ RootRegistry::register_current_thread()
 
     tls_self = t;
     tls_park.resume_gen = &stw_->resume_gen;
-    tls_park.park_count = &stw_->parked;
+    tls_park.parked = &stw_->parked;
 
     LockGuard g(lock_);
     threads_.push_back(t);
@@ -183,6 +184,8 @@ RootRegistry::child_after_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
     // the rest of the prepare-held hierarchy.
     world_stopped_ = false;
     stw_expected_ = 0;
+    // msw-relaxed(stw-park): fork-child reset; the parked threads
+    // this census counted no longer exist in this process.
     stw_->parked.store(0, std::memory_order_relaxed);
     lock_.unlock();
 }
@@ -239,6 +242,8 @@ RootRegistry::stop_world()
     lock_.lock();  // held until resume_world(): registry frozen
     MSW_CHECK(!world_stopped_);
     world_stopped_ = true;
+    // msw-relaxed(stw-park): census reset before any park signal is
+    // sent; the handler's release increments follow it.
     stw_->parked.store(0, std::memory_order_relaxed);
 
     int expected = 0;
@@ -258,7 +263,11 @@ RootRegistry::stop_world()
         waited_us += 100;
         if (waited_us > deadline * 1000)
             panic("stop_world: %d of %d threads failed to park",
-                  expected - stw_->parked.load(), expected);
+                  // msw-relaxed(stw-park): diagnostic read for the
+                  // panic message; the acquire poll did the real work.
+                  expected -
+                      stw_->parked.load(std::memory_order_relaxed),
+                  expected);
     }
 }
 

@@ -41,15 +41,20 @@ ShadowMap::test_range(std::uintptr_t addr, std::size_t len) const
         const unsigned top = static_cast<unsigned>(g_last % 64);
         if (top != 63)
             mask &= (std::uint64_t{1} << (top + 1)) - 1;
+        // msw-relaxed(marker-scan): release-phase read; the scan that
+        // set these bits finished before release began.
         return (words_[w].load(std::memory_order_relaxed) & mask) != 0;
     }
 
     // First partial word.
     const std::uint64_t head_mask = ~std::uint64_t{0} << (g_first % 64);
+    // msw-relaxed(marker-scan): release-phase read; the scan that set
+    // these bits finished before release began.
     if ((words_[w].load(std::memory_order_relaxed) & head_mask) != 0)
         return true;
     // Full middle words.
     for (++w; w < w_last; ++w) {
+        // msw-relaxed(marker-scan): as above — post-scan read.
         if (words_[w].load(std::memory_order_relaxed) != 0)
             return true;
     }
@@ -57,6 +62,7 @@ ShadowMap::test_range(std::uintptr_t addr, std::size_t len) const
     const unsigned top = static_cast<unsigned>(g_last % 64);
     const std::uint64_t tail_mask =
         top == 63 ? ~std::uint64_t{0} : (std::uint64_t{1} << (top + 1)) - 1;
+    // msw-relaxed(marker-scan): as above — post-scan read.
     return (words_[w_last].load(std::memory_order_relaxed) & tail_mask) != 0;
 }
 
@@ -65,6 +71,8 @@ ShadowMap::clear_marks()
 {
     const std::size_t chunk_words = ceil_div(num_chunks_, 64);
     for (std::size_t cw = 0; cw < chunk_words; ++cw) {
+        // msw-relaxed(marker-scan): post-sweep clear; no marker runs
+        // concurrently, the exchange only needs RMW atomicity.
         std::uint64_t bits =
             chunk_dirty_[cw].exchange(0, std::memory_order_relaxed);
         while (bits != 0) {

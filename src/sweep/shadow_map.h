@@ -58,6 +58,8 @@ class ShadowMap
         const std::uint64_t bit = std::uint64_t{1} << (g % 64);
         // Avoid the RMW when the bit is already set (common for hot
         // targets); the load is much cheaper than a contended lock;or.
+        // msw-relaxed(marker-scan): mark bits carry no payload; the
+        // sweep phase change orders set-during-scan vs read-at-release.
         if ((word->load(std::memory_order_relaxed) & bit) == 0) {
             word->fetch_or(bit, std::memory_order_relaxed);
             note_chunk_dirty(g);
@@ -86,6 +88,8 @@ class ShadowMap
     clear(std::uintptr_t addr)
     {
         const std::size_t g = granule_of(addr);
+        // msw-relaxed(marker-scan): mark bits carry no payload; only
+        // RMW atomicity against neighbouring bits matters.
         words_[g / 64].fetch_and(~(std::uint64_t{1} << (g % 64)),
                                  std::memory_order_relaxed);
     }
@@ -95,6 +99,8 @@ class ShadowMap
     test(std::uintptr_t addr) const
     {
         const std::size_t g = granule_of(addr);
+        // msw-relaxed(marker-scan): advisory peek; mark bits carry
+        // no payload.
         return (words_[g / 64].load(std::memory_order_relaxed) >>
                 (g % 64)) &
                1u;
@@ -137,6 +143,8 @@ class ShadowMap
             (g / 64) * sizeof(std::uint64_t) / kChunkBytes;
         auto* cword = &chunk_dirty_[chunk / 64];
         const std::uint64_t cbit = std::uint64_t{1} << (chunk % 64);
+        // msw-relaxed(marker-scan): dirty-chunk hint for the clearing
+        // pass; losing an order costs nothing, bits carry no payload.
         if ((cword->load(std::memory_order_relaxed) & cbit) == 0)
             cword->fetch_or(cbit, std::memory_order_relaxed);
     }

@@ -62,6 +62,8 @@ SweepWorkers::worker_loop(unsigned index)
         }
         const std::uint64_t cpu_before = thread_cpu_ns();
         (*job)(index);
+        // msw-relaxed(stat-cells): CPU-time tally; totals need no
+        // ordering.
         helper_cpu_ns_.fetch_add(thread_cpu_ns() - cpu_before,
                                  std::memory_order_relaxed);
         {
@@ -222,6 +224,7 @@ Marker::scan_chunk(std::uintptr_t lo, std::uintptr_t hi,
         // mode tolerates torn/stale words by design, §4.3); the relaxed
         // atomic load makes that well-defined without changing the
         // generated code — it is still a single plain load on x86/arm64.
+        // msw-relaxed(marker-scan): see above — conservative scan.
         const std::uint64_t v = __atomic_load_n(p, __ATOMIC_RELAXED);
         // One subtraction + compare: "does this word point into the heap
         // reservation?" — the entire per-word cost of the linear sweep.
@@ -260,6 +263,8 @@ Marker::mark_ranges(const std::vector<Range>& ranges, SweepWorkers* workers)
     workers->run([&](unsigned index) {
         MarkStats& stats = per_worker[index];
         for (;;) {
+            // msw-relaxed(work-cursor): chunk ticket; only RMW
+            // atomicity matters, chunks are read-only here.
             const std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= chunks.size())

@@ -65,6 +65,7 @@ class SweepWorkers
     std::uint64_t
     helper_cpu_ns() const
     {
+        // msw-relaxed(stat-cells): statistics read; needs no ordering.
         return helper_cpu_ns_.load(std::memory_order_relaxed);
     }
 

@@ -54,6 +54,8 @@ thread_uniform()
 {
     // Per-thread engine so evaluations never contend; mixed with the
     // thread id so equal seeds still decorrelate across threads.
+    // msw-relaxed(failpoint-arm): seeding is best-effort; a racing
+    // failpoint_seed() only changes which tests are deterministic.
     thread_local Rng rng(g_rng_seed.load(std::memory_order_relaxed) +
                          0x9e3779b97f4a7c15ull *
                              static_cast<std::uint64_t>(to_addr(&rng)));
@@ -69,7 +71,10 @@ recount_armed_locked() MSW_REQUIRES(g_policy_mu)
             ++armed;
         }
     }
-    g_failpoints_armed.store(armed, std::memory_order_release);
+    // msw-relaxed(failpoint-arm): advisory fast-path gate; the policy
+    // data it guards is snapshotted racily by design (see eval_slow),
+    // so release ordering here would pair with nothing.
+    g_failpoints_armed.store(armed, std::memory_order_relaxed);
 }
 
 bool
@@ -213,7 +218,11 @@ failpoint_eval_slow(Failpoint fp)
         return false;
     }
 
+    // msw-relaxed(failpoint-arm): test instrumentation counters;
+    // totals need no ordering.
     st.total_evals.fetch_add(1, std::memory_order_relaxed);
+    // msw-relaxed(failpoint-arm): per-policy ordinal; RMW atomicity
+    // gives every-nth/burst their exactly-once firing.
     const std::uint64_t ordinal =
         st.policy_evals.fetch_add(1, std::memory_order_relaxed);
 
@@ -235,6 +244,7 @@ failpoint_eval_slow(Failpoint fp)
         break;
     }
     if (fire) {
+        // msw-relaxed(failpoint-arm): test instrumentation counter.
         st.total_hits.fetch_add(1, std::memory_order_relaxed);
     }
     return fire;
@@ -248,6 +258,8 @@ failpoint_arm(Failpoint fp, const FailpointPolicy& policy)
     MutexGuard lock(detail::g_policy_mu);
     auto& st = detail::g_state[static_cast<unsigned>(fp)];
     st.policy = policy;
+    // msw-relaxed(failpoint-arm): counter reset under g_policy_mu;
+    // racing evaluators snapshot the policy racily by design.
     st.policy_evals.store(0, std::memory_order_relaxed);
     detail::recount_armed_locked();
 }
@@ -298,6 +310,8 @@ failpoint_configure(const char* spec)
 void
 failpoint_seed(std::uint64_t seed)
 {
+    // msw-relaxed(failpoint-arm): best-effort seed; threads that
+    // already built their Rng keep their old stream.
     detail::g_rng_seed.store(seed, std::memory_order_relaxed);
 }
 
@@ -323,6 +337,7 @@ failpoint_from_name(const char* name, std::size_t len, Failpoint* out)
 std::uint64_t
 failpoint_evaluations(Failpoint fp)
 {
+    // msw-relaxed(failpoint-arm): test instrumentation read.
     return detail::g_state[static_cast<unsigned>(fp)].total_evals.load(
         std::memory_order_relaxed);
 }
@@ -330,6 +345,7 @@ failpoint_evaluations(Failpoint fp)
 std::uint64_t
 failpoint_hits(Failpoint fp)
 {
+    // msw-relaxed(failpoint-arm): test instrumentation read.
     return detail::g_state[static_cast<unsigned>(fp)].total_hits.load(
         std::memory_order_relaxed);
 }
@@ -359,6 +375,7 @@ void
 failpoint_reset_counters()
 {
     for (auto& st : detail::g_state) {
+        // msw-relaxed(failpoint-arm): test-only counter reset.
         st.total_evals.store(0, std::memory_order_relaxed);
         st.total_hits.store(0, std::memory_order_relaxed);
     }

@@ -150,6 +150,8 @@ bool failpoint_eval_slow(Failpoint fp);
 inline bool
 failpoint_should_fail(Failpoint fp)
 {
+    // msw-relaxed(failpoint-arm): advisory fast-path gate; a stale
+    // zero only delays when a freshly armed site starts firing.
     if (__builtin_expect(detail::g_failpoints_armed.load(
                              std::memory_order_relaxed) == 0,
                          1)) {

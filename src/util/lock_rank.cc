@@ -141,6 +141,8 @@ lock_rank_name(LockRank rank)
 void
 lock_rank_set_enabled(bool enabled)
 {
+    // msw-relaxed(config-flag): debug toggle; threads may observe the
+    // flip late and simply check (or skip) a few extra acquisitions.
     detail::g_lock_rank_enabled.store(enabled, std::memory_order_relaxed);
 }
 

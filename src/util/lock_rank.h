@@ -121,6 +121,8 @@ void lock_rank_release_slow(LockRank rank);
 inline bool
 lock_rank_checks_enabled()
 {
+    // msw-relaxed(config-flag): debug toggle read on every lock
+    // acquisition; staleness is harmless, cheapness is the point.
     return detail::g_lock_rank_enabled.load(std::memory_order_relaxed);
 }
 

@@ -71,6 +71,8 @@ log_write(LogLevel level, const char* fmt, ...)
 void
 set_log_level(LogLevel level)
 {
+    // msw-relaxed(config-flag): log verbosity toggle; a late-observed
+    // flip only mis-levels a message or two.
     detail::log_level_ref().store(static_cast<int>(level),
                                   std::memory_order_relaxed);
 }

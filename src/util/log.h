@@ -34,6 +34,8 @@ void set_log_level(LogLevel level);
 inline LogLevel
 log_level()
 {
+    // msw-relaxed(config-flag): verbosity read on the logging fast
+    // path; staleness is harmless.
     return static_cast<LogLevel>(
         detail::log_level_ref().load(std::memory_order_relaxed));
 }
@@ -42,6 +44,8 @@ log_level()
 inline bool
 log_enabled(LogLevel level)
 {
+    // msw-relaxed(config-flag): verbosity read on the logging fast
+    // path; staleness is harmless.
     return static_cast<int>(level) <=
            detail::log_level_ref().load(std::memory_order_relaxed);
 }

@@ -24,6 +24,8 @@ entropy_seed()
     SplitMix64 sm(static_cast<std::uint64_t>(ts.tv_nsec) ^
                   (static_cast<std::uint64_t>(ts.tv_sec) << 20) ^
                   (static_cast<std::uint64_t>(::getpid()) << 40) ^
+                  // msw-relaxed(fork-window): entropy mix-in; RMW
+                  // atomicity decorrelates concurrent seeders.
                   counter.fetch_add(0x9e3779b9u, std::memory_order_relaxed));
     return sm.next();
 }
@@ -40,6 +42,8 @@ thread_local ThreadRng tls_rng;
 Rng&
 thread_rng()
 {
+    // msw-relaxed(fork-window): generation check; the fork child is
+    // single-threaded when it bumps, so no ordering is needed.
     const std::uint64_t gen =
         g_rng_generation.load(std::memory_order_relaxed);
     if (__builtin_expect(tls_rng.generation != gen, 0)) {
@@ -52,12 +56,15 @@ thread_rng()
 void
 rng_note_fork_child()
 {
+    // msw-relaxed(fork-window): the child is single-threaded here;
+    // nothing can race the bump.
     g_rng_generation.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::uint64_t
 rng_generation()
 {
+    // msw-relaxed(fork-window): diagnostic read for tests.
     return g_rng_generation.load(std::memory_order_relaxed);
 }
 

@@ -56,6 +56,8 @@ class MSW_CAPABILITY("mutex") SpinLock
         for (;;) {
             if (!locked_.exchange(true, std::memory_order_acquire))
                 return;
+            // msw-relaxed(spin-lock): test-and-test-and-set inner
+            // spin; the acquiring exchange above re-validates.
             while (locked_.load(std::memory_order_relaxed)) {
                 for (int i = 0; i < spins; ++i)
                     cpu_relax();
@@ -68,6 +70,8 @@ class MSW_CAPABILITY("mutex") SpinLock
     bool
     try_lock() MSW_TRY_ACQUIRE(true)
     {
+        // msw-relaxed(spin-lock): cheap pre-check; the acquiring
+        // exchange re-validates under acquire ordering.
         if (!locked_.load(std::memory_order_relaxed) &&
             !locked_.exchange(true, std::memory_order_acquire)) {
             util::lock_rank_try_acquire(rank_);

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Regression test: the incremental cache keys per-file facts on the
+*include closure*, not just the file's own sha256.
+
+Atomics protocols live in headers (`util/spin_lock.h`,
+`sweep/shadow_map.h` in the real tree): an edit there changes what a
+dependent .cc file's extracted facts mean, so the dependents must
+re-extract (cold) while unrelated files stay warm. Before the
+closure-keyed cache, a header touch invalidated only the header's own
+entry and dependents served stale facts.
+
+Builds a hermetic mini tree (header + one includer + one bystander),
+then asserts via the `--timings` fact-counter line:
+  1. cold run  -> fact misses > 0,
+  2. warm run  -> fact misses == 0,
+  3. header touched -> both header and includer miss (>= 2 files'
+     worth of keyed lookups), bystander still hits,
+  4. warm again -> fact misses == 0.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+ANALYZE = os.path.join(REPO, "tools", "analysis", "msw_analyze.py")
+
+HEADER = """\
+#pragma once
+
+#include <atomic>
+
+namespace mini {
+
+inline std::atomic<bool>& flag_ref()
+{
+    static std::atomic<bool> flag{false};
+    return flag;
+}
+
+inline bool peek_flag()
+{
+    // msw-relaxed(mini-flag): advisory read; staleness is harmless.
+    return flag_ref().load(std::memory_order_relaxed);
+}
+
+}  // namespace mini
+"""
+
+INCLUDER = """\
+#include "util/mini_flag.h"
+
+bool poll()
+{
+    return mini::peek_flag();
+}
+"""
+
+BYSTANDER = """\
+namespace mini {
+
+int bystander()
+{
+    return 42;
+}
+
+}  // namespace mini
+"""
+
+DESIGN = """\
+# Mini tree design notes
+
+## 13. Lock-free protocols
+
+| Protocol | Atomics | Why the weak ordering is sound |
+|----------|---------|--------------------------------|
+| `mini-flag` | `flag` | Advisory flag; staleness is harmless. |
+"""
+
+FACTS_RE = re.compile(
+    r"facts (\d+) hit\(s\), (\d+) miss\(es\)")
+
+
+def run(root, build):
+    proc = subprocess.run(
+        [sys.executable, ANALYZE, "--root", root, "--build", build,
+         "--engine", "textual", "--timings"],
+        capture_output=True, text=True)
+    out = proc.stdout + proc.stderr
+    if proc.returncode != 0:
+        raise AssertionError(
+            f"analyzer exited {proc.returncode} on the mini tree:\n{out}")
+    m = FACTS_RE.search(out)
+    if not m:
+        raise AssertionError(f"no facts hit/miss line in output:\n{out}")
+    return int(m.group(1)), int(m.group(2))
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        build = os.path.join(tmp, "build")
+        os.makedirs(os.path.join(tmp, "src", "util"))
+        os.makedirs(os.path.join(tmp, "src", "core"))
+        os.makedirs(build)
+        paths = {
+            "src/util/mini_flag.h": HEADER,
+            "src/core/poller.cc": INCLUDER,
+            "src/core/bystander.cc": BYSTANDER,
+            "DESIGN.md": DESIGN,
+        }
+        for rel, content in paths.items():
+            with open(os.path.join(tmp, rel), "w",
+                      encoding="utf-8") as f:
+                f.write(content)
+
+        hits, misses = run(tmp, build)
+        assert misses > 0, f"cold run should miss (got {misses})"
+
+        hits, misses = run(tmp, build)
+        assert misses == 0, \
+            f"warm run must be all hits (got {misses} miss(es))"
+        assert hits > 0, "warm run should serve from the cache"
+
+        # Touch the header: a comment-only edit still changes its sha,
+        # hence the include-closure key of every dependent.
+        header = os.path.join(tmp, "src", "util", "mini_flag.h")
+        with open(header, "a", encoding="utf-8") as f:
+            f.write("// touched: closure keys must churn\n")
+
+        hits, misses = run(tmp, build)
+        assert misses >= 4, (
+            "header touch must cold-re-extract the header AND its "
+            f"includer (>= 2 files x 2 fact kinds; got {misses})")
+        assert hits > 0, \
+            "the bystander file must still be served warm"
+
+        hits, misses = run(tmp, build)
+        assert misses == 0, \
+            f"post-touch warm run must be all hits (got {misses})"
+
+    print("cache_invalidation_test: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+// Fixture: a relaxed access with no msw-relaxed(<protocol>) comment
+// must be flagged by MSW-ATOMIC-ORDER.
+#include <atomic>
+
+namespace {
+
+std::atomic<unsigned> g_ticks{0};
+
+}  // namespace
+
+void
+tick()
+{
+    g_ticks.fetch_add(1, std::memory_order_relaxed);
+}

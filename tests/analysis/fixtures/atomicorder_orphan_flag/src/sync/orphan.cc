@@ -1,0 +1,15 @@
+// Fixture: a release store with no acquire-side access of the same
+// atomic anywhere in the program is an orphaned release.
+#include <atomic>
+
+namespace {
+
+std::atomic<int> g_gate{0};
+
+}  // namespace
+
+void
+open_gate()
+{
+    g_gate.store(1, std::memory_order_release);
+}

@@ -1,0 +1,29 @@
+// Fixture: a correctly-annotated relaxed tally plus a paired
+// release/acquire flag must stay clean under MSW-ATOMIC-ORDER.
+#include <atomic>
+
+namespace {
+
+std::atomic<bool> g_ready{false};
+std::atomic<unsigned> g_events{0};
+
+}  // namespace
+
+void
+producer()
+{
+    // msw-relaxed(ready-flag): tally bump before the publishing
+    // release store below; only RMW atomicity is needed.
+    g_events.fetch_add(1, std::memory_order_relaxed);
+    g_ready.store(true, std::memory_order_release);
+}
+
+unsigned
+consumer()
+{
+    if (!g_ready.load(std::memory_order_acquire))
+        return 0;
+    // msw-relaxed(ready-flag): the acquire load above already
+    // synchronised with the producer's release store.
+    return g_events.load(std::memory_order_relaxed);
+}

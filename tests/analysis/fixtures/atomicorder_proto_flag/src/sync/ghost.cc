@@ -1,0 +1,16 @@
+// Fixture: an annotation naming a protocol that is not declared in
+// the DESIGN.md section-13 table must be flagged as doc drift.
+#include <atomic>
+
+namespace {
+
+std::atomic<unsigned> g_spins{0};
+
+}  // namespace
+
+void
+spin_note()
+{
+    // msw-relaxed(ghost-proto): tally; only RMW atomicity matters.
+    g_spins.fetch_add(1, std::memory_order_relaxed);
+}

@@ -1,0 +1,15 @@
+// Fixture: an access that defaults its memory order to seq_cst must
+// be flagged — the order has to be an explicit decision.
+#include <atomic>
+
+namespace {
+
+std::atomic<unsigned long> g_hits{0};
+
+}  // namespace
+
+void
+hit()
+{
+    g_hits.fetch_add(1);
+}

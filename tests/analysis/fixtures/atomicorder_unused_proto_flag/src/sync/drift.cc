@@ -1,0 +1,16 @@
+// Fixture: a section-13 row that no annotation references is doc
+// drift and must fail the run.
+#include <atomic>
+
+namespace {
+
+std::atomic<bool> g_flag{false};
+
+}  // namespace
+
+bool
+peek()
+{
+    // msw-relaxed(live-proto): advisory read; staleness is harmless.
+    return g_flag.load(std::memory_order_relaxed);
+}

@@ -1,0 +1,18 @@
+// Fixture: a CAS whose failure order is stronger than its success
+// order must be flagged by MSW-CAS-LOOP.
+#include <atomic>
+
+namespace {
+
+std::atomic<int> g_state{0};
+
+}  // namespace
+
+bool
+claim(int from, int to)
+{
+    int expected = from;
+    return g_state.compare_exchange_strong(expected, to,
+                                           std::memory_order_acquire,
+                                           std::memory_order_seq_cst);
+}

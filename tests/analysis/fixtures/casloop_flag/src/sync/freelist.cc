@@ -1,0 +1,26 @@
+// Fixture: an unannotated pointer-payload CAS loop is ABA-prone and
+// must be flagged by MSW-CAS-LOOP.
+#include <atomic>
+
+struct Node {
+    Node* next;
+};
+
+namespace {
+
+std::atomic<Node*> g_head{nullptr};
+
+}  // namespace
+
+Node*
+pop()
+{
+    Node* expected = g_head.load(std::memory_order_acquire);
+    while (expected != nullptr) {
+        if (g_head.compare_exchange_weak(expected, expected->next,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire))
+            break;
+    }
+    return expected;
+}

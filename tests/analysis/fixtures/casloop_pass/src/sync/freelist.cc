@@ -1,0 +1,28 @@
+// Fixture: a pointer-payload CAS loop whose ABA exposure is defused
+// and documented with msw-cas(<protocol>) must stay clean.
+#include <atomic>
+
+struct Node {
+    Node* next;
+};
+
+namespace {
+
+std::atomic<Node*> g_head{nullptr};
+
+}  // namespace
+
+Node*
+pop()
+{
+    Node* expected = g_head.load(std::memory_order_acquire);
+    while (expected != nullptr) {
+        // msw-cas(free-list): single-consumer pop; nodes are never
+        // freed while a popper runs, so no ABA exposure.
+        if (g_head.compare_exchange_weak(expected, expected->next,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed))
+            break;
+    }
+    return expected;
+}

@@ -1,0 +1,16 @@
+// Fixture: a release fence with no acquire fence anywhere in the
+// program (and no msw-fence name) must be flagged.
+#include <atomic>
+
+namespace {
+
+int g_payload = 0;
+
+}  // namespace
+
+void
+publish(int v)
+{
+    g_payload = v;
+    std::atomic_thread_fence(std::memory_order_release);
+}

@@ -1,0 +1,29 @@
+// Fixture: a lone acquire fence whose partner is documented via
+// msw-fence(<protocol>) must stay clean under MSW-FENCE-PAIR.
+#include <atomic>
+
+namespace {
+
+std::atomic<int> g_sealed{0};
+
+}  // namespace
+
+void
+seal()
+{
+    // msw-relaxed(seal-handoff): the mprotect barrier the protocol
+    // documents is the real ordering point for this flag.
+    g_sealed.store(1, std::memory_order_relaxed);
+}
+
+int
+check()
+{
+    // msw-relaxed(seal-handoff): advisory read; re-validated after
+    // the fence below.
+    const int s = g_sealed.load(std::memory_order_relaxed);
+    // msw-fence(seal-handoff): pairs with the kernel-side barrier of
+    // the mprotect call that sealed the page, not a fence in src/.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return s;
+}

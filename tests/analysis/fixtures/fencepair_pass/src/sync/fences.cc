@@ -1,0 +1,31 @@
+// Fixture: a release fence paired with an acquire fence elsewhere in
+// the program must stay clean under MSW-FENCE-PAIR.
+#include <atomic>
+
+namespace {
+
+std::atomic<int> g_flag{0};
+int g_payload = 0;
+
+}  // namespace
+
+void
+publish(int v)
+{
+    g_payload = v;
+    std::atomic_thread_fence(std::memory_order_release);
+    // msw-relaxed(fence-handoff): the release fence above orders the
+    // payload write before this flag store.
+    g_flag.store(1, std::memory_order_relaxed);
+}
+
+int
+consume()
+{
+    // msw-relaxed(fence-handoff): the acquire fence below orders the
+    // payload read after this flag load.
+    if (g_flag.load(std::memory_order_relaxed) == 0)
+        return 0;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return g_payload;
+}

@@ -22,6 +22,8 @@ fault_handler(int sig, siginfo_t* info, void* uctx)
 {
     (void)info;
     (void)uctx;
+    // msw-relaxed(fault-count): signal-context tally; the reader
+    // polls after the raise, so only RMW atomicity matters.
     g_fault_count.fetch_add(1, std::memory_order_relaxed);
     write_marker();
     ::signal(sig, SIG_DFL);

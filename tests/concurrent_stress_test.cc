@@ -147,5 +147,71 @@ TEST(ConcurrentStress, ForceSweepStormFromManyThreads)
     EXPECT_GE(msw.sweep_stats().sweeps, 3u);
 }
 
+// DESIGN.md §13 cross-reference: the dynamic half of the
+// `sweeper-token` and `epoch-handoff` protocol rows. Thread churn
+// (register / flush / unregister) hands quarantine shard ownership
+// back and forth while sweeps flip the reclaimer's scan epoch, and a
+// monitor thread leans on the relaxed `sweeps_done_` read the static
+// checker sanctions — TSan (ctest -L tsan) is the judge that those
+// relaxed annotations describe real protocols, not wishes.
+TEST(ConcurrentStress, SweeperTokenEpochHandoffInterleave)
+{
+    core::MineSweeper msw(stress_options());
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> allocs{0};
+
+    // Churners: short register->work->flush->unregister lives, so shard
+    // ownership (epoch-handoff) changes hands mid-sweep instead of once
+    // at thread exit.
+    std::vector<std::thread> churners;
+    for (int t = 0; t < 3; ++t) {
+        churners.emplace_back([&msw, &stop, &allocs, t] {
+            Rng rng(0xc0ffee + static_cast<unsigned>(t));
+            while (!stop.load(std::memory_order_relaxed)) {
+                msw.register_mutator_thread();
+                for (int i = 0; i < 64; ++i) {
+                    const std::size_t size = 16u << (rng.next_u64() % 6);
+                    void* p = msw.alloc(size);
+                    ASSERT_NE(p, nullptr);
+                    std::memset(p, 0xa5, size);
+                    msw.free(p);
+                    allocs.fetch_add(1, std::memory_order_relaxed);
+                }
+                msw.flush();
+                msw.unregister_mutator_thread();
+            }
+        });
+    }
+
+    // Monitor: the sweep epoch (relaxed sweeps_done_ read, protocol
+    // sweeper-token) must be monotonic from any thread, sweep or no
+    // sweep in flight.
+    std::thread monitor([&msw, &stop] {
+        std::uint64_t last = msw.sweep_epoch();
+        while (!stop.load(std::memory_order_relaxed)) {
+            const std::uint64_t now = msw.sweep_epoch();
+            ASSERT_GE(now, last) << "sweep epoch went backwards";
+            last = now;
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+    });
+
+    // Driver: force sweeps so the single-sweeper token and the scan
+    // epoch flip while ownership churns underneath.
+    for (int round = 0; round < 8; ++round) {
+        msw.force_sweep();
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& th : churners)
+        th.join();
+    monitor.join();
+    msw.flush();
+
+    EXPECT_GE(msw.sweep_stats().sweeps, 8u);
+    EXPECT_GT(allocs.load(), 0u);
+}
+
 }  // namespace
 }  // namespace msw

@@ -55,6 +55,22 @@ Rules (see DESIGN.md section 10 for the catalogue):
                        not reach a ranked-lock acquisition except
                        through '// msw-analyze: slow-path(<why>)'
 
+  atomics / lock-free protocols, over the whole-tree atomics model
+  (msw_atomics; protocol catalogue in DESIGN.md section 13):
+  MSW-ATOMIC-ORDER     relaxed accesses need '// msw-relaxed(<proto>):
+                       <reason>' naming a declared protocol; defaulted
+                       (seq_cst-by-default) orders and orphaned halves
+                       of release/acquire pairs are findings; the
+                       section-13 table must agree with the annotations
+                       in both directions
+  MSW-CAS-LOOP         ABA-prone CAS-loop shapes (pointer payloads
+                       without a generation/tag justification, strong
+                       CAS without expected refresh) and failure orders
+                       stronger than success orders
+  MSW-FENCE-PAIR       atomic_thread_fence sites must pair release <->
+                       acquire across the model or name their partner
+                       protocol in an msw-fence justification
+
 Suppression baseline (tools/analysis/baseline.txt): lines of the form
 
   RULE-ID|relative/path|<whitespace-collapsed source line>  # justification
@@ -94,9 +110,10 @@ from msw_common import (  # noqa: E402
 import msw_cache  # noqa: E402
 import msw_graph  # noqa: E402
 import msw_sarif  # noqa: E402
+from msw_atomics import ATOMIC_RULES, AtomicsModel  # noqa: E402
 from msw_rules2 import INTERPROC_RULES  # noqa: E402
 
-TOOL_VERSION = "2.0"
+TOOL_VERSION = "3.0"
 
 _KEYWORDS = msw_graph._KEYWORDS  # re-exported for the legacy rules
 
@@ -512,6 +529,7 @@ RULES = {
 
 ALL_RULES = dict(RULES)
 ALL_RULES.update(INTERPROC_RULES)
+ALL_RULES.update(ATOMIC_RULES)
 
 
 def rule_description(rule_id):
@@ -537,13 +555,17 @@ class TextualEngine:
 
     name = "textual"
 
-    def analyze(self, tree, rules, program=None):
+    def analyze(self, tree, rules, program=None, atomics=None):
         findings = []
         for rule_id in rules:
             if rule_id in INTERPROC_RULES:
                 if program is not None:
                     findings.extend(
                         INTERPROC_RULES[rule_id](tree, program))
+            elif rule_id in ATOMIC_RULES:
+                if atomics is not None:
+                    findings.extend(
+                        ATOMIC_RULES[rule_id](tree, atomics))
             else:
                 findings.extend(RULES[rule_id](tree))
         return findings
@@ -590,9 +612,9 @@ class LibclangEngine(TextualEngine):
 
     _AST_RULES = {"MSW-RAW-SYNC", "MSW-STAT-CELLS", "MSW-UB-PTR-CAST"}
 
-    def analyze(self, tree, rules, program=None):
+    def analyze(self, tree, rules, program=None, atomics=None):
         textual = [r for r in rules if r not in self._AST_RULES]
-        findings = super().analyze(tree, textual, program)
+        findings = super().analyze(tree, textual, program, atomics)
         ast_rules = [r for r in rules if r in self._AST_RULES]
         if ast_rules:
             try:
@@ -730,9 +752,10 @@ class ClangQueryEngine(TextualEngine):
                 "clang-query needs a build dir with compile_commands.json "
                 "(pass --build)")
 
-    def analyze(self, tree, rules, program=None):
+    def analyze(self, tree, rules, program=None, atomics=None):
         findings = super().analyze(
-            tree, [r for r in rules if r != "MSW-RAW-SYNC"], program)
+            tree, [r for r in rules if r != "MSW-RAW-SYNC"], program,
+            atomics)
         if "MSW-RAW-SYNC" not in rules:
             return findings
         units = [sf.path for sf in tree.src
@@ -809,6 +832,7 @@ class Baseline:
         self.entries = {}  # (rule, rel, fp) -> justification
         self.errors = []
         self.matched = set()
+        self.suppressed_findings = []  # (Finding, justification)
         if path is None or not os.path.isfile(path):
             return
         with open(path, encoding="utf-8") as f:
@@ -844,16 +868,35 @@ class Baseline:
         key = (finding.rule, finding.rel, fp)
         if key in self.entries:
             self.matched.add(key)
+            self.suppressed_findings.append(
+                (finding, self.entries[key]))
             return True
         return False
 
-    def stale(self, active_rules=None):
-        """Unmatched entries; with a --rules subset, entries for rules
-        that did not run are unknown rather than stale."""
+    def stale(self, active_rules=None, active_paths=None):
+        """Unmatched entries; with a --rules subset or a positional
+        path scope, entries for rules/paths that did not run are
+        unknown rather than stale."""
         unmatched = set(self.entries) - self.matched
         if active_rules is not None:
             unmatched = {k for k in unmatched if k[0] in active_rules}
+        if active_paths is not None:
+            unmatched = {k for k in unmatched
+                         if _in_paths(k[1], active_paths)}
         return sorted(unmatched)
+
+
+def _in_paths(rel, paths):
+    """True when @p rel falls under one of the positional path scopes
+    (repo-relative prefixes; 'src/' and 'src' both scope to src/)."""
+    if not paths:
+        return True
+    rel = rel.replace(os.sep, "/")
+    for p in paths:
+        p = p.strip("/")
+        if rel == p or rel.startswith(p + "/"):
+            return True
+    return False
 
 
 # --------------------------------------------------------------------------
@@ -874,14 +917,19 @@ def analyzer_source_hash():
 
 
 def analyze_root(root, engine, rules, baseline_path, build=None,
-                 cache=None, timings=None):
-    """Returns (kept_findings, baseline, config_errors). Stale baseline
-    entries are config errors: a suppression that matches nothing must
-    be removed, or the baseline rots into an allow-everything list."""
+                 cache=None, timings=None, paths=None,
+                 want_atomics_model=False):
+    """Returns (kept_findings, baseline, config_errors[, model]). Stale
+    baseline entries are config errors: a suppression that matches
+    nothing must be removed, or the baseline rots into an
+    allow-everything list. @p paths optionally scopes findings (and the
+    staleness check) to repo-relative prefixes."""
     t0 = time.perf_counter()
     tree = Tree(root, cache)
     baseline = Baseline(baseline_path)
     if baseline.errors:
+        if want_atomics_model:
+            return [], baseline, baseline.errors, None
         return [], baseline, baseline.errors
     if timings is not None:
         timings["<tree>"] = time.perf_counter() - t0
@@ -897,22 +945,38 @@ def analyze_root(root, engine, rules, baseline_path, build=None,
         if timings is not None:
             timings["<call-graph>"] = time.perf_counter() - t0
 
+    atomics = None
+    if want_atomics_model or any(r in ATOMIC_RULES for r in rules):
+        t0 = time.perf_counter()
+        atomics = AtomicsModel(tree, cache)
+        if timings is not None:
+            timings["<atomics>"] = time.perf_counter() - t0
+
     findings = []
     for rule_id in rules:
         t0 = time.perf_counter()
-        findings.extend(engine.analyze(tree, [rule_id], program))
+        findings.extend(engine.analyze(tree, [rule_id], program, atomics))
         if timings is not None:
             timings[rule_id] = time.perf_counter() - t0
     findings = sorted({f.key(): f for f in findings}.values(),
                       key=lambda f: (f.rel, f.line, f.rule))
+    if paths:
+        # DESIGN.md drift findings stay in scope whenever src/ does:
+        # the doc tables are checker input for the src rules.
+        findings = [f for f in findings
+                    if _in_paths(f.rel, paths) or
+                    (f.rel == "DESIGN.md" and _in_paths("src", paths))]
     kept = [f for f in findings if not baseline.suppresses(f, tree)]
 
     errors = []
-    for key in baseline.stale(active_rules=set(rules)):
+    for key in baseline.stale(active_rules=set(rules),
+                              active_paths=paths):
         errors.append(
             f"stale suppression {key[0]}|{key[1]}|{key[2]} no longer "
             "matches any finding; remove stale suppression from "
             f"{baseline.path}")
+    if want_atomics_model:
+        return kept, baseline, errors, atomics
     return kept, baseline, errors
 
 
@@ -934,13 +998,14 @@ def run_self_test(fixtures_dir, rules):
                             if ln.strip() and not ln.startswith("#")]
         baseline = os.path.join(root, "baseline.txt")
         baseline = baseline if os.path.isfile(baseline) else None
-        kept, _bl, errors = analyze_root(root, engine, rules, baseline)
+        kept, bl, errors = analyze_root(root, engine, rules, baseline)
         got = sorted({f.rule for f in kept})
         # Every case doubles as a SARIF writer regression test: the
-        # emitted document must pass the structural validator.
+        # emitted document (suppression records included) must pass the
+        # structural validator.
         doc = msw_sarif.to_sarif(
             kept, [(r, rule_description(r)) for r in rules], engine.name,
-            TOOL_VERSION)
+            TOOL_VERSION, suppressed=bl.suppressed_findings)
         sarif_problems = msw_sarif.validate(doc)
         if expect_lines == ["exit:2"]:
             ok = bool(errors)
@@ -970,6 +1035,8 @@ def run_self_test(fixtures_dir, rules):
 def rule_tier(rule_id):
     if rule_id in INTERPROC_RULES:
         return "interprocedural"
+    if rule_id in ATOMIC_RULES:
+        return "atomics"
     if rule_id in LibclangEngine._AST_RULES:
         return "ast-refined"
     return "textual"
@@ -991,8 +1058,9 @@ def main():
     ap.add_argument("--rules", default=None,
                     help="comma-separated rule subset (default: all)")
     ap.add_argument("--rule", action="append", default=[],
-                    metavar="ID", help="run a single rule (repeatable; "
-                    "combines with --rules)")
+                    metavar="ID[,ID...]",
+                    help="run specific rule(s) (repeatable, accepts "
+                    "comma lists; combines with --rules)")
     ap.add_argument("--baseline", default=None,
                     help="suppression baseline (default: "
                          "tools/analysis/baseline.txt under --root)")
@@ -1009,13 +1077,22 @@ def main():
     ap.add_argument("--update-baseline", action="store_true",
                     help="append entries (marked TODO: justify) for "
                          "current findings to the baseline")
+    ap.add_argument("--dump-atomics", metavar="PATH", default=None,
+                    help="write the atomics inventory (declarations, "
+                         "access sites with orders/annotations, fences, "
+                         "section-13 protocols) as JSON; '-' for stdout")
+    ap.add_argument("paths", nargs="*", metavar="PATH",
+                    help="optional repo-relative path scopes (e.g. "
+                         "'src/'): only findings under these prefixes "
+                         "are reported")
     args = ap.parse_args()
 
     rules = list(ALL_RULES)
     selected = []
     if args.rules:
         selected += [r.strip() for r in args.rules.split(",") if r.strip()]
-    selected += args.rule
+    for part in args.rule:
+        selected += [r.strip() for r in part.split(",") if r.strip()]
     if selected:
         unknown = [r for r in selected if r not in ALL_RULES]
         if unknown:
@@ -1083,9 +1160,10 @@ def main():
         root, "tools", "analysis", "baseline.txt")
     timings = {} if args.timings else None
     t_total = time.perf_counter()
-    kept, baseline, errors = analyze_root(
+    kept, baseline, errors, atomics = analyze_root(
         root, engine, rules, baseline_path, build=build, cache=cache,
-        timings=timings)
+        timings=timings, paths=args.paths or None,
+        want_atomics_model=True)
     t_total = time.perf_counter() - t_total
     if cache:
         cache.save()
@@ -1094,13 +1172,23 @@ def main():
     if errors:
         return 2
 
+    if args.dump_atomics:
+        payload = atomics.dump_json()
+        if args.dump_atomics == "-":
+            sys.stdout.write(payload)
+        else:
+            with open(args.dump_atomics, "w", encoding="utf-8") as f:
+                f.write(payload)
+            print(f"msw-analyze: wrote atomics inventory to "
+                  f"{args.dump_atomics}")
+
     for f in kept:
         print(f"{f.rel}:{f.line}: {f.rule}: {f.msg}")
 
     if args.sarif:
         doc = msw_sarif.to_sarif(
             kept, [(r, rule_description(r)) for r in rules], engine.name,
-            TOOL_VERSION)
+            TOOL_VERSION, suppressed=baseline.suppressed_findings)
         problems = msw_sarif.validate(doc)
         if problems:
             for p in problems:
@@ -1108,7 +1196,8 @@ def main():
             return 2
         msw_sarif.write_sarif(args.sarif, doc)
         print(f"msw-analyze: wrote SARIF to {args.sarif} "
-              f"({len(kept)} result(s))")
+              f"({len(kept)} result(s), "
+              f"{len(baseline.suppressed_findings)} suppressed)")
 
     if timings is not None:
         for rule_id, dt in sorted(timings.items(),
@@ -1117,7 +1206,8 @@ def main():
         print(f"msw-analyze timing: {'total':<22s} {t_total * 1e3:8.1f} ms")
         if cache:
             print(f"msw-analyze timing: cache {cache.hits} hit(s), "
-                  f"{cache.misses} miss(es)")
+                  f"{cache.misses} miss(es); facts {cache.fact_hits} "
+                  f"hit(s), {cache.fact_misses} miss(es)")
 
     if args.update_baseline and kept:
         tree = Tree(root)

@@ -1,11 +1,21 @@
 """Per-file content-hash incremental cache for msw-analyze.
 
 The expensive parts of a run are per-file and deterministic: comment
-stripping (msw_common.strip_code) and file-fact extraction
-(msw_graph.extract_file_facts). Both are cached keyed on the file's
-sha256 plus a hash of the analyzer's own sources, so editing any
+stripping (msw_common.strip_code), call-graph fact extraction
+(msw_graph.extract_file_facts), and atomics-model extraction
+(msw_atomics.extract_atomics_facts). All are cached keyed per file
+plus a hash of the analyzer's own sources, so editing any
 tools/analysis/*.py invalidates everything while a warm run on an
 unchanged tree does no stripping or extraction at all.
+
+Keying: stripping is a pure function of the file's own bytes and is
+keyed on its sha256. Fact extraction is keyed on the file's
+*include-closure* hash (Tree.closure_sha: the file plus its transitive
+quoted includes) — a header reached only via #include, like
+spin_lock.h or shadow_map.h, would otherwise be invisible to
+dependents' cache entries and a change to it would serve stale facts
+forever. Facts and atomics carry their own key fields in the entry so
+the two key spaces never collide.
 
 Location: <build>/msw-analyze-cache.json (next to
 compile_commands.json; wiping the build dir wipes the cache). Runs
@@ -17,7 +27,7 @@ must never fail the analysis.
 import json
 import os
 
-CACHE_FORMAT = 1
+CACHE_FORMAT = 2
 
 
 class AnalysisCache:
@@ -28,6 +38,8 @@ class AnalysisCache:
         self.dirty = False
         self.hits = 0
         self.misses = 0
+        self.fact_hits = 0
+        self.fact_misses = 0
         if path is None or not os.path.isfile(path):
             return
         try:
@@ -65,15 +77,34 @@ class AnalysisCache:
         self._fresh(rel, sha)["stripped"] = stripped
         self.dirty = True
 
-    def get_facts(self, rel, sha):
-        ent = self._entry(rel, sha)
-        if ent is not None and "facts" in ent:
-            return ent["facts"]
+    def _get_keyed(self, rel, kind, key):
+        """Fetch a fact payload keyed independently of the stripping
+        sha (facts use the include-closure hash)."""
+        ent = self.files.get(rel)
+        if ent is not None and ent.get(kind + "_key") == key and \
+                kind in ent:
+            self.fact_hits += 1
+            return ent[kind]
+        self.fact_misses += 1
         return None
 
-    def put_facts(self, rel, sha, facts):
-        self._fresh(rel, sha)["facts"] = facts
+    def _put_keyed(self, rel, kind, key, payload):
+        ent = self.files.setdefault(rel, {})
+        ent[kind + "_key"] = key
+        ent[kind] = payload
         self.dirty = True
+
+    def get_facts(self, rel, closure_sha):
+        return self._get_keyed(rel, "facts", closure_sha)
+
+    def put_facts(self, rel, closure_sha, facts):
+        self._put_keyed(rel, "facts", closure_sha, facts)
+
+    def get_atomics(self, rel, closure_sha):
+        return self._get_keyed(rel, "atomics", closure_sha)
+
+    def put_atomics(self, rel, closure_sha, facts):
+        self._put_keyed(rel, "atomics", closure_sha, facts)
 
     def save(self):
         if self.path is None or not self.dirty:

@@ -156,9 +156,19 @@ class Finding:
         return (self.rel, self.line, self.rule, self.msg)
 
 
+_INCLUDE_RE = re.compile(r'(?m)^\s*#\s*include\s*"([^"]+)"')
+
+
 class Tree:
     """All sources the rules look at, rooted at an analysis root that has
-    (at least) a src/ directory and optionally DESIGN.md and tests/."""
+    (at least) a src/ directory and optionally DESIGN.md and tests/.
+
+    Each src file also gets a `closure_sha`: a hash over the file plus
+    its transitive quoted includes (resolved under src/). Fact
+    extraction keys the incremental cache on it, so editing a header
+    that is only ever reached via #include (spin_lock.h, shadow_map.h)
+    cold-reruns every dependent instead of silently serving stale
+    facts keyed on the dependent's own unchanged bytes."""
 
     def __init__(self, root, cache=None):
         self.root = root
@@ -169,6 +179,7 @@ class Tree:
                 if name.endswith((".h", ".cc", ".cpp", ".hpp")):
                     rel = os.path.relpath(os.path.join(dirpath, name), root)
                     self.src.append(SourceFile(root, rel, cache))
+        self._compute_include_closures()
         self.tests = []
         tests_dir = os.path.join(root, "tests")
         for dirpath, _dirs, files in sorted(os.walk(tests_dir)):
@@ -189,6 +200,39 @@ class Tree:
             if f.rel.endswith(rel_suffix):
                 return f
         return None
+
+    def _compute_include_closures(self):
+        by_rel = {sf.rel: sf for sf in self.src}
+        edges = {}
+        for sf in self.src:
+            deps = []
+            for inc in _INCLUDE_RE.findall(sf.raw):
+                cand = "src/" + inc  # quoted includes are src/-relative
+                if cand in by_rel:
+                    deps.append(cand)
+            edges[sf.rel] = deps
+        memo = {}
+
+        def closure(rel, stack):
+            got = memo.get(rel)
+            if got is not None:
+                return got
+            if rel in stack:
+                return {rel}  # include cycle: guards make it benign
+            stack.add(rel)
+            out = {rel}
+            for dep in edges[rel]:
+                out |= closure(dep, stack)
+            stack.discard(rel)
+            memo[rel] = out
+            return out
+
+        for sf in self.src:
+            h = hashlib.sha256()
+            for member in sorted(closure(sf.rel, set())):
+                h.update(member.encode("utf-8"))
+                h.update(by_rel[member].sha.encode("ascii"))
+            sf.closure_sha = h.hexdigest()
 
 
 def _match_delim(code, start, open_c, close_c):

@@ -511,11 +511,14 @@ class Program:
         self.graph_engine = "textual"
         self.facts = {}
         for sf in tree.src:
-            facts = cache.get_facts(sf.rel, sf.sha) if cache else None
+            # Keyed on the include-closure hash, not the file's own
+            # sha: a header-only change must invalidate dependents.
+            key = getattr(sf, "closure_sha", sf.sha)
+            facts = cache.get_facts(sf.rel, key) if cache else None
             if facts is None or facts.get("v") != FACTS_VERSION:
                 facts = extract_file_facts(sf)
                 if cache:
-                    cache.put_facts(sf.rel, sf.sha, facts)
+                    cache.put_facts(sf.rel, key, facts)
             self.facts[sf.rel] = facts
         self._link()
         self._resolve_all()

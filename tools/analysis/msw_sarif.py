@@ -3,8 +3,12 @@
 Emits the minimal document GitHub code scanning ingests: one run, one
 driver with reportingDescriptors for every rule that ran, one result
 per finding with a physical location and a stable partial fingerprint.
-validate() is a structural checker used by the fixture self-test so the
-emitted shape is regression-tested without a jsonschema dependency.
+Baseline-suppressed findings are emitted too, each carrying a SARIF
+suppression record (kind "external", status "accepted") with the
+baseline's justification string, so code scanning shows them as
+dismissed rather than silently absent. validate() is a structural
+checker used by the fixture self-test and the golden-file unit test so
+the emitted shape is regression-tested without a jsonschema dependency.
 """
 
 import hashlib
@@ -22,10 +26,14 @@ def _fingerprint(finding):
     return h.hexdigest()[:32]
 
 
-def to_sarif(findings, rules_meta, engine_name, tool_version="2.0"):
+def to_sarif(findings, rules_meta, engine_name, tool_version="2.0",
+             suppressed=None):
     """Build the SARIF document. `rules_meta` is an ordered list of
     (rule_id, description) for every rule that ran (rules without
-    findings still get a descriptor so code scanning can show them)."""
+    findings still get a descriptor so code scanning can show them).
+    `suppressed` is an optional list of (finding, justification) pairs
+    from the baseline; they are emitted as results with suppression
+    records."""
     descriptors = []
     index = {}
     for rule_id, desc in rules_meta:
@@ -38,7 +46,8 @@ def to_sarif(findings, rules_meta, engine_name, tool_version="2.0"):
             "defaultConfiguration": {"level": "error"},
         })
     results = []
-    for f in findings:
+
+    def emit(f, justification=None):
         if f.rule not in index:  # a rule outside the requested subset
             index[f.rule] = len(descriptors)
             descriptors.append({
@@ -48,7 +57,7 @@ def to_sarif(findings, rules_meta, engine_name, tool_version="2.0"):
                 "shortDescription": {"text": f.rule},
                 "defaultConfiguration": {"level": "error"},
             })
-        results.append({
+        res = {
             "ruleId": f.rule,
             "ruleIndex": index[f.rule],
             "level": "error",
@@ -65,7 +74,19 @@ def to_sarif(findings, rules_meta, engine_name, tool_version="2.0"):
             "partialFingerprints": {
                 "mswAnalyze/v1": _fingerprint(f),
             },
-        })
+        }
+        if justification is not None:
+            res["suppressions"] = [{
+                "kind": "external",
+                "status": "accepted",
+                "justification": justification,
+            }]
+        results.append(res)
+
+    for f in findings:
+        emit(f)
+    for f, justification in (suppressed or []):
+        emit(f, justification)
     return {
         "$schema": SARIF_SCHEMA,
         "version": SARIF_VERSION,
@@ -142,6 +163,25 @@ def validate(doc):
                 need(isinstance(region.get("startLine"), int) and
                      region["startLine"] >= 1,
                      f"{where} region.startLine must be an int >= 1")
+            sups = res.get("suppressions")
+            if sups is not None:
+                if need(isinstance(sups, list) and sups,
+                        f"{where}.suppressions must be a non-empty "
+                        "array when present"):
+                    for si, sup in enumerate(sups):
+                        need(sup.get("kind") in ("inSource", "external"),
+                             f"{where}.suppressions[{si}].kind must be "
+                             "'inSource' or 'external'")
+                        need(sup.get("status") in ("accepted",
+                                                   "underReview",
+                                                   "rejected", None),
+                             f"{where}.suppressions[{si}].status "
+                             "invalid")
+                        just = sup.get("justification")
+                        need(just is None or
+                             (isinstance(just, str) and just),
+                             f"{where}.suppressions[{si}].justification"
+                             " must be a non-empty string when present")
     return problems
 
 

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Analysis-timing budget gate: a cold run (cache removed) must finish
+# within MSW_ANALYZE_COLD_BUDGET seconds (default 120) and a warm run
+# (cache hot, tree unchanged) within MSW_ANALYZE_WARM_BUDGET seconds
+# (default 5). On a breach the per-rule --timings breakdown of the
+# offending run is printed so the regression is attributable. The
+# budget guards the incremental cache: a warm-run regression means
+# cache keying broke (e.g. an include-closure key churning), not that
+# the rules got slower.
+#
+# Usage: tools/analysis/timing_budget.sh [--root DIR] [--build DIR]
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/../.." && pwd)"
+build="$root/build"
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --root) root="$2"; shift 2 ;;
+      --build) build="$2"; shift 2 ;;
+      *) echo "timing_budget.sh: unknown arg $1" >&2; exit 2 ;;
+    esac
+done
+
+cold_budget="${MSW_ANALYZE_COLD_BUDGET:-120}"
+warm_budget="${MSW_ANALYZE_WARM_BUDGET:-5}"
+cache="$build/msw-analyze-cache.json"
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
+
+run_timed() {  # run_timed <label> <budget-seconds> -> fails on breach
+    local label="$1" budget="$2" start end elapsed
+    start=$(date +%s%N)
+    if ! python3 "$root/tools/analysis/msw_analyze.py" \
+            --root "$root" --build "$build" --timings >"$log" 2>&1; then
+        echo "timing_budget: $label run FAILED (findings/config error):" >&2
+        cat "$log" >&2
+        return 1
+    fi
+    end=$(date +%s%N)
+    elapsed=$(( (end - start) / 1000000 ))  # ms
+    echo "timing_budget: $label run took ${elapsed}ms" \
+         "(budget ${budget}s)"
+    if [ "$elapsed" -gt $(( budget * 1000 )) ]; then
+        echo "timing_budget: $label run over budget; --timings:" >&2
+        cat "$log" >&2
+        return 1
+    fi
+}
+
+rm -f "$cache"
+run_timed cold "$cold_budget"
+run_timed warm "$warm_budget"
+echo "timing_budget: PASS (cold<=${cold_budget}s warm<=${warm_budget}s)"

@@ -124,8 +124,21 @@ if [ "$quick" = "0" ]; then
             failures+=("msw-analyze-selftest")
         fi
         if ! run python3 "$repo/tools/analysis/msw_analyze.py" \
-                --root "$repo" --build "$repo/build-check" --timings; then
+                --root "$repo" --build "$repo/build-check" --timings \
+                --dump-atomics "$repo/build-check/msw-atomics.json"; then
             failures+=("msw-analyze")
+        fi
+        # Per-file memory-order histogram from the inventory the run
+        # above just dumped (annotated/relaxed must read n/n).
+        if [ -f "$repo/build-check/msw-atomics.json" ]; then
+            run python3 "$repo/tools/analysis/atomics_report.py" \
+                "$repo/build-check/msw-atomics.json" || true
+        fi
+        # Cold/warm wall-clock budget (cold <=120s, warm <=5s): a warm
+        # breach means the incremental cache keying regressed.
+        if ! run bash "$repo/tools/analysis/timing_budget.sh" \
+                --root "$repo" --build "$repo/build-check"; then
+            failures+=("msw-analyze-timing")
         fi
     else
         echo "python3 not found; skipping the msw-analyze stage."
