@@ -31,6 +31,37 @@ using metrics::RunRecord;
 using workload::Profile;
 using workload::SystemKind;
 
+/**
+ * Schema version stamped into every BENCH_*.json, bumped whenever a key
+ * is renamed or removed (additions do not bump it). Plot/CI tooling
+ * checks this instead of sniffing key presence.
+ */
+inline constexpr int kBenchSchemaVersion = 1;
+
+/** Build provenance: `git describe` captured at configure time. */
+inline const char*
+git_describe()
+{
+#ifdef MSW_GIT_DESCRIBE
+    return MSW_GIT_DESCRIBE;
+#else
+    return "unknown";
+#endif
+}
+
+/**
+ * Stamp the provenance keys into an open JSON object. Call immediately
+ * after writing the opening "{\n".
+ */
+inline void
+json_stamp(std::FILE* f)
+{
+    std::fprintf(f,
+                 "  \"schema_version\": %d,\n"
+                 "  \"git_describe\": \"%s\",\n",
+                 kBenchSchemaVersion, git_describe());
+}
+
 /** All measurements for one benchmark row. */
 struct Row {
     std::string bench;

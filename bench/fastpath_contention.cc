@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "core/minesweeper.h"
 #include "core/stat_cells.h"
 #include "core/sweep_controller.h"
@@ -138,9 +139,12 @@ main()
          "msw-allocfree"});
 
     FILE* json = std::fopen("BENCH_fastpath.json", "w");
-    if (json != nullptr)
-        std::fprintf(json, "{\n  \"read_mops\": %.2f,\n  \"rows\": [\n",
+    if (json != nullptr) {
+        std::fprintf(json, "{\n");
+        msw::bench::json_stamp(json);
+        std::fprintf(json, "  \"read_mops\": %.2f,\n  \"rows\": [\n",
                      bench_read_cost());
+    }
 
     bool first = true;
     for (unsigned n : thread_counts) {

@@ -71,8 +71,10 @@ main()
 
     FILE* json = std::fopen("BENCH_policy_overhead.json", "w");
     if (json != nullptr) {
+        std::fprintf(json, "{\n");
+        json_stamp(json);
         std::fprintf(json,
-                     "{\n  \"geomean_time_ratio\": %.4f,\n"
+                     "  \"geomean_time_ratio\": %.4f,\n"
                      "  \"geomean_peak_rss_ratio\": %.4f,\n"
                      "  \"rows\": [\n",
                      geo_time.at("hardened"), geo_mem.at("hardened"));

@@ -1,5 +1,7 @@
 #include "baselines/markus.h"
 
+#include "core/sweep_controller.h"
+#include "metrics/telemetry.h"
 #include "sweep/sweeper.h"
 #include "util/bits.h"
 #include "util/log.h"
@@ -184,9 +186,18 @@ MarkUs::run_mark()
     }
 
     const std::uint64_t cpu0 = sweep::thread_cpu_ns();
+    const std::uint64_t mark_t0 = core::monotonic_ns();
+    metrics::telemetry().trace_event(metrics::TraceEvent::kSweepBegin,
+                                     locked_in.size());
 
-    // Phase 1: concurrent transitive mark from the roots.
+    // Phase 1a (dirty-scan): arm the write tracker.
     tracker_->begin(access_map_.committed_runs());
+    const std::uint64_t dirty_ns = core::monotonic_ns() - mark_t0;
+    stats_.add(Stat::kPhaseDirtyScanNs, dirty_ns);
+    metrics::telemetry().trace_event(metrics::TraceEvent::kPhaseDirtyScan,
+                                     dirty_ns);
+
+    // Phase 1b: concurrent transitive mark from the roots.
     std::vector<Range> worklist;
     std::vector<Range> root_scan;
     for (const Range& r : roots_.roots())
@@ -200,6 +211,7 @@ MarkUs::run_mark()
     // Phase 2: stop-the-world recheck — rescan dirtied pages, stacks and
     // registers, continuing the transitive closure to a fixpoint
     // (Boehm's mostly-parallel collection).
+    const std::uint64_t stw_t0 = core::monotonic_ns();
     roots_.stop_world();
     std::vector<Range> rescan;
     tracker_->end_collect(rescan);
@@ -215,13 +227,29 @@ MarkUs::run_mark()
         scan_for_objects(r.base, r.len, &worklist);
     drain_worklist(&worklist);
     roots_.resume_world();
+    const std::uint64_t stw_ns = core::monotonic_ns() - stw_t0;
+    stats_.add(Stat::kStwNs, stw_ns);
+    metrics::telemetry().trace_event(metrics::TraceEvent::kStwPause,
+                                     stw_ns);
+    // Mark phase: both transitive passes (the STW recheck included).
+    const std::uint64_t mark_ns = core::monotonic_ns() - mark_t0 - dirty_ns;
+    stats_.add(Stat::kPhaseMarkNs, mark_ns);
+    metrics::telemetry().trace_event(metrics::TraceEvent::kPhaseMark,
+                                     mark_ns);
 
     // Deferred unmaps before release: every affected entry is still
     // quarantined here and its pages have been scanned.
+    const std::uint64_t drain_t0 = core::monotonic_ns();
     reclaimer_.drain_pending();
+    const std::uint64_t drain_ns = core::monotonic_ns() - drain_t0;
+    stats_.add(Stat::kPhaseDrainNs, drain_ns);
+    metrics::telemetry().trace_event(metrics::TraceEvent::kPhaseDrain,
+                                     drain_ns);
 
     // Phase 3: release unmarked quarantined allocations.
+    const std::uint64_t release_t0 = core::monotonic_ns();
     std::vector<Entry> failed;
+    std::uint64_t released_n = 0;
     for (const Entry& e : locked_in) {
         if (mark_bits_.test(e.real_base())) {
             failed.push_back(e);
@@ -234,7 +262,12 @@ MarkUs::run_mark()
             failed.push_back(e);
             continue;
         }
+        ++released_n;
     }
+    const std::uint64_t release_ns = core::monotonic_ns() - release_t0;
+    stats_.add(Stat::kPhaseReleaseNs, release_ns);
+    metrics::telemetry().trace_event(metrics::TraceEvent::kPhaseRelease,
+                                     release_ns, released_n);
     mark_bits_.clear_marks();
     quarantine_.store_failed(std::move(failed));
 
@@ -245,6 +278,9 @@ MarkUs::run_mark()
     jade_.purge_all();
 
     stats_.add(Stat::kSweepCpuNs, sweep::thread_cpu_ns() - cpu0);
+    metrics::telemetry().trace_event(metrics::TraceEvent::kSweepEnd,
+                                     core::monotonic_ns() - mark_t0,
+                                     released_n);
 }
 
 void

@@ -78,6 +78,13 @@ class MarkUs final : public core::QuarantineRuntime
         return stats_.read(core::Stat::kSweepCpuNs);
     }
 
+    /** Telemetry accessor for one stat cell (phase/pause breakdowns). */
+    std::uint64_t
+    stat_ns(core::Stat stat) const
+    {
+        return stats_.read(stat);
+    }
+
   private:
     void maybe_trigger_mark();
     /** Substrate-exhaustion path: forced marking passes, then nullptr. */

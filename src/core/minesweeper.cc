@@ -6,6 +6,7 @@
 
 #include "alloc/policy.h"
 #include "core/lifecycle.h"
+#include "metrics/telemetry.h"
 #include "util/bits.h"
 #include "util/log.h"
 
@@ -73,6 +74,10 @@ MineSweeper::~MineSweeper()
 void*
 MineSweeper::alloc(std::size_t size)
 {
+    // Telemetry op sampling (MSW_TELEMETRY=ops): off means one relaxed
+    // load and a predicted-not-taken branch; on costs two clock reads.
+    const bool timed = __builtin_expect(metrics::telemetry().ops_on(), 0);
+    const std::uint64_t t0 = timed ? monotonic_ns() : 0;
     stats_.add(Stat::kAllocCalls);
     controller_.maybe_pause();
     // +1 byte so one-past-the-end pointers stay inside the allocation
@@ -86,12 +91,16 @@ MineSweeper::alloc(std::size_t size)
     const auto arm = config_.policy->arm_canary;
     if (__builtin_expect(arm != nullptr, 0) && p != nullptr)
         arm(p, jade_.usable_size(p));
+    if (__builtin_expect(timed, 0))
+        metrics::telemetry().alloc_ns.record(monotonic_ns() - t0);
     return p;
 }
 
 void*
 MineSweeper::alloc_aligned(std::size_t alignment, std::size_t size)
 {
+    const bool timed = __builtin_expect(metrics::telemetry().ops_on(), 0);
+    const std::uint64_t t0 = timed ? monotonic_ns() : 0;
     stats_.add(Stat::kAllocCalls);
     controller_.maybe_pause();
     void* p = jade_.alloc_aligned(alignment, size + 1);
@@ -100,6 +109,8 @@ MineSweeper::alloc_aligned(std::size_t alignment, std::size_t size)
     const auto arm = config_.policy->arm_canary;
     if (__builtin_expect(arm != nullptr, 0) && p != nullptr)
         arm(p, jade_.usable_size(p));
+    if (__builtin_expect(timed, 0))
+        metrics::telemetry().alloc_ns.record(monotonic_ns() - t0);
     return p;
 }
 
@@ -130,6 +141,8 @@ MineSweeper::alloc_slow(std::size_t request, std::size_t alignment)
             return p;
     }
     stats_.add(Stat::kOomReturns);
+    metrics::telemetry().trace_event(metrics::TraceEvent::kOomReturn,
+                                     request);
     MSW_LOG_WARN("alloc of %zu bytes failed after %u attempts with "
                  "emergency sweeps; returning nullptr",
                  request, opts_.alloc_retry_attempts);
@@ -140,6 +153,7 @@ void
 MineSweeper::emergency_reclaim()
 {
     stats_.add(Stat::kEmergencySweeps);
+    metrics::telemetry().trace_event(metrics::TraceEvent::kEmergencySweep);
     if (!SweepController::in_sweep_context()) {
         quarantine_.flush_thread_buffer();
         if (!controller_.run_sweep_now()) {
@@ -181,6 +195,21 @@ MineSweeper::free(void* ptr)
 {
     if (ptr == nullptr)
         return;
+    // Same sampling shape as alloc(): gate cost when off is one relaxed
+    // load; the early returns inside free_impl stay untouched.
+    const bool timed = __builtin_expect(metrics::telemetry().ops_on(), 0);
+    if (!timed) {
+        free_impl(ptr);
+        return;
+    }
+    const std::uint64_t t0 = monotonic_ns();
+    free_impl(ptr);
+    metrics::telemetry().free_ns.record(monotonic_ns() - t0);
+}
+
+void
+MineSweeper::free_impl(void* ptr)
+{
     stats_.add(Stat::kFreeCalls);
     const FreeTarget t = classify(to_addr(ptr));
 
@@ -352,9 +381,17 @@ MineSweeper::run_sweep()
     const std::uint64_t cpu0 = sweep::thread_cpu_ns();
     const std::uint64_t helpers0 =
         workers_ != nullptr ? workers_->helper_cpu_ns() : 0;
+    // Phase timers (telemetry layer): the sweep is the slow path by
+    // construction, so the handful of clock reads below are recorded
+    // unconditionally; only trace-ring pushes are gated.
+    const std::uint64_t sweep_t0 = monotonic_ns();
+    metrics::telemetry().trace_event(metrics::TraceEvent::kSweepBegin,
+                                     locked_in.size());
 
     if (opts_.sweep_enabled) {
-        // Phase 1: concurrent linear mark of all scannable memory.
+        // Phase 1a (dirty-scan): arm the write tracker over the ranges
+        // whose mutations the STW recheck must observe.
+        const std::uint64_t dirty_t0 = monotonic_ns();
         const bool track = tracker_ != nullptr;
         if (track) {
             std::vector<Range> tracked = access_map_.committed_runs();
@@ -364,9 +401,18 @@ MineSweeper::run_sweep()
             }
             tracker_->begin(tracked);
         }
+        const std::uint64_t dirty_ns = monotonic_ns() - dirty_t0;
+        stats_.add(Stat::kPhaseDirtyScanNs, dirty_ns);
+        metrics::telemetry().trace_event(
+            metrics::TraceEvent::kPhaseDirtyScan, dirty_ns);
+
+        // Phase 1b (mark): concurrent linear mark of all scannable
+        // memory, plus the STW recheck when tracking.
+        const std::uint64_t mark_t0 = monotonic_ns();
         const MarkStats ms = marker_.mark_ranges(scan_ranges(),
                                                  workers_.get());
         stats_.add(Stat::kBytesScanned, ms.bytes_scanned);
+        std::uint64_t scanned = ms.bytes_scanned;
 
         if (track) {
             // Phase 2 (mostly-concurrent only): brief stop-the-world
@@ -387,14 +433,29 @@ MineSweeper::run_sweep()
                                                       workers_.get());
             roots_.resume_world();
             stats_.add(Stat::kBytesScanned, ms2.bytes_scanned);
-            stats_.add(Stat::kStwNs, monotonic_ns() - t0);
+            scanned += ms2.bytes_scanned;
+            const std::uint64_t stw_ns = monotonic_ns() - t0;
+            stats_.add(Stat::kStwNs, stw_ns);
+            metrics::telemetry().trace_event(
+                metrics::TraceEvent::kStwPause, stw_ns);
         }
+        // The mark phase spans both passes (the STW window included:
+        // its recheck is marking work; kStwNs isolates the stop itself).
+        const std::uint64_t mark_ns = monotonic_ns() - mark_t0;
+        stats_.add(Stat::kPhaseMarkNs, mark_ns);
+        metrics::telemetry().trace_event(metrics::TraceEvent::kPhaseMark,
+                                         mark_ns, scanned);
     }
 
     // Perform deferred page-unmaps now that marking is done: every
     // affected entry is still quarantined at this point, so this is safe
     // and the pages have already been scanned.
+    const std::uint64_t drain_t0 = monotonic_ns();
     reclaimer_.drain_pending();
+    const std::uint64_t drain_ns = monotonic_ns() - drain_t0;
+    stats_.add(Stat::kPhaseDrainNs, drain_ns);
+    metrics::telemetry().trace_event(metrics::TraceEvent::kPhaseDrain,
+                                     drain_ns);
 
     // Phase 3: walk the locked-in quarantine; release unmarked entries.
     std::vector<Entry> failed;
@@ -478,18 +539,24 @@ MineSweeper::run_sweep()
             }
         }
     };
+    const std::uint64_t release_t0 = monotonic_ns();
     if (workers_ != nullptr)
         workers_->run(release_job);
     else
         release_job(0);
+    const std::uint64_t release_ns = monotonic_ns() - release_t0;
+    stats_.add(Stat::kPhaseReleaseNs, release_ns);
 
     for (auto& fv : failed_per_worker)
         failed.insert(failed.end(), fv.begin(), fv.end());
 
     // msw-relaxed(stat-cells): tallies read after the worker join,
     // which publishes every worker's writes.
-    stats_.add(Stat::kEntriesReleased,
-               released_count.load(std::memory_order_relaxed));
+    const std::uint64_t released_n =
+        released_count.load(std::memory_order_relaxed);
+    metrics::telemetry().trace_event(metrics::TraceEvent::kPhaseRelease,
+                                     release_ns, released_n);
+    stats_.add(Stat::kEntriesReleased, released_n);
     // msw-relaxed(stat-cells): as above — post-join read.
     stats_.add(Stat::kBytesReleased,
                released_bytes.load(std::memory_order_relaxed));
@@ -515,6 +582,9 @@ MineSweeper::run_sweep()
         workers_ != nullptr ? workers_->helper_cpu_ns() : 0;
     stats_.add(Stat::kSweepCpuNs, (sweep::thread_cpu_ns() - cpu0) +
                                       (helpers1 - helpers0));
+    metrics::telemetry().trace_event(metrics::TraceEvent::kSweepEnd,
+                                     monotonic_ns() - sweep_t0,
+                                     released_n);
 }
 
 // ----------------------------------------------------- process lifecycle
@@ -567,6 +637,7 @@ MineSweeper::child_after_fork() MSW_NO_THREAD_SAFETY_ANALYSIS
     // Event counters described the parent's history; gauges (live /
     // committed bytes) describe the inherited heap and are kept.
     stats_.reset_events();
+    metrics::telemetry().trace_event(metrics::TraceEvent::kForkChild);
 
     // Phase 2 — allocating fixups. These free and flush through the
     // interposed allocator, re-acquiring quarantine/bin/extent locks,
@@ -606,6 +677,11 @@ MineSweeper::sweep_stats() const
     s.stw_ns = v[static_cast<unsigned>(Stat::kStwNs)];
     s.pause_ns = v[static_cast<unsigned>(Stat::kPauseNs)];
     s.unmapped_entries = v[static_cast<unsigned>(Stat::kUnmappedEntries)];
+    s.phase_dirty_scan_ns =
+        v[static_cast<unsigned>(Stat::kPhaseDirtyScanNs)];
+    s.phase_mark_ns = v[static_cast<unsigned>(Stat::kPhaseMarkNs)];
+    s.phase_drain_ns = v[static_cast<unsigned>(Stat::kPhaseDrainNs)];
+    s.phase_release_ns = v[static_cast<unsigned>(Stat::kPhaseReleaseNs)];
     s.emergency_sweeps = v[static_cast<unsigned>(Stat::kEmergencySweeps)];
     s.commit_retries = v[static_cast<unsigned>(Stat::kCommitRetries)];
     s.watchdog_fallbacks =

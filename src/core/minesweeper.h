@@ -56,6 +56,12 @@ struct SweepStats {
     std::uint64_t pause_ns = 0;          ///< Allocation-pausing wait time.
     std::uint64_t unmapped_entries = 0;  ///< Large allocations unmapped.
 
+    // Sweep-phase breakdown (telemetry layer; subsets of sweep_cpu_ns).
+    std::uint64_t phase_dirty_scan_ns = 0;  ///< Root/lock-in setup.
+    std::uint64_t phase_mark_ns = 0;        ///< Linear heap + root marking.
+    std::uint64_t phase_drain_ns = 0;       ///< Deferred-free drain.
+    std::uint64_t phase_release_ns = 0;     ///< Entry test + release batches.
+
     // Resilience counters (memory-pressure degradation + watchdog).
     std::uint64_t emergency_sweeps = 0;   ///< Reclaims run from alloc().
     std::uint64_t commit_retries = 0;     ///< alloc() retries after failure.
@@ -145,6 +151,8 @@ class MineSweeper final : public QuarantineRuntime
     std::uint64_t sweep_epoch() const { return controller_.sweeps_done(); }
 
   private:
+    /** free() body; the public entry only adds optional op timing. */
+    void free_impl(void* ptr);
     void quarantine_free(void* ptr, std::uintptr_t base, std::size_t usable,
                          bool is_large);
     void maybe_trigger_sweep();

@@ -47,6 +47,12 @@ enum class Stat : unsigned {
     kPauseNs,
     kUnmappedEntries,
 
+    // Sweep-phase breakdown (telemetry layer; MineSweeper, MarkUs).
+    kPhaseDirtyScanNs,
+    kPhaseMarkNs,
+    kPhaseDrainNs,
+    kPhaseReleaseNs,
+
     // Resilience (MineSweeper).
     kEmergencySweeps,
     kCommitRetries,

@@ -3,6 +3,7 @@
 #include <ctime>
 #include <new>
 
+#include "metrics/telemetry.h"
 #include "util/failpoint.h"
 #include "util/log.h"
 
@@ -309,8 +310,11 @@ SweepController::check_watchdog()
                      static_cast<unsigned long long>(
                          config_.watchdog_timeout_ms));
     }
-    if (run_sweep_now())
+    if (run_sweep_now()) {
         stats_->add(Stat::kWatchdogFallbacks);
+        metrics::telemetry().trace_event(
+            metrics::TraceEvent::kWatchdogFallback);
+    }
 }
 
 void
@@ -345,7 +349,16 @@ SweepController::maybe_pause()
                                 });
         control_waiters_.fetch_sub(1, std::memory_order_release);
     }
-    stats_->add(Stat::kPauseNs, monotonic_ns() - t0);
+    const std::uint64_t paused_ns = monotonic_ns() - t0;
+    stats_->add(Stat::kPauseNs, paused_ns);
+    // Only reached when the thread actually paused, so this is off the
+    // allocation fast path; the telemetry gate keeps it one relaxed
+    // load when disabled.
+    metrics::Telemetry& tele = metrics::telemetry();
+    if (tele.on()) {
+        tele.pause_ns.record(paused_ns);
+        tele.trace.push(metrics::TraceEvent::kAllocPause, paused_ns);
+    }
     // A stalled sweeper never clears the pause flag — make sure progress
     // is still possible before returning to the allocation path.
     check_watchdog();
@@ -414,8 +427,11 @@ SweepController::force_sweep()
             // Timed out: the sweeper may be stalled or dead. Sweep on
             // this thread instead of hanging the caller.
             g.unlock();
-            if (run_sweep_now())
+            if (run_sweep_now()) {
                 stats_->add(Stat::kWatchdogFallbacks);
+                metrics::telemetry().trace_event(
+                    metrics::TraceEvent::kWatchdogFallback);
+            }
             g.lock();
             // msw-relaxed(sweeper-token): re-read under sweep_mu_,
             // which the incrementing side holds.

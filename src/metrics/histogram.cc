@@ -1,0 +1,194 @@
+#include "metrics/histogram.h"
+
+namespace msw::metrics {
+
+unsigned
+Histogram::bucket_index(std::uint64_t value)
+{
+    // Bit width of (value | 1): 2^(b-1) <= value < 2^b, b >= 1.
+    const unsigned b =
+        64u - static_cast<unsigned>(__builtin_clzll(value | 1));
+    if (b <= kSubBits)
+        return static_cast<unsigned>(value);  // exact below 2^kSubBits
+    // (value >> shift) lies in [kHalf*2/2, kSubCount) = [kHalf, 2*kHalf):
+    // kHalf linear sub-buckets per power-of-two group. Groups are laid
+    // out at (shift+1)*kHalf so group boundaries never collide with the
+    // exact region; the layout leaves a small unused gap, which costs a
+    // few cells and buys branch-free decode.
+    const unsigned shift = b - kSubBits;
+    return (shift + 1) * kHalf + static_cast<unsigned>(value >> shift);
+}
+
+std::uint64_t
+Histogram::bucket_lower(unsigned index)
+{
+    if (index < kSubCount)
+        return index;
+    const unsigned shift = index / kHalf - 2;
+    const unsigned sub = index - (shift + 1) * kHalf;
+    return static_cast<std::uint64_t>(sub) << shift;
+}
+
+std::uint64_t
+Histogram::bucket_upper(unsigned index)
+{
+    if (index < kSubCount)
+        return index;
+    const unsigned shift = index / kHalf - 2;
+    return bucket_lower(index) + ((std::uint64_t{1} << shift) - 1);
+}
+
+void
+Histogram::record(std::uint64_t value)
+{
+    // msw-relaxed(hist-cell): monotonic tally cells; totals impose no
+    // ordering on the durations they count, and readers accept
+    // cross-cell skew while writers are active.
+    cells_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    // msw-relaxed(hist-cell): as above — sample count tally.
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // msw-relaxed(hist-cell): as above — value sum tally (mod 2^64).
+    sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+void
+Histogram::merge_from(const Histogram& other)
+{
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        // msw-relaxed(hist-cell): cell-wise merge; wraparound addition
+        // is associative, so the destination totals are exact.
+        const std::uint64_t v =
+            other.cells_[i].load(std::memory_order_relaxed);
+        if (v != 0) {
+            // msw-relaxed(hist-cell): as above — merge add.
+            cells_[i].fetch_add(v, std::memory_order_relaxed);
+        }
+    }
+    // msw-relaxed(hist-cell): as above — count/sum merge.
+    count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    // msw-relaxed(hist-cell): as above — count/sum merge.
+    sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+}
+
+std::uint64_t
+Histogram::count() const
+{
+    // msw-relaxed(hist-cell): statistics read; exact once writers
+    // quiesce (thread join is the synchronisation point).
+    return count_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Histogram::sum() const
+{
+    // msw-relaxed(hist-cell): statistics read, as count() above.
+    return sum_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Histogram::bucket_count(unsigned index) const
+{
+    // msw-relaxed(hist-cell): statistics read, as count() above.
+    return cells_[index].load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Histogram::percentile(double q) const
+{
+    // Single pass: snapshot-free rank walk. Concurrent writers can skew
+    // the result by at most the in-flight samples, which every caller
+    // (post-join reporting, diagnostics) tolerates.
+    std::uint64_t total = 0;
+    for (unsigned i = 0; i < kBuckets; ++i)
+        total += bucket_count(i);
+    if (total == 0)
+        return 0;
+    if (q < 0)
+        q = 0;
+    if (q > 1)
+        q = 1;
+    // rank = ceil(q * total), clamped to [1, total]; integer math so
+    // the signal-safe dump path shares this code.
+    auto rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(total) + 0.9999999);
+    if (rank < 1)
+        rank = 1;
+    if (rank > total)
+        rank = total;
+    std::uint64_t cum = 0;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        cum += bucket_count(i);
+        if (cum >= rank)
+            return bucket_upper(i);
+    }
+    return max_value();
+}
+
+std::uint64_t
+Histogram::max_value() const
+{
+    for (unsigned i = kBuckets; i > 0; --i) {
+        if (bucket_count(i - 1) != 0)
+            return bucket_upper(i - 1);
+    }
+    return 0;
+}
+
+LatencySummary
+Histogram::summarize() const
+{
+    LatencySummary s;
+    // One bucket pass feeds count, max and all percentiles so the
+    // digest is self-consistent even against concurrent writers.
+    std::uint64_t counts[kBuckets];
+    std::uint64_t total = 0;
+    unsigned highest = 0;
+    bool any = false;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        counts[i] = bucket_count(i);
+        total += counts[i];
+        if (counts[i] != 0) {
+            highest = i;
+            any = true;
+        }
+    }
+    s.count = total;
+    if (!any)
+        return s;
+    s.max_ns = bucket_upper(highest);
+    s.mean_ns = static_cast<double>(sum()) / static_cast<double>(total);
+    const auto at = [&](std::uint64_t rank) {
+        if (rank < 1)
+            rank = 1;
+        std::uint64_t cum = 0;
+        for (unsigned i = 0; i < kBuckets; ++i) {
+            cum += counts[i];
+            if (cum >= rank)
+                return bucket_upper(i);
+        }
+        return s.max_ns;
+    };
+    s.p50_ns = at((total + 1) / 2);
+    s.p90_ns = at((total * 9 + 9) / 10);
+    s.p99_ns = at((total * 99 + 99) / 100);
+    s.p999_ns = at((total * 999 + 999) / 1000);
+    return s;
+}
+
+void
+Histogram::reset()
+{
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        // msw-relaxed(hist-cell): reset with no concurrent writers by
+        // contract; the caller's quiesce point orders it.
+        cells_[i].store(0, std::memory_order_relaxed);
+    }
+    // msw-relaxed(hist-cell): as above — quiesced reset.
+    count_.store(0, std::memory_order_relaxed);
+    // msw-relaxed(hist-cell): as above — quiesced reset.
+    sum_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace msw::metrics

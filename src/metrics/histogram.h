@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Lock-free log-linear (HDR-style) latency histogram.
+ *
+ * The telemetry layer (DESIGN.md §14) records nanosecond durations —
+ * malloc/free fast-path latency, request latency, sweep pauses — into
+ * fixed-size bucket arrays of relaxed atomics. The design follows the
+ * same exactness argument as core/stat_cells: every record() lands one
+ * fetch_add in exactly one cell, 64-bit wraparound addition is
+ * associative and commutative, so merging per-thread histograms
+ * cell-wise reproduces the exact counts a single shared histogram
+ * would hold (no samples lost, no samples double-counted), and readers
+ * accept cross-cell skew while writers are active.
+ *
+ * Bucketing is log-linear: values below 2^kSubBits are exact; above
+ * that, each power-of-two range is split into kSubCount/2 linear
+ * sub-buckets, bounding the relative quantisation error by
+ * 2^-(kSubBits-1) (~6% at kSubBits = 5). The maximum is derived from
+ * the highest non-empty bucket (same error bound) rather than from an
+ * atomic-max CAS loop, which keeps record() wait-free and the atomics
+ * inventory CAS-free.
+ *
+ * Everything here is allocation-free and uses only relaxed atomic
+ * loads plus integer/float arithmetic, so the read side is safe from
+ * the SIGUSR2 dump handler (util/sigsafe_io) as well as from normal
+ * context.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace msw::metrics {
+
+/** Percentile digest of one histogram (wire- and JSON-friendly). */
+struct LatencySummary {
+    std::uint64_t count = 0;
+    double mean_ns = 0;        ///< sum/count (exact sums, see above).
+    std::uint64_t max_ns = 0;  ///< Upper bound of highest non-empty bucket.
+    std::uint64_t p50_ns = 0;
+    std::uint64_t p90_ns = 0;
+    std::uint64_t p99_ns = 0;
+    std::uint64_t p999_ns = 0;
+};
+
+class Histogram
+{
+  public:
+    /** Sub-bucket resolution: 2^-(kSubBits-1) relative error. */
+    static constexpr unsigned kSubBits = 5;
+    static constexpr unsigned kSubCount = 1u << kSubBits;
+    static constexpr unsigned kHalf = kSubCount / 2;
+    /**
+     * Dense enough for the full 64-bit range: the largest index
+     * bucket_index() can produce is (64-kSubBits+1)*kHalf + kSubCount.
+     */
+    static constexpr unsigned kBuckets = 1024;
+
+    constexpr Histogram() = default;
+
+    Histogram(const Histogram&) = delete;
+    Histogram& operator=(const Histogram&) = delete;
+
+    /** Record one value. Wait-free: three relaxed fetch_adds. */
+    void record(std::uint64_t value);
+
+    /**
+     * Cell-wise add of @p other into this histogram. Exact under
+     * wraparound (see file comment); concurrent record()s into either
+     * side land entirely or not at all in the merged totals.
+     */
+    void merge_from(const Histogram& other);
+
+    /** Total samples recorded (relaxed read; exact once writers quiesce). */
+    std::uint64_t count() const;
+
+    /** Sum of all recorded values (mod 2^64). */
+    std::uint64_t sum() const;
+
+    /**
+     * Value at quantile @p q in [0, 1]: the upper bound of the bucket
+     * holding the sample of rank ceil(q * count). 0 when empty.
+     */
+    std::uint64_t percentile(double q) const;
+
+    /** Upper bound of the highest non-empty bucket (0 when empty). */
+    std::uint64_t max_value() const;
+
+    /** One consistent pass over the buckets -> digest. */
+    LatencySummary summarize() const;
+
+    /** Zero every cell. Only legal with no concurrent writers. */
+    void reset();
+
+    // Bucket geometry (tests and the signal-safe dump path).
+    static unsigned bucket_index(std::uint64_t value);
+    static std::uint64_t bucket_lower(unsigned index);
+    static std::uint64_t bucket_upper(unsigned index);
+    std::uint64_t bucket_count(unsigned index) const;
+
+  private:
+    std::atomic<std::uint64_t> cells_[kBuckets] = {};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+};
+
+}  // namespace msw::metrics

@@ -128,6 +128,15 @@ struct WireHeader {
     std::uint64_t watchdog_fallbacks;
     std::uint64_t oom_returns;
     std::uint64_t failed_allocs;
+    // LatencySummary is trivially copyable; ship it verbatim.
+    LatencySummary op_latency;
+    LatencySummary sweep_pause;
+    std::uint64_t pause_total_ns;
+    std::uint64_t stw_total_ns;
+    std::uint64_t phase_dirty_scan_ns;
+    std::uint64_t phase_mark_ns;
+    std::uint64_t phase_drain_ns;
+    std::uint64_t phase_release_ns;
     std::uint64_t series_len;
 };
 
@@ -206,6 +215,14 @@ run_in_subprocess(const std::function<RunRecord()>& body,
         hdr.watchdog_fallbacks = rec.watchdog_fallbacks;
         hdr.oom_returns = rec.oom_returns;
         hdr.failed_allocs = rec.failed_allocs;
+        hdr.op_latency = rec.op_latency;
+        hdr.sweep_pause = rec.sweep_pause;
+        hdr.pause_total_ns = rec.pause_total_ns;
+        hdr.stw_total_ns = rec.stw_total_ns;
+        hdr.phase_dirty_scan_ns = rec.phase_dirty_scan_ns;
+        hdr.phase_mark_ns = rec.phase_mark_ns;
+        hdr.phase_drain_ns = rec.phase_drain_ns;
+        hdr.phase_release_ns = rec.phase_release_ns;
         hdr.series_len = rec.rss_series.size();
         bool ok = write_fully(fds[1], &hdr, sizeof(hdr));
         for (const auto& [t, rss] : rec.rss_series) {
@@ -237,6 +254,14 @@ run_in_subprocess(const std::function<RunRecord()>& body,
         rec.watchdog_fallbacks = hdr.watchdog_fallbacks;
         rec.oom_returns = hdr.oom_returns;
         rec.failed_allocs = hdr.failed_allocs;
+        rec.op_latency = hdr.op_latency;
+        rec.sweep_pause = hdr.sweep_pause;
+        rec.pause_total_ns = hdr.pause_total_ns;
+        rec.stw_total_ns = hdr.stw_total_ns;
+        rec.phase_dirty_scan_ns = hdr.phase_dirty_scan_ns;
+        rec.phase_mark_ns = hdr.phase_mark_ns;
+        rec.phase_drain_ns = hdr.phase_drain_ns;
+        rec.phase_release_ns = hdr.phase_release_ns;
         rec.rss_series.reserve(hdr.series_len);
         for (std::uint64_t i = 0; i < hdr.series_len && ok; ++i) {
             WireSample s;

@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "metrics/histogram.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -46,6 +47,17 @@ struct RunRecord {
     std::uint64_t watchdog_fallbacks = 0;  ///< Synchronous watchdog sweeps.
     std::uint64_t oom_returns = 0;         ///< alloc() nullptr returns.
     std::uint64_t failed_allocs = 0;       ///< Workload-observed nullptrs.
+
+    // Telemetry (observability layer, DESIGN.md §14): per-operation
+    // request latency and the runtime's pause/phase breakdown.
+    LatencySummary op_latency;     ///< Workload request latency digest.
+    LatencySummary sweep_pause;    ///< Backpressure pause digest.
+    std::uint64_t pause_total_ns = 0;       ///< Sum of allocation pauses.
+    std::uint64_t stw_total_ns = 0;         ///< Sum of STW windows.
+    std::uint64_t phase_dirty_scan_ns = 0;  ///< Per-phase sweep totals.
+    std::uint64_t phase_mark_ns = 0;
+    std::uint64_t phase_drain_ns = 0;
+    std::uint64_t phase_release_ns = 0;
 
     bool ok = false;  ///< Child completed successfully.
     /** RSS series: (seconds since start, bytes). */

@@ -31,6 +31,7 @@
 
 #include "alloc/policy.h"
 #include "core/minesweeper.h"
+#include "metrics/telemetry.h"
 #include "util/bits.h"
 
 namespace {
@@ -117,6 +118,43 @@ scan_maps_roots()
     return roots;
 }
 
+/**
+ * Telemetry counter provider: the runtime counters exported through
+ * MSW_STATS_DUMP and the SIGUSR2 dump. Async-signal-safe — sweep_stats()
+ * is relaxed atomic reads into a stack struct, no allocation.
+ */
+std::size_t
+shim_counters(msw::metrics::TelemetryCounter* out, std::size_t cap)
+{
+    if (g_state.load(std::memory_order_acquire) < 2 ||
+        g_engine == nullptr) {
+        return 0;
+    }
+    const msw::core::SweepStats s = g_engine->sweep_stats();
+    std::size_t n = 0;
+    const auto put = [&](const char* name, std::uint64_t v) {
+        if (n < cap)
+            out[n++] = msw::metrics::TelemetryCounter{name, v};
+    };
+    put("sweeps", s.sweeps);
+    put("entries_released", s.entries_released);
+    put("bytes_released", s.bytes_released);
+    put("failed_frees", s.failed_frees);
+    put("double_frees", s.double_frees);
+    put("bytes_scanned", s.bytes_scanned);
+    put("sweep_cpu_ns", s.sweep_cpu_ns);
+    put("stw_ns", s.stw_ns);
+    put("pause_ns", s.pause_ns);
+    put("phase_dirty_scan_ns", s.phase_dirty_scan_ns);
+    put("phase_mark_ns", s.phase_mark_ns);
+    put("phase_drain_ns", s.phase_drain_ns);
+    put("phase_release_ns", s.phase_release_ns);
+    put("emergency_sweeps", s.emergency_sweeps);
+    put("watchdog_fallbacks", s.watchdog_fallbacks);
+    put("oom_returns", s.oom_returns);
+    return n;
+}
+
 MineSweeper*
 engine()
 {
@@ -146,6 +184,16 @@ engine()
         g_engine = new (g_engine_storage) MineSweeper(options);
         g_engine->set_extra_roots_provider(&scan_maps_roots);
         g_engine->register_mutator_thread();
+        // Observability surface (MSW_TELEMETRY / MSW_STATS_DUMP): only
+        // armed when requested, so programs that use SIGUSR2 themselves
+        // keep their handler by default.
+        if (msw::metrics::telemetry_init_from_env()) {
+            // msw-relaxed(config-flag): publishes a pointer to code,
+            // not to runtime-built data; readers load it relaxed.
+            msw::metrics::telemetry().counter_fn.store(
+                &shim_counters, std::memory_order_relaxed);
+            msw::metrics::telemetry_install_sigusr2();
+        }
         tls_in_init = false;
         g_state.store(2, std::memory_order_release);
         return g_engine;
@@ -176,6 +224,10 @@ shim_teardown()
         return;
     }
     g_engine->quiesce();
+    // Final stats snapshot, after the sweeper has drained (stdio is
+    // fine here: teardown runs on the exit path, not in a handler).
+    if (const char* path = msw::metrics::telemetry_stats_dump_path())
+        msw::metrics::telemetry_write_json(path);
 }
 
 }  // namespace

@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <string>
 
+#include "metrics/histogram.h"
+
 namespace msw::workload {
 
 struct Profile {
@@ -74,6 +76,8 @@ struct WorkloadResult {
     std::uint64_t checksum = 0;
     /** Allocations the system refused (nullptr under memory pressure). */
     std::uint64_t failed_allocs = 0;
+    /** Per-operation latency digest (workloads that time requests). */
+    metrics::LatencySummary op_latency;
 };
 
 }  // namespace msw::workload

@@ -1,5 +1,6 @@
 #include "workload/runner.h"
 
+#include "metrics/telemetry.h"
 #include "workload/executor.h"
 
 namespace msw::workload {
@@ -12,6 +13,13 @@ measure(SystemKind kind,
     return metrics::run_in_subprocess(
         [&]() -> metrics::RunRecord {
             metrics::RunRecord rec;
+            // The child is this measurement's whole process, so the
+            // master telemetry layer (pause histogram, trace ring) can
+            // always be on: its cost is confined to sweep slow paths.
+            // msw-relaxed(config-flag): advisory toggle armed before
+            // the system under test is constructed.
+            metrics::telemetry().enabled.store(
+                true, std::memory_order_relaxed);
             System sys = make_system(kind, msw_options);
             metrics::RssSampler sampler(mopts.rss_interval_ms);
             const double wall0 = metrics::wall_seconds();
@@ -36,6 +44,15 @@ measure(SystemKind kind,
             rec.commit_retries = res.commit_retries;
             rec.watchdog_fallbacks = res.watchdog_fallbacks;
             rec.oom_returns = res.oom_returns;
+            rec.op_latency = result.op_latency;
+            rec.sweep_pause = metrics::telemetry().pause_ns.summarize();
+            const System::PhaseTotals ph = sys.phases();
+            rec.pause_total_ns = ph.pause_ns;
+            rec.stw_total_ns = ph.stw_ns;
+            rec.phase_dirty_scan_ns = ph.dirty_scan_ns;
+            rec.phase_mark_ns = ph.mark_ns;
+            rec.phase_drain_ns = ph.drain_ns;
+            rec.phase_release_ns = ph.release_ns;
             rec.ok = true;
             return rec;
         },

@@ -68,6 +68,17 @@ make_system(SystemKind kind, const core::Options& msw_options)
             r.oom_returns = st.oom_returns;
             return r;
         };
+        sys.phases = [raw] {
+            const core::SweepStats st = raw->sweep_stats();
+            System::PhaseTotals p;
+            p.dirty_scan_ns = st.phase_dirty_scan_ns;
+            p.mark_ns = st.phase_mark_ns;
+            p.drain_ns = st.phase_drain_ns;
+            p.release_ns = st.phase_release_ns;
+            p.stw_ns = st.stw_ns;
+            p.pause_ns = st.pause_ns;
+            return p;
+        };
         sys.allocator = std::move(ms);
         break;
       }
@@ -86,6 +97,16 @@ make_system(SystemKind kind, const core::Options& msw_options)
         };
         sys.flush = [raw] { raw->flush(); };
         sys.sweeps = [raw] { return raw->marks_done(); };
+        sys.phases = [raw] {
+            System::PhaseTotals p;
+            p.dirty_scan_ns = raw->stat_ns(core::Stat::kPhaseDirtyScanNs);
+            p.mark_ns = raw->stat_ns(core::Stat::kPhaseMarkNs);
+            p.drain_ns = raw->stat_ns(core::Stat::kPhaseDrainNs);
+            p.release_ns = raw->stat_ns(core::Stat::kPhaseReleaseNs);
+            p.stw_ns = raw->stat_ns(core::Stat::kStwNs);
+            p.pause_ns = raw->stat_ns(core::Stat::kPauseNs);
+            return p;
+        };
         sys.allocator = std::move(mu);
         break;
       }

@@ -52,6 +52,18 @@ struct System {
         std::uint64_t oom_returns = 0;
     };
     std::function<Resilience()> resilience = [] { return Resilience{}; };
+
+    /** Sweep pause/phase time totals (telemetry layer; zero for
+        non-sweeping systems). */
+    struct PhaseTotals {
+        std::uint64_t dirty_scan_ns = 0;
+        std::uint64_t mark_ns = 0;
+        std::uint64_t drain_ns = 0;
+        std::uint64_t release_ns = 0;
+        std::uint64_t stw_ns = 0;
+        std::uint64_t pause_ns = 0;
+    };
+    std::function<PhaseTotals()> phases = [] { return PhaseTotals{}; };
 };
 
 /** Identifiers accepted by make_system(). */

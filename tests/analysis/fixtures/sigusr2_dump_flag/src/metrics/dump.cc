@@ -1,0 +1,54 @@
+// Fixture: a SIGUSR2 stats-dump handler that reaches stdio formatting
+// (snprintf/fopen) one call hop away — another thread may hold the
+// stdio or malloc lock when the signal lands, so MSW-SIGNAL-SAFE must
+// flag it.
+#include <csignal>
+
+#include <atomic>
+#include <cstdio>
+
+namespace {
+
+std::atomic<unsigned long> g_pause_count{0};
+
+void
+dump_stats()
+{
+    // snprintf is not async-signal-safe; fopen allocates.
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "pauses=%lu\n",
+                  g_pause_count.load(std::memory_order_acquire));
+    std::FILE* f = std::fopen("/tmp/msw-stats.txt", "w");
+    if (f != nullptr) {
+        std::fputs(buf, f);
+        std::fclose(f);
+    }
+}
+
+void
+usr2_handler(int sig)
+{
+    (void)sig;
+    dump_stats();
+}
+
+}  // namespace
+
+namespace msw::metrics {
+
+void
+record_pause()
+{
+    g_pause_count.fetch_add(1, std::memory_order_release);
+}
+
+void
+install_stats_handler()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = usr2_handler;
+    ::sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGUSR2, &sa, nullptr);
+}
+
+}  // namespace msw::metrics

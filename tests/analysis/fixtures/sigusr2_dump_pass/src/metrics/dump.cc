@@ -1,0 +1,85 @@
+// Fixture: a SIGUSR2 stats-dump handler confined to async-signal-safe
+// operations — relaxed atomic reads, stack formatting, write(2) — must
+// stay clean under MSW-SIGNAL-SAFE.
+#include <csignal>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+
+namespace {
+
+std::atomic<unsigned long> g_pause_count{0};
+std::atomic<unsigned long> g_pause_ns{0};
+
+void
+write_counter(int fd, const char* name, unsigned long value)
+{
+    char buf[64];
+    unsigned n = 0;
+    while (name[n] != '\0' && n < 32) {
+        buf[n] = name[n];
+        ++n;
+    }
+    buf[n++] = '=';
+    // Decimal render into the stack buffer, no libc formatting.
+    char digits[20];
+    unsigned d = 0;
+    do {
+        digits[d++] = static_cast<char>('0' + value % 10);
+        value /= 10;
+    } while (value != 0 && d < sizeof(digits));
+    while (d > 0)
+        buf[n++] = digits[--d];
+    buf[n++] = '\n';
+    ssize_t ignored = ::write(fd, buf, n);
+    (void)ignored;
+}
+
+void
+dump_stats(int fd)
+{
+    // msw-relaxed(dump-stats): statistics read from signal context;
+    // a torn total is impossible (single 64-bit cells) and staleness
+    // only dates the diagnostic snapshot.
+    write_counter(fd, "pauses",
+                  g_pause_count.load(std::memory_order_relaxed));
+    // msw-relaxed(dump-stats): as above — diagnostic snapshot read.
+    write_counter(fd, "pause_ns",
+                  g_pause_ns.load(std::memory_order_relaxed));
+}
+
+void
+usr2_handler(int sig)
+{
+    (void)sig;
+    const int saved_errno = errno;
+    dump_stats(2);
+    errno = saved_errno;
+}
+
+}  // namespace
+
+namespace msw::metrics {
+
+void
+record_pause(unsigned long ns)
+{
+    // msw-relaxed(dump-stats): monotonic tallies; readers tolerate
+    // cross-cell skew between the two counters.
+    g_pause_count.fetch_add(1, std::memory_order_relaxed);
+    // msw-relaxed(dump-stats): as above — monotonic tally.
+    g_pause_ns.fetch_add(ns, std::memory_order_relaxed);
+}
+
+void
+install_stats_handler()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = usr2_handler;
+    ::sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    ::sigaction(SIGUSR2, &sa, nullptr);
+}
+
+}  // namespace msw::metrics

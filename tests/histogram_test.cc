@@ -1,0 +1,185 @@
+// Latency-histogram tests: bucket geometry, percentile edge cases and
+// relative-error bounds, and wraparound-exact merge under concurrent
+// recording (the StatCells argument applied to bucket cells).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "metrics/histogram.h"
+
+namespace msw::metrics {
+namespace {
+
+TEST(HistogramBuckets, ExactBelowLinearThreshold)
+{
+    // Values below kSubCount get one bucket each: no rounding at all
+    // in the range where a few nanoseconds matter most.
+    for (std::uint64_t v = 0; v < Histogram::kSubCount; ++v) {
+        const std::size_t idx = Histogram::bucket_index(v);
+        EXPECT_EQ(Histogram::bucket_lower(idx), v) << "v=" << v;
+        EXPECT_EQ(Histogram::bucket_upper(idx), v) << "v=" << v;
+    }
+}
+
+TEST(HistogramBuckets, ValueFallsInItsBucket)
+{
+    for (std::uint64_t v : {0ull, 1ull, 31ull, 32ull, 33ull, 100ull,
+                            1000ull, 4095ull, 4096ull, 1ull << 20,
+                            (1ull << 32) + 12345ull, ~0ull}) {
+        const std::size_t idx = Histogram::bucket_index(v);
+        ASSERT_LT(idx, Histogram::kBuckets) << "v=" << v;
+        EXPECT_GE(v, Histogram::bucket_lower(idx)) << "v=" << v;
+        EXPECT_LE(v, Histogram::bucket_upper(idx)) << "v=" << v;
+    }
+}
+
+TEST(HistogramBuckets, ProducedBucketsTileTheAxis)
+{
+    // The layout leaves unused gap cells between groups, so only walk
+    // the indices bucket_index() actually produces: they must be
+    // non-decreasing in the value and tile the axis without holes.
+    unsigned prev = Histogram::bucket_index(0);
+    for (std::uint64_t v = 1; v < (1ull << 22); ++v) {
+        const unsigned idx = Histogram::bucket_index(v);
+        ASSERT_GE(idx, prev) << "v=" << v;
+        if (idx != prev) {
+            ASSERT_EQ(Histogram::bucket_lower(idx),
+                      Histogram::bucket_upper(prev) + 1)
+                << "hole or overlap between produced buckets, v=" << v;
+        }
+        prev = idx;
+    }
+}
+
+TEST(HistogramBuckets, RelativeErrorBounded)
+{
+    // Log-linear with 16 sub-buckets per octave: bucket width is at
+    // most 1/16 of the bucket's lower bound, so reporting the upper
+    // bound overstates a value by < 6.25%.
+    for (std::uint64_t v = Histogram::kSubCount; v < (1ull << 40);
+         v = v * 17 / 16 + 1) {
+        const std::size_t idx = Histogram::bucket_index(v);
+        const double lo = static_cast<double>(Histogram::bucket_lower(idx));
+        const double hi = static_cast<double>(Histogram::bucket_upper(idx));
+        EXPECT_LE((hi - lo) / lo, 1.0 / 16.0 + 1e-9) << "v=" << v;
+    }
+}
+
+TEST(HistogramPercentile, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    const LatencySummary s = h.summarize();
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.p999_ns, 0u);
+    EXPECT_EQ(s.max_ns, 0u);
+}
+
+TEST(HistogramPercentile, SingleValue)
+{
+    Histogram h;
+    h.record(7);  // exact range: bucket == value
+    const LatencySummary s = h.summarize();
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_EQ(s.p50_ns, 7u);
+    EXPECT_EQ(s.p999_ns, 7u);
+    EXPECT_EQ(s.max_ns, 7u);
+    EXPECT_DOUBLE_EQ(s.mean_ns, 7.0);
+}
+
+TEST(HistogramPercentile, OrderingAndTail)
+{
+    Histogram h;
+    // 1000 samples at 10, 10 samples at 10000: p50/p90 sit in the bulk,
+    // p99/p999 must see the tail.
+    for (int i = 0; i < 1000; ++i)
+        h.record(10);
+    for (int i = 0; i < 10; ++i)
+        h.record(10000);
+    const LatencySummary s = h.summarize();
+    EXPECT_EQ(s.count, 1010u);
+    EXPECT_EQ(s.p50_ns, 10u);
+    EXPECT_EQ(s.p90_ns, 10u);
+    EXPECT_GE(s.p999_ns, 10000u * 15 / 16);
+    EXPECT_LE(s.p50_ns, s.p90_ns);
+    EXPECT_LE(s.p90_ns, s.p99_ns);
+    EXPECT_LE(s.p99_ns, s.p999_ns);
+    EXPECT_LE(s.p999_ns, s.max_ns);
+    EXPECT_GE(s.max_ns, 10000u);
+}
+
+TEST(HistogramPercentile, ApproximationWithinBucketError)
+{
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 100000; ++v)
+        h.record(v);
+    // True p50 is 50000; the report may only overstate by one bucket.
+    const std::uint64_t p50 = h.percentile(0.5);
+    EXPECT_GE(p50, 50000u);
+    EXPECT_LE(static_cast<double>(p50), 50000.0 * (1 + 1.0 / 16) + 1);
+}
+
+TEST(HistogramMerge, CellWiseExact)
+{
+    Histogram a, b;
+    for (std::uint64_t v = 0; v < 4096; ++v) {
+        a.record(v);
+        b.record(v * 3);
+    }
+    a.merge_from(b);
+    EXPECT_EQ(a.count(), 8192u);
+    // Sums are tracked exactly, so the merged sum is the exact total.
+    std::uint64_t want = 0;
+    for (std::uint64_t v = 0; v < 4096; ++v)
+        want += v + v * 3;
+    EXPECT_EQ(a.sum(), want);
+}
+
+TEST(HistogramMerge, ResetClears)
+{
+    Histogram h;
+    h.record(42);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.summarize().max_ns, 0u);
+}
+
+// Concurrent recorders into one histogram, plus per-thread histograms
+// merged at join: both totals must be exact (relaxed fetch_add never
+// loses increments), which is the property the runner relies on.
+TEST(HistogramConcurrent, RecordAndMergeAreExact)
+{
+    constexpr unsigned kThreads = 8;
+    constexpr std::uint64_t kPerThread = 100000;
+    Histogram shared;
+    std::vector<Histogram> local(kThreads);
+
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i) {
+                const std::uint64_t v = (t * kPerThread + i) % 100000;
+                shared.record(v);
+                local[t].record(v);
+            }
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+
+    Histogram merged;
+    for (unsigned t = 0; t < kThreads; ++t)
+        merged.merge_from(local[t]);
+
+    EXPECT_EQ(shared.count(), kThreads * kPerThread);
+    EXPECT_EQ(merged.count(), kThreads * kPerThread);
+    EXPECT_EQ(shared.sum(), merged.sum());
+    EXPECT_EQ(shared.summarize().p99_ns, merged.summarize().p99_ns);
+}
+
+}  // namespace
+}  // namespace msw::metrics

@@ -9,7 +9,10 @@
 #   4. MSW_SANITIZE=thread + the race suite and the chaos soak
 #      (-L "tsan|chaos"), then the tsan label again with
 #      MSW_POLICY=hardened so the policy hooks are raced too;
-#   5. msw-analyze (tools/analysis/) self-test + clean run over src/.
+#   5. msw-analyze (tools/analysis/) self-test + clean run over src/;
+#   6. server tail-latency smoke: bench/server_tail in short duration
+#      mode, then tools/ci/check_server_tail.py validates the output
+#      shape (all four systems with full percentile digests).
 # Configurations whose toolchain is unavailable are skipped with a note,
 # not failed: the matrix must be runnable on minimal containers.
 #
@@ -28,7 +31,7 @@ run() { echo "+ $*" >&2; "$@"; }
 failures=()
 chaos_seconds="${MSW_CHAOS_SECONDS:-10}"
 
-echo "=== [1/5] default build + tests ==="
+echo "=== [1/6] default build + tests ==="
 run cmake -B "$repo/build-check" -S "$repo" >/dev/null
 run cmake --build "$repo/build-check" -j >/dev/null
 if ! (cd "$repo/build-check" && ctest --output-on-failure -j "$(nproc)"); then
@@ -42,7 +45,7 @@ if ! (cd "$repo/build-check" && ctest --output-on-failure -j "$(nproc)" \
 fi
 
 if [ "$quick" = "0" ]; then
-    echo "=== [2/5] MSW_THREAD_SAFETY=ON (clang) ==="
+    echo "=== [2/6] MSW_THREAD_SAFETY=ON (clang) ==="
     if command -v clang++ >/dev/null 2>&1; then
         if run cmake -B "$repo/build-check-tsa" -S "$repo" \
                 -DCMAKE_CXX_COMPILER=clang++ \
@@ -56,7 +59,7 @@ if [ "$quick" = "0" ]; then
         echo "clang++ not found; skipping the thread-safety configuration."
     fi
 
-    echo "=== [3/5] MSW_SANITIZE=address,undefined + tests ==="
+    echo "=== [3/6] MSW_SANITIZE=address,undefined + tests ==="
     # handle_segv=0: the suite *intends* SIGSEGV in places (UAF probes on
     # unmapped quarantine pages, mprotect write-barrier faults); ASan must
     # not convert those into aborts.
@@ -84,7 +87,7 @@ if [ "$quick" = "0" ]; then
         failures+=("asan-ubsan-build")
     fi
 
-    echo "=== [4/5] MSW_SANITIZE=thread + race/chaos suites ==="
+    echo "=== [4/6] MSW_SANITIZE=thread + race/chaos suites ==="
     # Only the tsan- and chaos-labelled tests: a full suite under TSan
     # takes too long for a local gate, and the remaining tests exercise
     # no cross-thread interleavings the labelled ones don't.
@@ -108,7 +111,7 @@ if [ "$quick" = "0" ]; then
         failures+=("tsan-build")
     fi
 
-    echo "=== [5/5] msw-analyze (domain-specific static analysis) ==="
+    echo "=== [5/6] msw-analyze (domain-specific static analysis) ==="
     # The analyzer degrades to its built-in textual engine when libclang/
     # clang-query are absent; only a missing python3 skips the stage. The
     # build dir from stage 1 supplies compile_commands.json (and hosts
@@ -142,6 +145,25 @@ if [ "$quick" = "0" ]; then
         fi
     else
         echo "python3 not found; skipping the msw-analyze stage."
+    fi
+
+    echo "=== [6/6] server tail-latency smoke ==="
+    # The gate is the output *shape* (four systems, full percentile
+    # digests), not the numbers; MSW_BENCH_SECONDS keeps it short.
+    if command -v python3 >/dev/null 2>&1; then
+        if (cd "$repo/build-check" &&
+            MSW_BENCH_SECONDS="${MSW_BENCH_SECONDS:-1}" \
+                run ./bench/server_tail); then
+            if ! (cd "$repo/build-check" &&
+                  run python3 "$repo/tools/ci/check_server_tail.py" \
+                      BENCH_server_tail.json); then
+                failures+=("server-tail-shape")
+            fi
+        else
+            failures+=("server-tail")
+        fi
+    else
+        echo "python3 not found; skipping the server-tail smoke stage."
     fi
 fi
 
